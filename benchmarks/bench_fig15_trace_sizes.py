@@ -1,0 +1,60 @@
+"""Figure 15 — total communication trace sizes (KB) of the NPB programs
+for Gzip / ScalaTrace / ScalaTrace2 / ScalaTrace2+Gzip / Cypress /
+Cypress+Gzip across process counts.
+
+Expected shapes (asserted): Gzip grows ~linearly with P; CYPRESS stays
+flat-to-sublinear and beats raw Gzip everywhere; on MG (complex nested
+patterns) CYPRESS beats ScalaTrace outright; on SP (varied sizes/tags)
+ScalaTrace-2's elastic encoding is competitive with or better than
+CYPRESS.
+"""
+
+import pytest
+
+from .common import SCALE, emit, fmt_row, measurement, procs_for, size_kb
+
+NPB = ("bt", "cg", "dt", "ep", "ft", "lu", "mg", "sp")
+SERIES = ("gzip", "scalatrace", "scalatrace2", "scalatrace2+gzip",
+          "cypress", "cypress+gzip")
+
+
+@pytest.mark.parametrize("name", NPB)
+def test_fig15_table(benchmark, name):
+    def build():
+        rows = []
+        for nprocs in procs_for(name):
+            m = measurement(name, nprocs)
+            rows.append((nprocs, {s: size_kb(m, s) for s in SERIES}))
+        return rows
+
+    rows = benchmark.pedantic(build, rounds=1, iterations=1)
+
+    widths = [6] + [17] * len(SERIES)
+    lines = [
+        f"Figure 15 ({name.upper()}): total trace size in KB, scale={SCALE}",
+        fmt_row(["procs", *SERIES], widths),
+    ]
+    for nprocs, sizes in rows:
+        lines.append(
+            fmt_row([nprocs] + [f"{sizes[s]:.2f}" for s in SERIES], widths)
+        )
+    emit(f"fig15_{name}", lines)
+
+    # --- shape assertions -------------------------------------------------
+    first, last = rows[0], rows[-1]
+    growth = last[0] / first[0]
+    # Gzip scales with P...
+    assert last[1]["gzip"] > first[1]["gzip"] * (growth / 3)
+    # ...while CYPRESS stays flat-to-sublinear.
+    assert last[1]["cypress"] < first[1]["cypress"] * growth
+    # The shipped form (Cypress+Gzip) beats per-rank Gzip once the job is
+    # past toy sizes; asserted at the grid's largest process count.
+    assert last[1]["cypress+gzip"] < last[1]["gzip"], name
+    if name == "mg":
+        for nprocs, sizes in rows:
+            assert sizes["cypress"] < sizes["scalatrace"], f"mg@{nprocs}"
+    if name == "sp":
+        # ScalaTrace-2+Gzip is the one combination that can beat CYPRESS
+        # (the paper's one loss, Fig. 15h).
+        nprocs, sizes = rows[-1]
+        assert sizes["scalatrace2+gzip"] < sizes["cypress"]

@@ -1,0 +1,41 @@
+"""Figure 19 — compressed LESlie3d trace sizes for Gzip, ScalaTrace and
+CYPRESS across process counts.
+
+Paper: CYPRESS ~1.5 orders of magnitude below ScalaTrace and ~4 below
+Gzip.  Asserted shape: CYPRESS < ScalaTrace < Gzip at every grid point
+and Gzip grows ~linearly while CYPRESS stays near-flat.
+"""
+
+from .common import SCALE, emit, fmt_row, measurement, procs_for, size_kb
+
+SERIES = ("gzip", "scalatrace", "cypress")
+
+
+def test_fig19_table(benchmark):
+    def build():
+        rows = []
+        for nprocs in procs_for("leslie3d"):
+            m = measurement("leslie3d", nprocs)
+            rows.append((nprocs, {s: size_kb(m, s) for s in SERIES}))
+        return rows
+
+    rows = benchmark.pedantic(build, rounds=1, iterations=1)
+
+    widths = [6, 14, 14, 14]
+    lines = [
+        f"Figure 19: LESlie3d compressed trace size (KB), scale={SCALE}",
+        fmt_row(["procs", "Gzip", "ScalaTrace", "Cypress"], widths),
+    ]
+    for nprocs, sizes in rows:
+        lines.append(
+            fmt_row([nprocs] + [f"{sizes[s]:.2f}" for s in SERIES], widths)
+        )
+    emit("fig19", lines)
+
+    for nprocs, sizes in rows:
+        assert sizes["cypress"] < sizes["scalatrace"], f"@{nprocs}"
+        assert sizes["cypress"] < sizes["gzip"], f"@{nprocs}"
+    first, last = rows[0], rows[-1]
+    growth = last[0] / first[0]
+    assert last[1]["gzip"] > first[1]["gzip"] * growth / 3  # ~linear
+    assert last[1]["cypress"] < first[1]["cypress"] * growth / 2  # sub-linear

@@ -1,0 +1,54 @@
+"""Figure 20 — LESlie3d communication patterns at 32 and 64 processes,
+extracted from the CYPRESS compressed traces.
+
+Paper §VII-D1: "the process 0 only communicates with the processes of 1,
+2 and 8. There are only two types of message sizes, 43KB and 83KB."  Both
+facts are asserted verbatim.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.patterns import (
+    ascii_heatmap,
+    communication_matrix,
+    message_sizes,
+    neighbor_sets,
+)
+from repro.core import run_cypress
+from repro.workloads import get
+
+from .common import SCALE, emit
+
+
+def _run(nprocs):
+    w = get("leslie3d")
+    run = run_cypress(w.source, nprocs, defines=w.defines(nprocs, SCALE))
+    return run.merge()
+
+
+@pytest.mark.parametrize("nprocs", [32, 64])
+def test_fig20_pattern(benchmark, nprocs):
+    merged = benchmark.pedantic(lambda: _run(nprocs), rounds=1, iterations=1)
+    matrix = communication_matrix(merged, nprocs)
+    emit(
+        f"fig20_{nprocs}",
+        [
+            f"Figure 20: LESlie3d communication pattern ({nprocs} procs)",
+            ascii_heatmap(matrix),
+            f"rank 0 partners: {neighbor_sets(matrix)[0]}",
+            f"message sizes:   {sorted(message_sizes(merged))}",
+        ],
+    )
+
+    # Locality (paper's observation at 32 procs).
+    neighbors = neighbor_sets(matrix)
+    if nprocs == 32:
+        assert neighbors[0] == [1, 2, 8]
+    # Every rank talks to at most 6 partners (3D stencil).
+    assert max(len(v) for v in neighbors.values()) <= 6
+    # Exactly the two observed message sizes.
+    assert sorted(message_sizes(merged)) == [43 * 1024, 83 * 1024]
+    # Band structure: all traffic on short diagonals.
+    src, dst = np.nonzero(matrix)
+    assert (np.abs(src - dst) <= nprocs // 4).all()

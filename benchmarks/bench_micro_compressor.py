@@ -1,0 +1,131 @@
+"""Microbenchmarks: per-event compressor cost, isolated from the runtime.
+
+Feeds identical synthetic event/marker streams straight into each
+compressor, measuring pure compression throughput — the cleanest view of
+the paper's O(1)-per-event claim (CYPRESS compares an event only against
+records at its own CTT vertex; ScalaTrace searches its queue tail).
+"""
+
+from repro.baselines.scalatrace import ScalaTraceCompressor
+from repro.baselines.scalatrace2 import ScalaTrace2Compressor
+from repro.core.intra import IntraProcessCompressor
+from repro.mpisim.events import CommEvent
+from repro.static.instrument import compile_minimpi
+
+from .common import emit
+
+# A loop over a branch pair — the paper's Fig. 11 shape.
+PROGRAM = """
+func main() {
+  for (var i = 0; i < n; i = i + 1) {
+    if (i % 2 == 0) { mpi_send(1, 4096, 7); } else { mpi_recv(1, 4096, 7); }
+    mpi_allreduce(8);
+  }
+}
+"""
+
+N_EVENTS = 4000
+
+
+def _drive_cypress(comp, loop_id, branch_id, iters):
+    seq = 0
+    comp.on_loop_push(0, loop_id)
+    for i in range(iters):
+        comp.on_loop_iter(0, loop_id)
+        path = 0 if i % 2 == 0 else 1
+        comp.on_branch_enter(0, branch_id, path)
+        op = "MPI_Send" if path == 0 else "MPI_Recv"
+        comp.on_event(0, CommEvent(op=op, rank=0, seq=seq, peer=1,
+                                   tag=7, nbytes=4096))
+        seq += 1
+        comp.on_branch_exit(0, branch_id)
+        comp.on_event(0, CommEvent(op="MPI_Allreduce", rank=0, seq=seq,
+                                   nbytes=8))
+        seq += 1
+    comp.on_loop_pop(0, loop_id)
+
+
+def _drive_flat(comp, iters):
+    seq = 0
+    for i in range(iters):
+        op = "MPI_Send" if i % 2 == 0 else "MPI_Recv"
+        comp.on_event(0, CommEvent(op=op, rank=0, seq=seq, peer=1,
+                                   tag=7, nbytes=4096))
+        seq += 1
+        comp.on_event(0, CommEvent(op="MPI_Allreduce", rank=0, seq=seq,
+                                   nbytes=8))
+        seq += 1
+
+
+def _structure_ids():
+    compiled = compile_minimpi(PROGRAM)
+    loop_id = branch_id = None
+    for node in compiled.cst.preorder():
+        if node.kind == "loop":
+            loop_id = node.ast_id
+        if node.kind == "branch" and branch_id is None:
+            branch_id = node.ast_id
+    return compiled.cst, loop_id, branch_id
+
+
+def test_micro_cypress_throughput(benchmark):
+    cst, loop_id, branch_id = _structure_ids()
+
+    def run():
+        comp = IntraProcessCompressor(cst)
+        _drive_cypress(comp, loop_id, branch_id, N_EVENTS // 2)
+        return comp
+
+    comp = benchmark(run)
+    # Compression happened: 3 leaf records total (send/recv/allreduce).
+    assert comp.ctt(0).record_count() == 3
+
+
+def test_micro_scalatrace_throughput(benchmark):
+    def run():
+        comp = ScalaTraceCompressor()
+        _drive_flat(comp, N_EVENTS // 2)
+        return comp
+
+    comp = benchmark(run)
+    assert len(comp.queue(0)) < 10  # folded into RSDs
+
+
+def test_micro_scalatrace2_throughput(benchmark):
+    def run():
+        comp = ScalaTrace2Compressor()
+        _drive_flat(comp, N_EVENTS // 2)
+        return comp
+
+    comp = benchmark(run)
+    assert len(comp.queue(0)) < 10
+
+
+def test_micro_summary(benchmark):
+    """Events/second for each compressor, printed side by side."""
+    import time
+
+    cst, loop_id, branch_id = _structure_ids()
+
+    def measure():
+        out = {}
+        t0 = time.perf_counter()
+        comp = IntraProcessCompressor(cst)
+        _drive_cypress(comp, loop_id, branch_id, N_EVENTS // 2)
+        out["cypress"] = N_EVENTS / (time.perf_counter() - t0)
+        t0 = time.perf_counter()
+        _drive_flat(ScalaTraceCompressor(), N_EVENTS // 2)
+        out["scalatrace"] = N_EVENTS / (time.perf_counter() - t0)
+        t0 = time.perf_counter()
+        _drive_flat(ScalaTrace2Compressor(), N_EVENTS // 2)
+        out["scalatrace2"] = N_EVENTS / (time.perf_counter() - t0)
+        return out
+
+    rates = benchmark.pedantic(measure, rounds=3, iterations=1)
+    emit(
+        "micro_compressor",
+        ["Microbench: compressor throughput (events/s, marker cost included "
+         "for CYPRESS)"]
+        + [f"  {k:12s} {v:12.0f}" for k, v in rates.items()],
+    )
+    assert rates["cypress"] > 0

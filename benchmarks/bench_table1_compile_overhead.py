@@ -1,0 +1,82 @@
+"""Table I — compilation overhead of the CYPRESS static pass.
+
+Compiles every NPB kernel with and without the CST extraction and reports
+the added time.  Paper: average 8.27% overhead, worst case 27.72% (EP,
+whose tiny base compile amplifies the fixed pass cost); absolute CST
+build time <= 0.25 s.  Asserted shape: the average overhead stays modest
+(< 150% — the MiniMPI baseline compile is far cheaper than a real
+compiler's, which inflates the ratio) and the absolute pass cost stays
+under a second per program.
+"""
+
+import time
+
+from repro.static.instrument import compile_minimpi
+from repro.workloads import WORKLOADS
+
+from .common import emit, fmt_row
+
+NPB = ("bt", "cg", "dt", "ep", "ft", "lu", "mg", "sp")
+REPEATS = 20
+
+
+def _compile_times(source: str) -> tuple[float, float]:
+    """Best-of-N compile time without and with the CYPRESS pass."""
+    without = min(
+        _timed(lambda: compile_minimpi(source, cypress=False))
+        for _ in range(REPEATS)
+    )
+    with_pass = min(
+        _timed(lambda: compile_minimpi(source, cypress=True))
+        for _ in range(REPEATS)
+    )
+    return without, with_pass
+
+
+def _timed(fn) -> float:
+    t0 = time.perf_counter()
+    fn()
+    return time.perf_counter() - t0
+
+
+def test_table1_compile_overhead(benchmark):
+    def build():
+        rows = []
+        for name in NPB:
+            w = WORKLOADS[name]
+            t_without, t_with = _compile_times(w.source)
+            overhead = 100.0 * (t_with - t_without) / t_without
+            rows.append((name, t_without, t_with, overhead))
+        return rows
+
+    rows = benchmark.pedantic(build, rounds=1, iterations=1)
+
+    widths = [6, 14, 14, 12]
+    lines = [
+        "Table I: compilation overhead of CYPRESS (ms; paper reports "
+        "seconds for a full LLVM build)",
+        fmt_row(["prog", "w/o CYPRESS", "w/ CYPRESS", "overhead%"], widths),
+    ]
+    for name, t0, t1, pct in rows:
+        lines.append(
+            fmt_row(
+                [name, f"{t0 * 1000:.3f}", f"{t1 * 1000:.3f}", f"{pct:.1f}"],
+                widths,
+            )
+        )
+    avg = sum(r[3] for r in rows) / len(rows)
+    lines.append(f"average overhead: {avg:.1f}%  (paper: 8.27%)")
+    emit("table1", lines)
+
+    # The pass itself is cheap in absolute terms...
+    for name, t0, t1, _pct in rows:
+        assert t1 - t0 < 1.0, name
+    # ...and not a multiple of the baseline compile.
+    assert avg < 150.0
+
+
+def test_table1_pass_cost_benchmark(benchmark):
+    """Benchmark the static pass alone on the largest kernel (SP)."""
+    source = WORKLOADS["sp"].source
+    compiled = benchmark(lambda: compile_minimpi(source, cypress=True))
+    assert compiled.cst.size() > 10

@@ -1,0 +1,94 @@
+"""Shared infrastructure for the figure/table benchmarks.
+
+Every ``bench_*`` module regenerates one table or figure of the paper's
+evaluation (§VII).  Absolute numbers differ from the paper (the substrate
+is a simulator and the iteration counts are scaled), but each bench prints
+the same rows/series the paper reports and asserts the qualitative
+*shape* (who wins, direction of scaling).
+
+Two grids are available:
+
+* the default **quick** grid (small process counts, scaled iterations) —
+  minutes for the whole suite;
+* the **paper** grid (process counts from the paper; set ``REPRO_FULL=1``)
+  — the full evaluation, substantially slower.
+
+Tables are printed to stdout and written to ``results/``.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+from repro.analysis.stats import RunMeasurement, measure_all_methods
+from repro.workloads import get
+
+FULL = os.environ.get("REPRO_FULL", "") == "1"
+SCALE = float(os.environ.get("REPRO_SCALE", "1.0" if FULL else "0.4"))
+
+RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
+
+# Process-count grids per workload: (quick, paper — Fig. 15's x axes).
+_GRIDS: dict[str, tuple[tuple[int, ...], tuple[int, ...]]] = {
+    "bt": ((9, 16, 36), (64, 121, 256, 400)),
+    "sp": ((9, 16, 36), (64, 121, 256, 400)),
+    "cg": ((8, 16, 32), (64, 128, 256, 512)),
+    "ep": ((8, 16, 32), (64, 128, 256, 512)),
+    "ft": ((8, 16, 32), (64, 128, 256, 512)),
+    "lu": ((8, 16, 32), (64, 128, 256, 512)),
+    "mg": ((8, 16, 32), (64, 128, 256, 512)),
+    "dt": ((9, 17, 33), (48, 64, 128, 256)),
+    "leslie3d": ((8, 16, 32), (32, 64, 128, 256, 512)),
+}
+
+METHOD_LABELS = {
+    "gzip": "Gzip",
+    "scalatrace": "ScalaTrace",
+    "scalatrace2": "ScalaTrace2",
+    "scalatrace2+gzip": "ScalaTrace2+Gzip",
+    "cypress": "Cypress",
+    "cypress+gzip": "Cypress+Gzip",
+}
+
+
+def procs_for(name: str) -> tuple[int, ...]:
+    quick, paper = _GRIDS[name]
+    return paper if FULL else quick
+
+
+# Session-level measurement cache: (workload, nprocs) -> RunMeasurement.
+_CACHE: dict[tuple[str, int], RunMeasurement] = {}
+
+
+def measurement(name: str, nprocs: int) -> RunMeasurement:
+    key = (name, nprocs)
+    if key not in _CACHE:
+        _CACHE[key] = measure_all_methods(get(name), nprocs, scale=SCALE)
+    return _CACHE[key]
+
+
+def size_kb(m: RunMeasurement, method: str) -> float:
+    """Trace size in KB for a method label (supports the +Gzip variants)."""
+    if method.endswith("+gzip"):
+        base = m.methods[method[: -len("+gzip")]]
+        return (base.gzip_bytes or base.trace_bytes) / 1024
+    r = m.methods[method]
+    if method == "gzip":
+        # The "Gzip" series of Fig. 15 is the gzip-compressed raw trace.
+        return (r.gzip_bytes or r.trace_bytes) / 1024
+    return r.trace_bytes / 1024
+
+
+def emit(name: str, lines: list[str]) -> None:
+    """Print a table and persist it under results/ (paper-scale runs get
+    a ``_full`` suffix so quick-grid tables are not overwritten)."""
+    text = "\n".join(lines)
+    print("\n" + text)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    suffix = "_full" if FULL else ""
+    (RESULTS_DIR / f"{name}{suffix}.txt").write_text(text + "\n")
+
+
+def fmt_row(cells: list, widths: list[int]) -> str:
+    return "  ".join(str(c).rjust(w) for c, w in zip(cells, widths))

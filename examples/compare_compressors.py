@@ -1,0 +1,54 @@
+#!/usr/bin/env python
+"""Compare all four compression methods on an NPB-like workload.
+
+Reproduces, for one workload/process count of your choice, the essence of
+the paper's Figures 15/16/18: trace sizes, intra-process compression
+overhead, and inter-process merge time for Gzip, ScalaTrace,
+ScalaTrace-2 and CYPRESS — all from a single traced execution.
+
+Run:  python examples/compare_compressors.py [workload] [nprocs]
+      python examples/compare_compressors.py mg 16
+"""
+
+import sys
+
+from repro.analysis import measure_all_methods
+from repro.workloads import WORKLOADS, get
+
+
+def main() -> None:
+    name = sys.argv[1] if len(sys.argv) > 1 else "mg"
+    nprocs = int(sys.argv[2]) if len(sys.argv) > 2 else 16
+    if name not in WORKLOADS:
+        raise SystemExit(f"unknown workload {name!r}; pick from {sorted(WORKLOADS)}")
+
+    w = get(name)
+    w.check_procs(nprocs)
+    print(f"Running {name.upper()} on {nprocs} simulated ranks "
+          f"({w.description})...\n")
+    m = measure_all_methods(w, nprocs, scale=0.5)
+
+    print(f"traced events: {m.app_events}; untraced run: "
+          f"{m.base_seconds:.2f}s wall\n")
+    header = (f"{'method':14s} {'trace':>10s} {'+gzip':>10s} "
+              f"{'intra ovh':>10s} {'inter':>9s} {'memory':>10s}")
+    print(header)
+    print("-" * len(header))
+    for method, r in m.methods.items():
+        gz = f"{r.gzip_bytes}" if r.gzip_bytes is not None else "-"
+        print(
+            f"{method:14s} {r.trace_bytes:9d}B {gz:>9s}B "
+            f"{m.overhead_pct(method, 'intra'):9.1f}% "
+            f"{r.inter_seconds:8.3f}s {r.memory_bytes:9d}B"
+        )
+
+    cy = m.methods["cypress"]
+    st = m.methods["scalatrace"]
+    print("\nCYPRESS vs ScalaTrace:")
+    print(f"  size   : {st.trace_bytes / max(1, cy.trace_bytes):.1f}x smaller")
+    print(f"  intra  : {st.intra_seconds / max(1e-9, cy.intra_seconds):.1f}x faster")
+    print(f"  inter  : {st.inter_seconds / max(1e-9, cy.inter_seconds):.1f}x faster")
+
+
+if __name__ == "__main__":
+    main()

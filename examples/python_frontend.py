@@ -1,0 +1,91 @@
+#!/usr/bin/env python
+"""Trace a hand-written *Python* rank function with CYPRESS.
+
+MiniMPI programs get their communication structure tree from static
+analysis; Python code declares it instead (it mirrors the code shape) and
+annotates loops/branches with lightweight markers — the way one would
+retrofit CYPRESS onto an mpi4py application.
+
+This example runs a 2D halo exchange written directly in Python, traces
+it on 16 simulated ranks, and shows compression + exact replay.
+
+Run:  python examples/python_frontend.py
+"""
+
+from repro.frontend import S, run_python
+from repro.mpisim import RecordingSink
+
+# The declared structure mirrors the code below.
+SPEC = S.root(
+    S.call("mpi_init"),
+    S.loop(
+        "timestep",
+        S.branch("north", S.call("mpi_irecv"), S.call("mpi_isend")),
+        S.branch("south", S.call("mpi_irecv"), S.call("mpi_isend")),
+        S.branch("west", S.call("mpi_irecv"), S.call("mpi_isend")),
+        S.branch("east", S.call("mpi_irecv"), S.call("mpi_isend")),
+        S.call("mpi_waitall"),
+        S.branch("norm_step", S.call("mpi_allreduce")),
+    ),
+    S.call("mpi_finalize"),
+)
+
+PX = 4  # process grid width
+HALO = 16 * 1024
+STEPS = 30
+
+
+def rank_main(tc):
+    """One rank of a 2D stencil: 4-neighbour halo exchange per step."""
+    yield from tc.mpi("mpi_init")
+    rank, size = tc.rank, tc.size
+    py = size // PX
+    row, col = divmod(rank, PX)
+    requests = []
+
+    for step in tc.loop("timestep", range(STEPS)):
+        requests.clear()
+        for label, cond, peer in (
+            ("north", row > 0, rank - PX),
+            ("south", row < py - 1, rank + PX),
+            ("west", col > 0, rank - 1),
+            ("east", col < PX - 1, rank + 1),
+        ):
+            with tc.branch_scope(label, cond) as taken:
+                if taken:
+                    r1 = yield from tc.mpi("mpi_irecv", peer, HALO, 7)
+                    r2 = yield from tc.mpi("mpi_isend", peer, HALO, 7)
+                    requests += [r1, r2]
+        yield from tc.mpi("mpi_waitall", list(requests), len(requests))
+        tc.compute(400)  # the stencil sweep
+        with tc.branch_scope("norm_step", step % 10 == 9) as taken:
+            if taken:
+                yield from tc.mpi("mpi_allreduce", 8)
+    yield from tc.mpi("mpi_finalize")
+
+
+def main() -> None:
+    nprocs = 16
+    rec = RecordingSink()
+    run = run_python(rank_main, SPEC, nprocs, extra_sinks=[rec])
+
+    total_events = run.run_result.total_events
+    print(f"{nprocs} ranks, {total_events} events, "
+          f"{run.run_result.elapsed / 1e3:.1f} ms virtual time")
+    print(f"compressed trace: {run.trace_bytes()} bytes "
+          f"({run.trace_bytes(gzip=True)} gzipped)")
+
+    # Verify sequence preservation against the ground-truth recording.
+    for rank in range(nprocs):
+        truth = [e.replay_tuple() for e in rec.events[rank]]
+        replay = [e.call_tuple() for e in run.replay(rank)]
+        assert replay == truth
+    print("replay check: every rank's exact event sequence reproduced")
+
+    corner, interior = run.replay(0), run.replay(5)
+    print(f"rank 0 (corner) events: {len(corner)}; "
+          f"rank 5 (interior): {len(interior)}")
+
+
+if __name__ == "__main__":
+    main()

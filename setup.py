@@ -1,0 +1,7 @@
+"""Legacy shim so `pip install -e . --no-use-pep517` works on machines
+without the `wheel` package (e.g. offline clusters).  All metadata lives
+in pyproject.toml."""
+
+from setuptools import setup
+
+setup()

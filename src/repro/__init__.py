@@ -1,0 +1,56 @@
+"""CYPRESS reproduction: static+dynamic MPI communication trace compression.
+
+Reproduces Zhai et al., "CYPRESS: Combining Static and Dynamic Analysis
+for Top-Down Communication Trace Compression", SC 2014.
+
+Quickstart::
+
+    from repro import run_cypress, get_workload
+
+    w = get_workload("leslie3d")
+    run = run_cypress(w.source, nprocs=32, defines=w.defines(32, 1.0))
+    print(run.trace_bytes(), "bytes compressed")
+    events = run.replay(rank=0)           # exact original sequence
+"""
+
+from repro.core import (
+    CypressConfig,
+    CypressRun,
+    IntraProcessCompressor,
+    MergedCTT,
+    decompress_all,
+    decompress_merged_rank,
+    decompress_rank,
+    merge_all,
+    run_cypress,
+)
+from repro.driver import compile_minimpi, run_compiled, run_source
+from repro.mpisim import NetworkModel, RecordingSink, Runtime
+from repro.replay import LogGPParams, SimMPI, fit_loggp, predict
+from repro.workloads import get as get_workload
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CypressConfig",
+    "CypressRun",
+    "IntraProcessCompressor",
+    "MergedCTT",
+    "decompress_all",
+    "decompress_merged_rank",
+    "decompress_rank",
+    "merge_all",
+    "run_cypress",
+    "compile_minimpi",
+    "run_compiled",
+    "run_source",
+    "NetworkModel",
+    "RecordingSink",
+    "Runtime",
+    "LogGPParams",
+    "SimMPI",
+    "fit_loggp",
+    "predict",
+    "get_workload",
+    "__version__",
+]

@@ -1,0 +1,27 @@
+"""Trace analytics: communication patterns and measurement harness."""
+
+from .patterns import ascii_heatmap, communication_matrix, message_sizes, neighbor_sets
+from .diff import RankDiff, TraceDiff, diff_traces
+from .hotspots import Hotspot, hotspots, top_leaves
+from .report import OpSummary, TraceReport, summarize
+from .stats import MethodResult, RunMeasurement, measure_all_methods, APP_MEMORY_BASELINE
+
+__all__ = [
+    "ascii_heatmap",
+    "communication_matrix",
+    "message_sizes",
+    "neighbor_sets",
+    "MethodResult",
+    "RunMeasurement",
+    "measure_all_methods",
+    "APP_MEMORY_BASELINE",
+    "OpSummary",
+    "TraceReport",
+    "summarize",
+    "RankDiff",
+    "TraceDiff",
+    "diff_traces",
+    "Hotspot",
+    "hotspots",
+    "top_leaves",
+]

@@ -1,0 +1,87 @@
+"""Trace diffing: compare two compressed traces rank by rank.
+
+Useful for regression checks ("did the new library version change the
+communication behaviour?") and for validating that two tracing runs of
+the same program agree.  Comparison is on the *replayed call sequences*
+(no timing), so traces produced by different compressor configurations —
+or different trace-file versions — compare equal when the behaviour is
+the same.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.decompress import decompress_all
+from repro.core.inter import MergedCTT
+
+
+@dataclass
+class RankDiff:
+    rank: int
+    first_divergence: int  # event index, -1 if only lengths differ
+    len_a: int
+    len_b: int
+    detail: str = ""
+
+
+@dataclass
+class TraceDiff:
+    identical: bool
+    only_in_a: list[int] = field(default_factory=list)  # ranks
+    only_in_b: list[int] = field(default_factory=list)
+    diverged: list[RankDiff] = field(default_factory=list)
+
+    def format(self) -> str:
+        if self.identical:
+            return "traces are identical"
+        lines = []
+        if self.only_in_a:
+            lines.append(f"ranks only in A: {self.only_in_a}")
+        if self.only_in_b:
+            lines.append(f"ranks only in B: {self.only_in_b}")
+        for d in self.diverged:
+            if d.first_divergence >= 0:
+                lines.append(
+                    f"rank {d.rank}: diverges at event {d.first_divergence}: "
+                    f"{d.detail}"
+                )
+            else:
+                lines.append(
+                    f"rank {d.rank}: lengths differ ({d.len_a} vs {d.len_b})"
+                )
+        return "\n".join(lines)
+
+
+def diff_traces(a: MergedCTT, b: MergedCTT) -> TraceDiff:
+    """Compare two merged traces by replayed call sequences."""
+    traces_a = {r: [e.call_tuple() for e in evs]
+                for r, evs in decompress_all(a).items()}
+    traces_b = {r: [e.call_tuple() for e in evs]
+                for r, evs in decompress_all(b).items()}
+    result = TraceDiff(identical=True)
+    result.only_in_a = sorted(set(traces_a) - set(traces_b))
+    result.only_in_b = sorted(set(traces_b) - set(traces_a))
+    if result.only_in_a or result.only_in_b:
+        result.identical = False
+    for rank in sorted(set(traces_a) & set(traces_b)):
+        seq_a, seq_b = traces_a[rank], traces_b[rank]
+        if seq_a == seq_b:
+            continue
+        result.identical = False
+        idx = next(
+            (i for i, (x, y) in enumerate(zip(seq_a, seq_b)) if x != y), -1
+        )
+        detail = ""
+        if idx >= 0:
+            detail = f"A={seq_a[idx][0]}{seq_a[idx][1:6]} B={seq_b[idx][0]}{seq_b[idx][1:6]}"
+        result.diverged.append(
+            RankDiff(
+                rank=rank,
+                first_divergence=idx,
+                len_a=len(seq_a),
+                len_b=len(seq_b),
+                detail=detail,
+            )
+        )
+    return result

@@ -1,0 +1,90 @@
+"""Summary reports over compressed traces — computed from the CTT records
+directly, without decompression (one of the points of structural
+compression: analyses read the compressed form).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.inter import MergedCTT
+from repro.mpisim.events import COLLECTIVES
+
+
+@dataclass
+class OpSummary:
+    op: str
+    calls: int = 0  # total dynamic calls across ranks
+    nbytes: int = 0  # total payload bytes
+    time_us: float = 0.0  # total time inside the op (sum over ranks)
+
+
+@dataclass
+class TraceReport:
+    nranks: int
+    vertices: int
+    groups: int
+    ops: dict[str, OpSummary] = field(default_factory=dict)
+    total_comm_us: float = 0.0
+    total_gap_us: float = 0.0  # computation time between events
+
+    @property
+    def total_events(self) -> int:
+        return sum(o.calls for o in self.ops.values())
+
+    @property
+    def comm_fraction(self) -> float:
+        total = self.total_comm_us + self.total_gap_us
+        return self.total_comm_us / total if total else 0.0
+
+    def p2p_volume(self) -> int:
+        return sum(
+            o.nbytes for o in self.ops.values() if o.op not in COLLECTIVES
+        )
+
+    def collective_volume(self) -> int:
+        return sum(o.nbytes for o in self.ops.values() if o.op in COLLECTIVES)
+
+    def format(self) -> str:
+        lines = [
+            f"ranks: {self.nranks}   CTT vertices: {self.vertices}   "
+            f"rank groups: {self.groups}",
+            f"events: {self.total_events}   "
+            f"comm time fraction: {self.comm_fraction * 100:.1f}%",
+            f"{'op':16s} {'calls':>10s} {'bytes':>14s} {'time(ms)':>10s}",
+        ]
+        for op in sorted(self.ops, key=lambda o: -self.ops[o].time_us):
+            s = self.ops[op]
+            lines.append(
+                f"{op:16s} {s.calls:10d} {s.nbytes:14d} {s.time_us / 1e3:10.2f}"
+            )
+        return "\n".join(lines)
+
+
+def summarize(merged: MergedCTT) -> TraceReport:
+    """Aggregate per-op statistics straight from the merged records."""
+    ranks: set[int] = set()
+    report = TraceReport(
+        nranks=0,
+        vertices=merged.vertex_count(),
+        groups=merged.group_count(),
+    )
+    for vertex in merged.root.preorder():
+        for group in vertex.groups.values():
+            ranks.update(group.ranks)
+            if not group.records:
+                continue
+            nmembers = len(group.ranks)
+            for record in group.records:
+                op = record.key[0]
+                entry = report.ops.setdefault(op, OpSummary(op=op))
+                calls = record.count * nmembers
+                entry.calls += calls
+                entry.nbytes += (record.key[5] + record.key[6]) * calls
+                entry.time_us += record.duration.mean * record.duration.count
+                report.total_comm_us += (
+                    record.duration.mean * record.duration.count
+                )
+                report.total_gap_us += record.pre_gap.mean * record.pre_gap.count
+    report.nranks = len(ranks)
+    return report

@@ -1,0 +1,107 @@
+"""RSD / PRSD terms — the data structures of dynamic-only compression.
+
+ScalaTrace (Noeth et al. [14]) represents compressed traces as queues of
+*regular section descriptors*: an RSD is ``<count, body>`` where the body
+is a sequence of events or nested RSDs (then called a power-RSD / PRSD).
+``<100, <10, a, b>, c>``-style nesting captures loop nests discovered
+bottom-up from the event stream itself.
+
+Every term carries a structural signature (``sig``) — the body shape with
+counts *excluded* — so that (a) the greedy intra-process matcher can
+compare candidate windows in O(1) per term, and (b) inter-process merging
+can align terms whose iteration counts differ per rank.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.timing import TimeStats
+
+# An event's signature: the compression key (op + params, no time).
+EventSig = tuple
+
+
+@dataclass
+class EventTerm:
+    """A single (possibly repeated) traced event."""
+
+    sig: EventSig
+    duration: TimeStats = field(default_factory=TimeStats)
+    pre_gap: TimeStats = field(default_factory=TimeStats)
+    # Unresolved wildcard receive: the signature is provisional, so the
+    # matcher must not fold this term yet (two pending receives with equal
+    # provisional signatures may resolve to different sources).
+    pending: bool = False
+
+    @property
+    def structure(self) -> tuple:
+        return ("E", self.sig)
+
+    def term_size(self) -> int:
+        return 1
+
+    def approx_bytes(self) -> int:
+        op = self.sig[0]
+        return (
+            len(op)
+            + 6 * (len(self.sig) - 1)
+            + self.duration.approx_bytes()
+            + self.pre_gap.approx_bytes()
+        )
+
+
+@dataclass
+class RSD:
+    """``count`` repetitions of ``body`` (events and/or nested RSDs)."""
+
+    count: int
+    body: list["Term"]
+
+    @property
+    def structure(self) -> tuple:
+        # Counts excluded: two loops with different trip counts share shape.
+        return ("R", tuple(t.structure for t in self.body))
+
+    def term_size(self) -> int:
+        return 1 + sum(t.term_size() for t in self.body)
+
+    def approx_bytes(self) -> int:
+        return 4 + sum(t.approx_bytes() for t in self.body)
+
+
+Term = EventTerm | RSD
+
+
+def term_equal(a: Term, b: Term) -> bool:
+    """Structural equality *including* counts (intra-process matching)."""
+    if isinstance(a, EventTerm) and isinstance(b, EventTerm):
+        return a.sig == b.sig
+    if isinstance(a, RSD) and isinstance(b, RSD):
+        return (
+            a.count == b.count
+            and len(a.body) == len(b.body)
+            and all(term_equal(x, y) for x, y in zip(a.body, b.body))
+        )
+    return False
+
+
+def queue_bytes(queue: list[Term]) -> int:
+    return sum(t.approx_bytes() for t in queue)
+
+
+def expand(queue: list[Term]) -> list[EventSig]:
+    """Decompress a term queue back into the flat event-signature stream."""
+    out: list[EventSig] = []
+
+    def walk(term: Term) -> None:
+        if isinstance(term, EventTerm):
+            out.append(term.sig)
+        else:
+            for _ in range(term.count):
+                for t in term.body:
+                    walk(t)
+
+    for term in queue:
+        walk(term)
+    return out

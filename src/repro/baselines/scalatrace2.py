@@ -1,0 +1,444 @@
+"""ScalaTrace-2 reimplementation (Wu & Mueller [18]).
+
+ScalaTrace-2 improves on ScalaTrace in two ways this module models:
+
+* **Elastic intra-process terms** — events that differ only in *data*
+  parameters (message size, peer offset) no longer break RSD formation;
+  the varying values are collected per elastic slot as stride-compressed
+  value sequences.  This is what rescues SP-style codes whose message
+  sizes vary across iterations.
+* **Loop-agnostic inter-node merge** — instead of O(n²) alignment, ranks
+  are bucketed by a whole-queue structural signature (O(n) per rank);
+  within a bucket merging is positional.  When the number of distinct
+  value-sequence variants at a slot exceeds ``variant_limit``, the values
+  collapse into a histogram summary — this is the *lossy, probabilistic*
+  aspect the paper notes ("only preserves partial communication
+  information and may lose much information for better compression").
+
+Losslessness contract: per-rank (intra) expansion is exact; after the
+inter merge, expansion is exact only while no slot overflowed its variant
+limit (``merged.lossy`` reports it).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.sequences import IntSequence
+from repro.core.timing import TimeStats
+from repro.mpisim.events import CommEvent
+from repro.mpisim.pmpi import TraceSink
+
+from .scalatrace import event_signature
+
+# Elastic shape: signature with the two "data" fields (peer delta, nbytes)
+# blanked out; they live in per-slot value sequences instead.
+_ELASTIC_FIELDS = (1, 5)  # peer, nbytes positions in the signature tuple
+
+
+def elastic_shape(sig: tuple) -> tuple:
+    peer_mode = sig[1][0]
+    return (
+        sig[0], ("?", peer_mode), sig[2], sig[3], sig[4], "?",
+        sig[6], sig[7], sig[8], sig[9], sig[10], sig[11],
+    )
+
+
+@dataclass
+class ElasticEvent:
+    """An event slot with possibly-varying peer delta and size."""
+
+    shape: tuple
+    peer_mode: str
+    peers: IntSequence = field(default_factory=IntSequence)
+    sizes: IntSequence = field(default_factory=IntSequence)
+    duration: TimeStats = field(default_factory=TimeStats)
+    pre_gap: TimeStats = field(default_factory=TimeStats)
+    # Number of values still provisional (unresolved wildcard receives);
+    # the matcher must not fold a slot whose values may still be patched.
+    pending: int = 0
+
+    @property
+    def count(self) -> int:
+        return len(self.peers)
+
+    def matches(self, sig: tuple) -> bool:
+        return elastic_shape(sig) == self.shape
+
+    def add(self, sig: tuple, duration: float, gap: float) -> None:
+        self.peers.append(sig[1][1])
+        self.sizes.append(sig[5])
+        self.duration.add(duration)
+        self.pre_gap.add(gap)
+
+    def approx_bytes(self) -> int:
+        return (
+            len(self.shape[0])
+            + 6 * (len(self.shape) - 1)
+            + self.peers.approx_bytes()
+            + self.sizes.approx_bytes()
+            + self.duration.approx_bytes()
+            + self.pre_gap.approx_bytes()
+        )
+
+    def nth_sig(self, n: int) -> tuple:
+        """Reconstruct the n-th concrete signature (replay)."""
+        peers = self.peers.to_list()
+        sizes = self.sizes.to_list()
+        s = list(self.shape)
+        s[1] = (self.peer_mode, peers[n])
+        s[5] = sizes[n]
+        return tuple(s)
+
+
+@dataclass
+class ElasticRSD:
+    """A loop over elastic slots; iteration count per activation."""
+
+    counts: IntSequence
+    body: list["ETerm"]
+    _shape: tuple | None = None
+
+    @property
+    def shape(self) -> tuple:
+        # Cached: body *shapes* are immutable once built (only values and
+        # counts mutate), and the matcher compares shapes per event.
+        if self._shape is None:
+            self._shape = ("R", tuple(t.shape for t in self.body))
+        return self._shape
+
+    def approx_bytes(self) -> int:
+        return self.counts.approx_bytes() + sum(t.approx_bytes() for t in self.body)
+
+
+ETerm = ElasticEvent | ElasticRSD
+
+
+def _queue_shape(queue: list[ETerm]) -> tuple:
+    return tuple(t.shape for t in queue)
+
+
+class ScalaTrace2Compressor(TraceSink):
+    """Intra-process phase of ScalaTrace-2."""
+
+    wants_markers = False
+
+    def __init__(self, max_window: int = 32, relative_ranks: bool = True) -> None:
+        self.max_window = max_window
+        self.relative_ranks = relative_ranks
+        self._queues: dict[int, list[ETerm]] = {}
+        self._pending: dict[tuple[int, int], tuple[int, ElasticEvent]] = {}
+        self._last_end: dict[int, float] = {}
+
+    def queue(self, rank: int) -> list[ETerm]:
+        return self._queues.setdefault(rank, [])
+
+    def ranks(self) -> list[int]:
+        return sorted(self._queues)
+
+    # ------------------------------------------------------------------
+
+    def on_event(self, rank: int, ev: CommEvent) -> None:
+        queue = self.queue(rank)
+        gap = max(0.0, ev.time_start - self._last_end.get(rank, 0.0))
+        self._last_end[rank] = max(
+            self._last_end.get(rank, 0.0), ev.time_start + ev.duration
+        )
+        sig = event_signature(ev, rank, self.relative_ranks)
+        if ev.op == "MPI_Irecv" and ev.wildcard and self.relative_ranks:
+            # The resolved source will be stored relative, like every other
+            # peer; give the provisional slot the final ('rel') shape now.
+            sig = (sig[0], ("rel", sig[1][1])) + sig[2:]
+        slot = ElasticEvent(shape=elastic_shape(sig), peer_mode=sig[1][0])
+        slot.add(sig, ev.duration, gap)
+        queue.append(slot)
+        if ev.op == "MPI_Irecv" and ev.wildcard:
+            slot.pending += 1
+            self._pending[(rank, ev.req)] = (len(slot.peers) - 1, slot)
+            return
+        self._compress_tail(queue)
+
+    def on_request_complete(self, rank, rid, source, nbytes, when):
+        entry = self._pending.pop((rank, rid), None)
+        if entry is None:
+            return
+        idx, slot = entry
+        # Patch the provisional value in place (idx is 0 for a fresh slot).
+        peers = slot.peers.to_list()
+        sizes = slot.sizes.to_list()
+        delta = source - rank if slot.peer_mode == "rel" else source
+        peers[idx] = delta
+        sizes[idx] = nbytes
+        slot.peers = IntSequence.from_values(peers)
+        slot.sizes = IntSequence.from_values(sizes)
+        slot.pending -= 1
+        self._compress_tail(self.queue(rank))
+
+    # ------------------------------------------------------------------
+
+    def _compress_tail(self, queue: list[ETerm]) -> None:
+        changed = True
+        while changed:
+            changed = False
+            n = len(queue)
+            limit = min(self.max_window, n - 1)
+            for k in range(1, limit + 1):
+                # Case 1: preceding elastic RSD absorbs a matching tail.
+                if n >= k + 1:
+                    prev = queue[n - k - 1]
+                    tail = queue[n - k :]
+                    if (
+                        isinstance(prev, ElasticRSD)
+                        and len(prev.body) == k
+                        and not any(getattr(t, "pending", 0) for t in tail)
+                        and all(
+                            p.shape == t.shape for p, t in zip(prev.body, tail)
+                        )
+                    ):
+                        for p, t in zip(prev.body, tail):
+                            _absorb(p, t)
+                        self._bump_count(prev)
+                        del queue[n - k :]
+                        changed = True
+                        break
+                # Case 2: k-term tail repeats the k terms before it.
+                if n >= 2 * k:
+                    first = queue[n - 2 * k : n - k]
+                    tail = queue[n - k :]
+                    if not any(
+                        getattr(t, "pending", 0) for t in first + tail
+                    ) and all(a.shape == b.shape for a, b in zip(first, tail)):
+                        for a, b in zip(first, tail):
+                            _absorb(a, b)
+                        rsd = ElasticRSD(
+                            counts=IntSequence.from_values([2]), body=first
+                        )
+                        del queue[n - 2 * k :]
+                        queue.append(rsd)
+                        changed = True
+                        break
+
+    @staticmethod
+    def _bump_count(rsd: ElasticRSD) -> None:
+        """Increment the RSD's latest activation count by one."""
+        values = rsd.counts.to_list()
+        values[-1] += 1
+        rsd.counts = IntSequence.from_values(values)
+
+    # ------------------------------------------------------------------
+
+    def rank_bytes(self, rank: int) -> int:
+        return sum(t.approx_bytes() for t in self.queue(rank))
+
+    def total_bytes(self) -> int:
+        return sum(self.rank_bytes(r) for r in self._queues)
+
+    def approx_memory(self, rank: int) -> int:
+        return self.rank_bytes(rank) + 16 * len(self.queue(rank))
+
+
+# ---------------------------------------------------------------------------
+# Loop-agnostic inter-node merge.
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class ST2Slot:
+    """One merged queue slot: shape + per-rank-group value variants."""
+
+    shape: tuple
+    # Variants: (ranks, term). Collapses to a summary when over the limit.
+    variants: list[tuple[list[int], ETerm]] = field(default_factory=list)
+    summarized: bool = False
+
+    def approx_bytes(self) -> int:
+        if not self.variants:
+            return 8
+        total = 0
+        for i, (ranks, term) in enumerate(self.variants):
+            total += 2 + 4 * _runs(ranks)
+            total += term.approx_bytes() if i == 0 else term.approx_bytes() // 2
+        return total
+
+
+def _runs(ranks: list[int]) -> int:
+    if not ranks:
+        return 0
+    runs = 1
+    stride = None
+    for a, b in zip(ranks, ranks[1:]):
+        d = b - a
+        if stride is None:
+            stride = d
+        elif d != stride:
+            runs += 1
+            stride = None
+    return runs
+
+
+@dataclass
+class ST2Merged:
+    slots: list[ST2Slot]
+    lossy: bool = False
+
+    def approx_bytes(self) -> int:
+        return sum(s.approx_bytes() for s in self.slots)
+
+
+def _absorb(dst: ETerm, src: ETerm) -> None:
+    """Fold ``src``'s values and timing into ``dst`` (same shape)."""
+    if isinstance(dst, ElasticEvent):
+        assert isinstance(src, ElasticEvent)
+        for v in src.peers:
+            dst.peers.append(v)
+        for v in src.sizes:
+            dst.sizes.append(v)
+        dst.duration.merge(src.duration)
+        dst.pre_gap.merge(src.pre_gap)
+    else:
+        assert isinstance(src, ElasticRSD)
+        for v in src.counts:
+            dst.counts.append(v)
+        for a, b in zip(dst.body, src.body):
+            _absorb(a, b)
+
+
+def _values_equal(a: ETerm, b: ETerm) -> bool:
+    if isinstance(a, ElasticEvent) and isinstance(b, ElasticEvent):
+        return a.peers == b.peers and a.sizes == b.sizes
+    if isinstance(a, ElasticRSD) and isinstance(b, ElasticRSD):
+        return a.counts == b.counts and all(
+            _values_equal(x, y) for x, y in zip(a.body, b.body)
+        )
+    return False
+
+
+def _summarize(term: ETerm) -> ETerm:
+    """Collapse value detail into a compact (lossy) representative."""
+    if isinstance(term, ElasticEvent):
+        out = ElasticEvent(shape=term.shape, peer_mode=term.peer_mode)
+        peers = term.peers.to_list()
+        sizes = term.sizes.to_list()
+        # Keep only the distinct-value envelope: first occurrence of each.
+        seen: set[tuple[int, int]] = set()
+        for p, s in zip(peers, sizes):
+            if (p, s) not in seen:
+                seen.add((p, s))
+                out.peers.append(p)
+                out.sizes.append(s)
+        out.duration = term.duration.copy()
+        out.pre_gap = term.pre_gap.copy()
+        return out
+    return ElasticRSD(
+        counts=IntSequence.from_values([max(term.counts.to_list() or [0])]),
+        body=[_summarize(t) for t in term.body],
+    )
+
+
+def merge_all_st2(
+    queues: dict[int, list[ETerm]], variant_limit: int = 8
+) -> ST2Merged:
+    """Loop-agnostic inter-node merge: bucket ranks by whole-queue shape,
+    then merge positionally.  O(total terms), no alignment DP."""
+    buckets: dict[tuple, list[int]] = {}
+    for rank in sorted(queues):
+        buckets.setdefault(_queue_shape(queues[rank]), []).append(rank)
+    lossy = False
+    # Slot streams are concatenated bucket-by-bucket; ranks in other buckets
+    # simply do not participate in a slot (paper: missing call paths are
+    # skipped per process).
+    slots: list[ST2Slot] = []
+    for shape_key, ranks in sorted(buckets.items(), key=lambda kv: kv[1][0]):
+        for pos, term_shape in enumerate(shape_key):
+            slot = ST2Slot(shape=term_shape)
+            for rank in ranks:
+                term = queues[rank][pos]
+                placed = False
+                for variant_ranks, variant_term in slot.variants:
+                    if _values_equal(variant_term, term):
+                        variant_ranks.append(rank)
+                        _merge_times(variant_term, term)
+                        placed = True
+                        break
+                if not placed:
+                    slot.variants.append(([rank], term))
+            if len(slot.variants) > variant_limit:
+                # Probabilistic summary: one lossy representative.
+                all_ranks = sorted(r for vr, _ in slot.variants for r in vr)
+                rep = _summarize(slot.variants[0][1])
+                for _, term in slot.variants[1:]:
+                    s = _summarize(term)
+                    _absorb_summary(rep, s)
+                slot.variants = [(all_ranks, rep)]
+                slot.summarized = True
+                lossy = True
+            slots.append(slot)
+    return ST2Merged(slots=slots, lossy=lossy)
+
+
+def _merge_times(dst: ETerm, src: ETerm) -> None:
+    if isinstance(dst, ElasticEvent):
+        dst.duration.merge(src.duration)
+        dst.pre_gap.merge(src.pre_gap)
+    else:
+        for a, b in zip(dst.body, src.body):
+            _merge_times(a, b)
+
+
+def _absorb_summary(dst: ETerm, src: ETerm) -> None:
+    if isinstance(dst, ElasticEvent):
+        assert isinstance(src, ElasticEvent)
+        seen = set(zip(dst.peers.to_list(), dst.sizes.to_list()))
+        for p, s in zip(src.peers.to_list(), src.sizes.to_list()):
+            if (p, s) not in seen:
+                seen.add((p, s))
+                dst.peers.append(p)
+                dst.sizes.append(s)
+        dst.duration.merge(src.duration)
+        dst.pre_gap.merge(src.pre_gap)
+    else:
+        assert isinstance(src, ElasticRSD)
+        m = max(list(dst.counts) + list(src.counts))
+        dst.counts = IntSequence.from_values([m])
+        for a, b in zip(dst.body, src.body):
+            _absorb_summary(a, b)
+
+
+# ---------------------------------------------------------------------------
+# Expansion (replay) — exact while no slot was summarized.
+# ---------------------------------------------------------------------------
+
+
+def expand_intra(queue: list[ETerm]) -> list[tuple]:
+    out: list[tuple] = []
+
+    def walk(term: ETerm, pos: dict[int, int]) -> None:
+        if isinstance(term, ElasticEvent):
+            n = pos.get(id(term), 0)
+            pos[id(term)] = n + 1
+            out.append(term.nth_sig(n))
+        else:
+            key = id(term)
+            acti = pos.get(key, 0)
+            pos[key] = acti + 1
+            counts = term.counts.to_list()
+            count = counts[acti] if acti < len(counts) else 0
+            for _ in range(count):
+                for t in term.body:
+                    walk(t, pos)
+
+    positions: dict[int, int] = {}
+    for term in queue:
+        walk(term, positions)
+    return out
+
+
+def expand_rank_st2(merged: ST2Merged, rank: int) -> list[tuple]:
+    """Reconstruct a rank's stream from the merged (possibly lossy) form."""
+    terms: list[ETerm] = []
+    for slot in merged.slots:
+        for ranks, term in slot.variants:
+            if rank in ranks:
+                terms.append(term)
+                break
+    return expand_intra(terms)

@@ -1,0 +1,155 @@
+"""Binary serialization of the baselines' merged traces.
+
+Gives ScalaTrace and ScalaTrace-2 the same compact varint encoding the
+CYPRESS writer uses (:mod:`repro.core.serialize`), so the trace-size
+comparisons of Figs. 15/19 measure representation power, not encoder
+quality.
+"""
+
+from __future__ import annotations
+
+import gzip as _gzip
+
+from repro.core.serialize import ByteWriter
+from repro.core.sequences import IntSequence
+from repro.core.timing import TimeStats
+
+from .rsd import RSD, EventTerm, Term
+from .scalatrace import MergedQueue
+from .scalatrace2 import ElasticEvent, ElasticRSD, ETerm, ST2Merged
+
+
+def _write_ranks(w: ByteWriter, ranks: list[int]) -> None:
+    seq = IntSequence.from_values(sorted(ranks))
+    w.u(len(seq.terms))
+    for start, count, stride in seq.terms:
+        w.z(start)
+        w.u(count)
+        w.z(stride)
+
+
+def _write_seq(w: ByteWriter, seq: IntSequence) -> None:
+    w.u(len(seq.terms))
+    for start, count, stride in seq.terms:
+        w.z(start)
+        w.u(count)
+        w.z(stride)
+
+
+def _write_stats(w: ByteWriter, st: TimeStats) -> None:
+    w.u(st.count)
+    w.f(st.mean)
+    w.f(st.m2)
+
+
+def _write_sig(w: ByteWriter, sig: tuple, ops: dict[str, int]) -> None:
+    w.u(ops.setdefault(sig[0], len(ops)))
+    for enc in (sig[1], sig[2]):
+        if isinstance(enc, tuple):
+            w.u(0 if enc[0] == "abs" else (1 if enc[0] == "rel" else 2))
+            w.z(enc[1] if isinstance(enc[1], int) else 0)
+        else:
+            w.u(2)
+            w.z(0)
+    for value in sig[3:]:
+        if isinstance(value, bool):
+            w.u(1 if value else 0)
+        elif isinstance(value, int):
+            w.z(value)
+        elif isinstance(value, str):
+            w.u(ops.setdefault(value, len(ops)))
+        else:
+            w.z(0)
+
+
+def _write_term(w: ByteWriter, term: Term, ops: dict[str, int]) -> None:
+    if isinstance(term, EventTerm):
+        w.u(0)
+        _write_sig(w, term.sig, ops)
+        _write_stats(w, term.duration)
+        _write_stats(w, term.pre_gap)
+    else:
+        w.u(1)
+        w.u(term.count)
+        w.u(len(term.body))
+        for t in term.body:
+            _write_term(w, t, ops)
+
+
+def scalatrace_dumps(merged: MergedQueue, gzip: bool = False) -> bytes:
+    w = ByteWriter()
+    ops: dict[str, int] = {}
+    body = ByteWriter()
+    body.u(len(merged))
+    for slot in merged:
+        body.u(len(slot.variants))
+        for ranks, term in slot.variants:
+            _write_ranks(body, ranks)
+            _write_term(body, term, ops)
+    # op string table (built while writing, emitted first)
+    w.u(len(ops))
+    for text in ops:
+        w.s(text)
+    w.raw(body.bytes())
+    data = w.bytes()
+    return _gzip.compress(data, 6) if gzip else data
+
+
+# ---------------------------------------------------------------------------
+
+
+def _write_shape(w: ByteWriter, shape: tuple, ops: dict[str, int]) -> None:
+    # Shapes are nested tuples of ints/strings; encode generically.
+    if isinstance(shape, tuple):
+        w.u(0)
+        w.u(len(shape))
+        for item in shape:
+            _write_shape(w, item, ops)
+    elif isinstance(shape, str):
+        w.u(1)
+        w.u(ops.setdefault(shape, len(ops)))
+    elif isinstance(shape, bool):
+        w.u(2)
+        w.u(1 if shape else 0)
+    elif isinstance(shape, int):
+        w.u(3)
+        w.z(shape)
+    else:
+        w.u(2)
+        w.u(0)
+
+
+def _write_eterm(w: ByteWriter, term: ETerm, ops: dict[str, int]) -> None:
+    if isinstance(term, ElasticEvent):
+        w.u(0)
+        _write_shape(w, term.shape, ops)
+        _write_seq(w, term.peers)
+        _write_seq(w, term.sizes)
+        _write_stats(w, term.duration)
+        _write_stats(w, term.pre_gap)
+    else:
+        assert isinstance(term, ElasticRSD)
+        w.u(1)
+        _write_seq(w, term.counts)
+        w.u(len(term.body))
+        for t in term.body:
+            _write_eterm(w, t, ops)
+
+
+def scalatrace2_dumps(merged: ST2Merged, gzip: bool = False) -> bytes:
+    w = ByteWriter()
+    ops: dict[str, int] = {}
+    body = ByteWriter()
+    body.u(len(merged.slots))
+    body.u(1 if merged.lossy else 0)
+    for slot in merged.slots:
+        body.u(len(slot.variants))
+        for ranks, term in slot.variants:
+            _write_ranks(body, ranks)
+            _write_eterm(body, term, ops)
+    w.u(len(ops))
+    for text in ops:
+        w.s(text)
+    w.raw(body.bytes())
+    data = w.bytes()
+    return _gzip.compress(data, 6) if gzip else data

@@ -1,0 +1,282 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``trace``    — run a workload under CYPRESS and write the compressed trace
+* ``compare``  — run one workload with every compression method, print sizes
+* ``replay``   — decompress a trace file and print/replay one rank
+* ``predict``  — SIM-MPI performance prediction from a trace file
+* ``cst``      — compile a MiniMPI file and print its CST
+* ``patterns`` — ASCII communication-matrix heatmap of a workload
+* ``info``     — per-op summary of a trace file (from the compressed form)
+* ``export``   — flatten a trace file to text or CSV
+* ``diff``     — compare two trace files by replayed call sequences
+* ``verify``   — end-to-end self-check: trace a workload, decompress, and
+  compare against ground truth (sequence preservation)
+* ``hotspots`` — which loops/call sites dominate communication time
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.workloads import WORKLOADS
+
+
+def _add_workload_args(p: argparse.ArgumentParser) -> None:
+    p.add_argument("workload", choices=sorted(WORKLOADS))
+    p.add_argument("-n", "--nprocs", type=int, required=True)
+    p.add_argument("--scale", type=float, default=1.0,
+                   help="iteration-count scale factor (1.0 = repo default)")
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    from repro.core import run_cypress
+
+    w = WORKLOADS[args.workload]
+    w.check_procs(args.nprocs)
+    run = run_cypress(
+        w.source, args.nprocs, defines=w.defines(args.nprocs, args.scale)
+    )
+    nbytes = run.save(args.output, gzip=args.gzip)
+    print(f"{args.workload} on {args.nprocs} ranks:")
+    print(f"  events traced    : {run.run_result.total_events}")
+    print(f"  virtual time     : {run.run_result.elapsed / 1e6:.3f} s")
+    print(f"  compressed trace : {nbytes} bytes -> {args.output}")
+    return 0
+
+
+def cmd_compare(args: argparse.Namespace) -> int:
+    from repro.analysis import measure_all_methods
+
+    w = WORKLOADS[args.workload]
+    m = measure_all_methods(w, args.nprocs, scale=args.scale)
+    print(f"{args.workload} on {args.nprocs} ranks "
+          f"({m.app_events} events, base run {m.base_seconds:.2f}s):")
+    print(f"  {'method':14s} {'bytes':>10s} {'+gzip':>10s} "
+          f"{'intra-ovh':>10s} {'inter':>9s}")
+    for name, r in m.methods.items():
+        gz = str(r.gzip_bytes) if r.gzip_bytes is not None else "-"
+        print(
+            f"  {name:14s} {r.trace_bytes:10d} {gz:>10s} "
+            f"{m.overhead_pct(name, 'intra'):9.1f}% {r.inter_seconds:8.3f}s"
+        )
+    return 0
+
+
+def cmd_replay(args: argparse.Namespace) -> int:
+    from repro.core import decompress_merged_rank, serialize
+
+    merged = serialize.load(args.trace)
+    events = decompress_merged_rank(merged, args.rank)
+    print(f"rank {args.rank}: {len(events)} events")
+    for ev in events[: args.limit]:
+        peer = f" peer={ev.peer}" if ev.peer > -100 else ""
+        size = f" bytes={ev.nbytes}" if ev.nbytes else ""
+        print(f"  {ev.op}{peer}{size} tag={ev.tag}")
+    if len(events) > args.limit:
+        print(f"  ... and {len(events) - args.limit} more")
+    return 0
+
+
+def cmd_predict(args: argparse.Namespace) -> int:
+    from repro.core import decompress_all, serialize
+    from repro.replay import fit_loggp, predict
+
+    merged = serialize.load(args.trace)
+    traces = decompress_all(merged)
+    params = fit_loggp()
+    result = predict(traces, params)
+    print(f"ranks          : {len(traces)}")
+    print(f"predicted time : {result.elapsed / 1e6:.4f} s")
+    print(f"comm fraction  : {result.comm_fraction() * 100:.1f}%")
+    bottleneck = result.bottleneck_ranks(3)
+    if bottleneck:
+        waits = ", ".join(
+            f"r{r}={result.wait_fraction(r) * 100:.0f}%" for r in bottleneck
+        )
+        print(f"least-waiting  : {waits} (likely bottleneck ranks)")
+    return 0
+
+
+def cmd_cst(args: argparse.Namespace) -> int:
+    from repro.static import compile_minimpi
+
+    source = open(args.file).read() if args.file != "-" else sys.stdin.read()
+    compiled = compile_minimpi(source, source_name=args.file)
+    print(compiled.cst.pretty())
+    print(f"\n{compiled.cst.size()} vertices, "
+          f"compile {compiled.compile_seconds * 1000:.1f} ms")
+    return 0
+
+
+def cmd_patterns(args: argparse.Namespace) -> int:
+    import numpy as np
+
+    from repro.analysis import ascii_heatmap, communication_matrix, message_sizes
+    from repro.core import run_cypress
+
+    w = WORKLOADS[args.workload]
+    w.check_procs(args.nprocs)
+    run = run_cypress(
+        w.source, args.nprocs, defines=w.defines(args.nprocs, args.scale)
+    )
+    matrix = communication_matrix(run.merge(), args.nprocs)
+    print(f"{args.workload} communication matrix ({args.nprocs} ranks, "
+          f"{int(np.sum(matrix)) // 1024} KB total):")
+    print(ascii_heatmap(matrix))
+    print("message sizes:", dict(sorted(message_sizes(run.merge()).items())))
+    return 0
+
+
+def cmd_info(args: argparse.Namespace) -> int:
+    from repro.analysis.report import summarize
+    from repro.core import serialize
+
+    merged = serialize.load(args.trace)
+    print(summarize(merged).format())
+    return 0
+
+
+def cmd_export(args: argparse.Namespace) -> int:
+    from repro.core import export, serialize
+
+    merged = serialize.load(args.trace)
+    ranks = [int(r) for r in args.ranks.split(",")] if args.ranks else None
+    if args.format == "csv":
+        text = export.to_csv(merged, ranks)
+    else:
+        text = export.to_text(merged, ranks)
+    if args.output == "-":
+        print(text, end="")
+    else:
+        with open(args.output, "w") as fh:
+            fh.write(text)
+        print(f"wrote {args.output}")
+    return 0
+
+
+def cmd_hotspots(args: argparse.Namespace) -> int:
+    from repro.analysis.hotspots import hotspots, top_leaves
+    from repro.core import serialize
+
+    merged = serialize.load(args.trace)
+    tree = hotspots(merged)
+    print(tree.format())
+    print("\ntop call sites:")
+    for h in top_leaves(merged, args.top):
+        print(f"  gid={h.gid:4d} {h.label:<16s} {h.total_us / 1e3:10.2f} ms "
+              f"({h.calls} calls)")
+    return 0
+
+
+def cmd_verify(args: argparse.Namespace) -> int:
+    from repro.core.decompress import decompress_merged_rank
+    from repro.core.inter import merge_all
+    from repro.core.intra import IntraProcessCompressor
+    from repro.driver import run_compiled
+    from repro.mpisim.pmpi import MultiSink, RecordingSink
+    from repro.static.instrument import compile_minimpi
+
+    w = WORKLOADS[args.workload]
+    w.check_procs(args.nprocs)
+    compiled = compile_minimpi(w.source)
+    recorder = RecordingSink()
+    compressor = IntraProcessCompressor(compiled.cst)
+    run_compiled(
+        compiled, args.nprocs, defines=w.defines(args.nprocs, args.scale),
+        tracer=MultiSink([recorder, compressor]),
+    )
+    merged = merge_all([compressor.ctt(r) for r in range(args.nprocs)])
+    bad = 0
+    total = 0
+    for rank in range(args.nprocs):
+        truth = [e.replay_tuple() for e in recorder.events.get(rank, [])]
+        replay = [e.call_tuple() for e in decompress_merged_rank(merged, rank)]
+        total += len(truth)
+        if replay != truth:
+            bad += 1
+            print(f"rank {rank}: replay DIVERGES")
+    if bad:
+        print(f"FAILED: {bad}/{args.nprocs} ranks diverged")
+        return 1
+    print(
+        f"OK: {args.nprocs} ranks, {total} events — every rank's exact "
+        "sequence reproduced from the compressed trace"
+    )
+    return 0
+
+
+def cmd_diff(args: argparse.Namespace) -> int:
+    from repro.analysis.diff import diff_traces
+    from repro.core import serialize
+
+    result = diff_traces(serialize.load(args.a), serialize.load(args.b))
+    print(result.format())
+    return 0 if result.identical else 1
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(prog="repro", description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("trace", help="trace a workload with CYPRESS")
+    _add_workload_args(p)
+    p.add_argument("-o", "--output", default="trace.cyp")
+    p.add_argument("--gzip", action="store_true")
+    p.set_defaults(func=cmd_trace)
+
+    p = sub.add_parser("compare", help="compare all compression methods")
+    _add_workload_args(p)
+    p.set_defaults(func=cmd_compare)
+
+    p = sub.add_parser("replay", help="decompress a trace file")
+    p.add_argument("trace")
+    p.add_argument("-r", "--rank", type=int, default=0)
+    p.add_argument("--limit", type=int, default=30)
+    p.set_defaults(func=cmd_replay)
+
+    p = sub.add_parser("predict", help="SIM-MPI prediction from a trace")
+    p.add_argument("trace")
+    p.set_defaults(func=cmd_predict)
+
+    p = sub.add_parser("cst", help="print a MiniMPI program's CST")
+    p.add_argument("file")
+    p.set_defaults(func=cmd_cst)
+
+    p = sub.add_parser("patterns", help="communication-matrix heatmap")
+    _add_workload_args(p)
+    p.set_defaults(func=cmd_patterns)
+
+    p = sub.add_parser("info", help="per-op summary of a trace file")
+    p.add_argument("trace")
+    p.set_defaults(func=cmd_info)
+
+    p = sub.add_parser("hotspots", help="communication-time hotspots by structure")
+    p.add_argument("trace")
+    p.add_argument("--top", type=int, default=10)
+    p.set_defaults(func=cmd_hotspots)
+
+    p = sub.add_parser("verify", help="end-to-end sequence-preservation check")
+    _add_workload_args(p)
+    p.set_defaults(func=cmd_verify)
+
+    p = sub.add_parser("diff", help="compare two trace files")
+    p.add_argument("a")
+    p.add_argument("b")
+    p.set_defaults(func=cmd_diff)
+
+    p = sub.add_parser("export", help="flatten a trace file")
+    p.add_argument("trace")
+    p.add_argument("-f", "--format", choices=("text", "csv"), default="text")
+    p.add_argument("-o", "--output", default="-")
+    p.add_argument("--ranks", default="", help="comma-separated rank filter")
+    p.set_defaults(func=cmd_export)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,94 @@
+"""High-level CYPRESS pipeline: compile → trace → compress → merge → save.
+
+The one-call entry points the examples and benchmarks use::
+
+    run = run_cypress(source, nprocs=64, defines={"steps": 20})
+    merged = run.merge()
+    nbytes = run.save("trace.cyp", gzip=True)
+    events = run.replay(rank=0)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.driver import run_compiled
+from repro.mpisim.netmodel import NetworkModel
+from repro.mpisim.pmpi import MultiSink, TimingSink, TraceSink
+from repro.mpisim.runtime import RunResult
+from repro.static.instrument import CompiledProgram, compile_minimpi
+
+from . import serialize
+from .decompress import ReplayEvent, decompress_merged_rank, decompress_rank
+from .inter import MergedCTT, merge_all
+from .intra import CypressConfig, IntraProcessCompressor
+
+
+@dataclass
+class CypressRun:
+    """Everything produced by one traced execution."""
+
+    compiled: CompiledProgram
+    nprocs: int
+    compressor: IntraProcessCompressor
+    run_result: RunResult
+    intra_seconds: float | None = None  # compression CPU time (if measured)
+    _merged: MergedCTT | None = field(default=None, repr=False)
+
+    def merge(self, schedule: str = "tree") -> MergedCTT:
+        if self._merged is None:
+            ctts = [self.compressor.ctt(r) for r in range(self.nprocs)]
+            self._merged = merge_all(ctts, schedule=schedule)
+        return self._merged
+
+    def trace_bytes(self, gzip: bool = False) -> int:
+        return len(serialize.dumps(self.merge(), gzip=gzip))
+
+    def save(self, path: str, gzip: bool = False) -> int:
+        return serialize.save(self.merge(), path, gzip=gzip)
+
+    def replay(self, rank: int, merged: bool = True) -> list[ReplayEvent]:
+        if merged:
+            return decompress_merged_rank(self.merge(), rank)
+        return decompress_rank(self.compressor.ctt(rank))
+
+
+def run_cypress(
+    source: str | CompiledProgram,
+    nprocs: int,
+    defines: dict[str, int] | None = None,
+    config: CypressConfig | None = None,
+    measure_overhead: bool = False,
+    extra_sinks: list[TraceSink] | None = None,
+    network: NetworkModel | None = None,
+) -> CypressRun:
+    """Compile (if needed) and execute a MiniMPI program with the CYPRESS
+    tracer attached; returns the per-rank compressed traces.
+
+    ``measure_overhead=True`` wraps the compressor in a
+    :class:`~repro.mpisim.pmpi.TimingSink` so ``intra_seconds`` reports the
+    CPU time spent compressing (Fig. 16's numerator).
+    """
+    compiled = (
+        source if isinstance(source, CompiledProgram) else compile_minimpi(source)
+    )
+    if compiled.static is None:
+        raise ValueError("program must be compiled with cypress=True")
+    compressor = IntraProcessCompressor(compiled.cst, config=config)
+    sink: TraceSink = compressor
+    timing: TimingSink | None = None
+    if measure_overhead:
+        timing = TimingSink(compressor)
+        sink = timing
+    if extra_sinks:
+        sink = MultiSink([sink, *extra_sinks])
+    result = run_compiled(
+        compiled, nprocs, defines=defines, tracer=sink, network=network
+    )
+    return CypressRun(
+        compiled=compiled,
+        nprocs=nprocs,
+        compressor=compressor,
+        run_result=result,
+        intra_seconds=timing.elapsed if timing is not None else None,
+    )

@@ -1,0 +1,176 @@
+"""The Compressed Trace Tree (CTT) — paper §IV.
+
+The CTT mirrors the CST: same vertices, same edges, same GIDs.  Each
+vertex additionally carries the runtime payload the dynamic module fills
+in:
+
+* loop vertices — the iteration-count sequence, one entry per activation
+  (nested loops activate once per enclosing iteration, paper Fig. 10);
+* branch-path vertices — the visit indices at which the path was taken,
+  stride-compressed (paper Fig. 11);
+* leaf vertices — the list of :class:`CompressedRecord`s.
+
+Vertices also hold the transient cursor state used during on-the-fly
+compression (ordered child matching position, visit counters).  Branch
+*groups* — the sibling path-vertices of one source-level ``if`` — share a
+visit counter, precomputed per parent.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.minilang.builtins import MPI_INTRINSICS
+from repro.static.cst import BRANCH, CALL, LOOP, ROOT, CSTNode
+
+from .records import CompressedRecord
+from .sequences import IntSequence
+
+
+@dataclass
+class BranchGroup:
+    """Sibling branch-path vertices of one ``if`` under one parent."""
+
+    ast_id: int
+    first_index: int  # child index of the first path vertex
+    last_index: int  # child index of the last path vertex
+    paths: dict[int, "CTTVertex"] = field(default_factory=dict)
+    visit_counter: int = 0  # runtime state
+
+
+class CTTVertex:
+    __slots__ = (
+        "gid",
+        "kind",
+        "ast_id",
+        "name",
+        "op",
+        "branch_path",
+        "children",
+        "loop_counts",
+        "visits",
+        "records",
+        "record_index",
+        "branch_groups",
+        "search_pos",
+        "leaf_visits",
+        "_iters_active",
+    )
+
+    def __init__(self, cst_node: CSTNode) -> None:
+        self.gid = cst_node.gid
+        self.kind = cst_node.kind
+        self.ast_id = cst_node.ast_id
+        self.name = cst_node.name
+        self.branch_path = cst_node.branch_path
+        self.op: str | None = None
+        if cst_node.kind == CALL and cst_node.name in MPI_INTRINSICS:
+            self.op = MPI_INTRINSICS[cst_node.name][1]
+        self.children: list[CTTVertex] = [CTTVertex(c) for c in cst_node.children]
+        # payload
+        self.loop_counts: IntSequence | None = IntSequence() if cst_node.kind == LOOP else None
+        self.visits: IntSequence | None = IntSequence() if cst_node.kind == BRANCH else None
+        self.records: list[CompressedRecord] | None = [] if cst_node.kind == CALL else None
+        # key -> record, for unbounded (position-independent) merging.
+        self.record_index: dict | None = {} if cst_node.kind == CALL else None
+        # transient compression state
+        self.branch_groups: list[BranchGroup] = self._build_groups()
+        self.search_pos = 0
+        self.leaf_visits = 0
+        self._iters_active = 0
+
+    def _build_groups(self) -> list[BranchGroup]:
+        groups: list[BranchGroup] = []
+        current: BranchGroup | None = None
+        for idx, child in enumerate(self.children):
+            if child.kind != BRANCH:
+                current = None
+                continue
+            if (
+                current is not None
+                and current.ast_id == child.ast_id
+                and child.branch_path not in current.paths
+                and idx == current.last_index + 1
+            ):
+                current.paths[child.branch_path] = child
+                current.last_index = idx
+            else:
+                current = BranchGroup(
+                    ast_id=child.ast_id,
+                    first_index=idx,
+                    last_index=idx,
+                    paths={child.branch_path: child},
+                )
+                groups.append(current)
+        return groups
+
+    # ------------------------------------------------------------------
+
+    def preorder(self):
+        stack = [self]
+        while stack:
+            node = stack.pop()
+            yield node
+            stack.extend(reversed(node.children))
+
+    def find_child(self, predicate, start: int) -> tuple["CTTVertex", int] | None:
+        """Ordered wrap-around search among children."""
+        n = len(self.children)
+        for k in range(n):
+            idx = (start + k) % n
+            child = self.children[idx]
+            if predicate(child):
+                return child, idx
+        return None
+
+    def find_group(self, ast_id: int, start: int) -> BranchGroup | None:
+        """Ordered wrap-around search among branch groups (by the child
+        index of the group's first vertex)."""
+        candidates = [g for g in self.branch_groups if g.ast_id == ast_id]
+        if not candidates:
+            return None
+        for group in candidates:
+            if group.first_index >= start:
+                return group
+        return candidates[0]  # wrap around
+
+    # ------------------------------------------------------------------
+
+    def approx_bytes(self) -> int:
+        """Serialized size estimate of this vertex's payload + topology."""
+        total = 6  # gid + kind + child count
+        if self.loop_counts is not None:
+            total += self.loop_counts.approx_bytes()
+        if self.visits is not None:
+            total += self.visits.approx_bytes()
+        if self.records is not None:
+            total += 2 + sum(r.approx_bytes() for r in self.records)
+        return total
+
+
+class CTT:
+    """One rank's compressed trace tree."""
+
+    def __init__(self, cst: CSTNode, rank: int) -> None:
+        self.rank = rank
+        self.root = CTTVertex(cst)
+        self._by_gid: dict[int, CTTVertex] | None = None
+
+    def vertex(self, gid: int) -> CTTVertex:
+        if self._by_gid is None:
+            self._by_gid = {v.gid: v for v in self.root.preorder()}
+        return self._by_gid[gid]
+
+    def preorder(self):
+        return self.root.preorder()
+
+    def vertex_count(self) -> int:
+        return sum(1 for _ in self.preorder())
+
+    def record_count(self) -> int:
+        return sum(
+            len(v.records) for v in self.preorder() if v.records is not None
+        )
+
+    def approx_bytes(self) -> int:
+        return sum(v.approx_bytes() for v in self.preorder())

@@ -1,0 +1,272 @@
+"""Sequence-preserving decompression / replay of compressed traces
+(paper §V).
+
+Traverses a CTT in pre-order and reconstructs each rank's exact original
+event sequence:
+
+* **loop vertex** — consume the next activation's iteration count and
+  replay the children that many times;
+* **branch group** — advance the group's visit counter once per encounter
+  and descend the path whose recorded visit set contains the counter;
+* **leaf vertex** — advance the leaf's visit counter and emit the record
+  whose occurrence set contains it.
+
+The same walker replays a single-rank CTT or one rank's view of a merged
+CTT — the difference is abstracted behind :class:`PayloadView`.
+
+For non-tail recursion the pseudo-loop linearisation makes the *order*
+approximate (the paper's "approximate loop control structure"); for
+everything else the replay is exact and property-tested against ground
+truth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.static.cst import BRANCH, CALL, LOOP
+
+from .ctt import CTT, CTTVertex
+from .records import CompressedRecord
+from .sequences import IntSequence, SequenceCursor
+
+
+class DecompressionError(Exception):
+    """The compressed trace is internally inconsistent."""
+
+
+@dataclass(frozen=True)
+class ReplayEvent:
+    """One reconstructed MPI call (timing as recorded statistics)."""
+
+    op: str
+    peer: int
+    peer2: int
+    tag: int
+    tag2: int
+    nbytes: int
+    nbytes2: int
+    comm: int
+    root: int
+    wildcard: bool
+    req_gids: tuple[int, ...]
+    mean_duration: float
+    mean_gap: float
+    gid: int = -1  # CTT leaf this event replays from (request matching)
+    result_comm: int = -1  # MPI_Comm_split result
+
+    def call_tuple(self) -> tuple:
+        """Identity used to compare against ground-truth events."""
+        return (
+            self.op, self.peer, self.peer2, self.tag, self.tag2,
+            self.nbytes, self.nbytes2, self.comm, self.root, self.wildcard,
+            self.result_comm,
+        )
+
+
+class PayloadView:
+    """How the replay walker reads per-vertex payloads for one rank."""
+
+    def loop_counts(self, vertex) -> IntSequence:
+        raise NotImplementedError
+
+    def visits(self, vertex) -> IntSequence:
+        raise NotImplementedError
+
+    def records(self, vertex) -> list[CompressedRecord]:
+        raise NotImplementedError
+
+
+class SingleRankView(PayloadView):
+    """Payloads of one rank's own (unmerged) CTT."""
+
+    def loop_counts(self, vertex: CTTVertex) -> IntSequence:
+        return vertex.loop_counts
+
+    def visits(self, vertex: CTTVertex) -> IntSequence:
+        return vertex.visits
+
+    def records(self, vertex: CTTVertex) -> list[CompressedRecord]:
+        return vertex.records
+
+
+_EMPTY = IntSequence()
+
+
+class _Replayer:
+    def __init__(self, root, view: PayloadView, rank: int, decode_peer) -> None:
+        self.view = view
+        self.rank = rank
+        self.root = root
+        self.decode_peer = decode_peer
+        self.events: list[ReplayEvent] = []
+        self._loop_cursor: dict[int, SequenceCursor] = {}
+        self._visit_cursor: dict[int, SequenceCursor] = {}
+        self._record_cursors: dict[int, list[SequenceCursor]] = {}
+        self._group_counter: dict[tuple[int, int], int] = {}
+        self._leaf_counter: dict[int, int] = {}
+
+    # -- cursors, keyed by vertex identity ------------------------------
+
+    def _loops(self, vertex) -> SequenceCursor:
+        key = id(vertex)
+        cur = self._loop_cursor.get(key)
+        if cur is None:
+            cur = SequenceCursor(self.view.loop_counts(vertex) or _EMPTY)
+            self._loop_cursor[key] = cur
+        return cur
+
+    def _path_visits(self, vertex) -> SequenceCursor:
+        key = id(vertex)
+        cur = self._visit_cursor.get(key)
+        if cur is None:
+            cur = SequenceCursor(self.view.visits(vertex) or _EMPTY)
+            self._visit_cursor[key] = cur
+        return cur
+
+    def _leaf_records(self, vertex) -> list[SequenceCursor]:
+        key = id(vertex)
+        cursors = self._record_cursors.get(key)
+        if cursors is None:
+            cursors = [SequenceCursor(r.occurrences) for r in self.view.records(vertex)]
+            self._record_cursors[key] = cursors
+        return cursors
+
+    # -- walk --------------------------------------------------------------
+
+    def run(self) -> list[ReplayEvent]:
+        self._replay_children(self.root)
+        return self.events
+
+    def _replay_children(self, vertex) -> None:
+        children = vertex.children
+        i = 0
+        while i < len(children):
+            child = children[i]
+            if child.kind == CALL:
+                self._emit_leaf(child)
+                i += 1
+            elif child.kind == LOOP:
+                self._replay_loop(child)
+                i += 1
+            elif child.kind == BRANCH:
+                i = self._replay_group(vertex, i)
+            else:  # pragma: no cover - CSTs only contain these kinds
+                raise DecompressionError(f"unexpected vertex kind {child.kind}")
+
+    def _replay_loop(self, vertex) -> None:
+        cursor = self._loops(vertex)
+        count = cursor.next() if not cursor.exhausted() else 0
+        for _ in range(count):
+            self._replay_children(vertex)
+
+    def _replay_group(self, parent, start: int) -> int:
+        """Replay one branch group (consecutive same-``ast_id`` path
+        vertices); returns the child index after the group."""
+        children = parent.children
+        ast_id = children[start].ast_id
+        end = start
+        paths = []
+        while (
+            end < len(children)
+            and children[end].kind == BRANCH
+            and children[end].ast_id == ast_id
+            and not any(children[end].branch_path == p.branch_path for p in paths)
+        ):
+            paths.append(children[end])
+            end += 1
+        gkey = (id(parent), start)
+        visit = self._group_counter.get(gkey, 0)
+        self._group_counter[gkey] = visit + 1
+        for path_vertex in paths:
+            if self._path_visits(path_vertex).contains_next(visit):
+                self._replay_children(path_vertex)
+                break
+        return end
+
+    def _emit_leaf(self, vertex) -> None:
+        key = id(vertex)
+        visit = self._leaf_counter.get(key, 0)
+        self._leaf_counter[key] = visit + 1
+        records = self.view.records(vertex)
+        cursors = self._leaf_records(vertex)
+        for record, cursor in zip(records, cursors):
+            if cursor.contains_next(visit):
+                self.events.append(self._to_event(record, vertex.gid))
+                return
+        raise DecompressionError(
+            f"rank {self.rank}: leaf gid={vertex.gid} has no record for "
+            f"visit {visit}"
+        )
+
+    def _to_event(self, record: CompressedRecord, gid: int) -> ReplayEvent:
+        (
+            op, peer_enc, peer2_enc, tag, tag2, nbytes, nbytes2,
+            comm, root, wildcard, req_gids, result_comm,
+        ) = record.key
+        return ReplayEvent(
+            op=op,
+            peer=self.decode_peer(peer_enc, self.rank),
+            peer2=self.decode_peer(peer2_enc, self.rank),
+            tag=tag,
+            tag2=tag2,
+            nbytes=nbytes,
+            nbytes2=nbytes2,
+            comm=comm,
+            root=root,
+            wildcard=wildcard,
+            req_gids=req_gids,
+            mean_duration=record.duration.mean,
+            mean_gap=record.pre_gap.mean,
+            gid=gid,
+            result_comm=result_comm,
+        )
+
+
+class MergedRankView(PayloadView):
+    """One rank's view of a merged CTT: the group containing the rank."""
+
+    def __init__(self, rank: int) -> None:
+        self.rank = rank
+
+    def loop_counts(self, vertex) -> IntSequence | None:
+        group = vertex.group_of(self.rank)
+        return group.counts if group is not None else None
+
+    def visits(self, vertex) -> IntSequence | None:
+        group = vertex.group_of(self.rank)
+        return group.visits if group is not None else None
+
+    def records(self, vertex) -> list[CompressedRecord]:
+        group = vertex.group_of(self.rank)
+        return group.records if group is not None else []
+
+
+def decompress_rank(ctt: CTT) -> list[ReplayEvent]:
+    """Replay one rank's own CTT into its original event sequence."""
+    from .ranks import decode_peer
+
+    return _Replayer(ctt.root, SingleRankView(), ctt.rank, decode_peer).run()
+
+
+def decompress_merged_rank(merged, rank: int) -> list[ReplayEvent]:
+    """Replay ``rank``'s original sequence from the job-wide merged CTT."""
+    from .ranks import decode_peer
+
+    return _Replayer(merged.root, MergedRankView(rank), rank, decode_peer).run()
+
+
+def decompress_all(merged) -> dict[int, list[ReplayEvent]]:
+    """Replay every merged rank (0..nranks-1 inferred from group members)."""
+    ranks: set[int] = set()
+    for vertex in merged.root.preorder():
+        for group in vertex.groups.values():
+            ranks.update(group.ranks)
+    return {r: decompress_merged_rank(merged, r) for r in sorted(ranks)}
+
+
+def replay_with_view(root, view: PayloadView, rank: int) -> list[ReplayEvent]:
+    """Replay ``rank``'s sequence from any payload view (merged CTTs)."""
+    from .ranks import decode_peer
+
+    return _Replayer(root, view, rank, decode_peer).run()

@@ -1,0 +1,91 @@
+"""Export decompressed traces to interchange formats.
+
+CYPRESS trace files are compact and structural; other tools (OTF-style
+analysers, spreadsheets) want flat per-rank event streams.  This module
+renders the sequence-preserving replay into:
+
+* ``to_text``  — an OTF-ish readable log, one event per line;
+* ``to_csv``   — machine-readable CSV with reconstructed timestamps
+  (cumulative mean gaps + durations — the expectation timeline, since the
+  compressed trace stores time *statistics*, §IV-A).
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+
+from .decompress import ReplayEvent, decompress_all
+from .inter import MergedCTT
+
+CSV_FIELDS = (
+    "rank", "seq", "op", "t_start_us", "duration_us", "peer", "peer2",
+    "tag", "nbytes", "comm", "root", "wildcard", "result_comm", "gid",
+)
+
+
+def _timeline(events: list[ReplayEvent]):
+    """Yield (start, event) with expectation timestamps."""
+    clock = 0.0
+    for ev in events:
+        clock += ev.mean_gap
+        yield clock, ev
+        clock += ev.mean_duration
+
+
+def to_text(merged: MergedCTT, ranks: list[int] | None = None) -> str:
+    """Readable flat trace of the given ranks (default: all)."""
+    traces = decompress_all(merged)
+    if ranks is not None:
+        traces = {r: traces[r] for r in ranks if r in traces}
+    out = io.StringIO()
+    for rank in sorted(traces):
+        out.write(f"# rank {rank}: {len(traces[rank])} events\n")
+        for t, ev in _timeline(traces[rank]):
+            parts = [f"{t:14.3f}", f"r{rank}", ev.op]
+            if ev.peer > -100:
+                parts.append(f"peer={ev.peer}")
+            if ev.nbytes:
+                parts.append(f"bytes={ev.nbytes}")
+            if ev.tag:
+                parts.append(f"tag={ev.tag}")
+            if ev.root >= 0:
+                parts.append(f"root={ev.root}")
+            if ev.comm:
+                parts.append(f"comm={ev.comm}")
+            if ev.result_comm >= 0:
+                parts.append(f"newcomm={ev.result_comm}")
+            if ev.wildcard:
+                parts.append("anysrc")
+            out.write(" ".join(parts) + "\n")
+    return out.getvalue()
+
+
+def to_csv(merged: MergedCTT, ranks: list[int] | None = None) -> str:
+    """CSV flat trace with expectation timestamps."""
+    traces = decompress_all(merged)
+    if ranks is not None:
+        traces = {r: traces[r] for r in ranks if r in traces}
+    out = io.StringIO()
+    writer = csv.writer(out)
+    writer.writerow(CSV_FIELDS)
+    for rank in sorted(traces):
+        for seq, (t, ev) in enumerate(_timeline(traces[rank])):
+            writer.writerow(
+                [
+                    rank, seq, ev.op, f"{t:.3f}", f"{ev.mean_duration:.3f}",
+                    ev.peer, ev.peer2, ev.tag, ev.nbytes, ev.comm, ev.root,
+                    int(ev.wildcard), ev.result_comm, ev.gid,
+                ]
+            )
+    return out.getvalue()
+
+
+def save_text(merged: MergedCTT, path: str, ranks: list[int] | None = None) -> None:
+    with open(path, "w") as fh:
+        fh.write(to_text(merged, ranks))
+
+
+def save_csv(merged: MergedCTT, path: str, ranks: list[int] | None = None) -> None:
+    with open(path, "w") as fh:
+        fh.write(to_csv(merged, ranks))

@@ -1,0 +1,228 @@
+"""Inter-process trace compression (paper §IV-B).
+
+Because every rank's CTT mirrors the *same* static CST, merging two
+compressed traces is a vertex-by-vertex walk — O(n) in the tree size —
+instead of the O(n²) sequence alignment dynamic-only tools need.  At each
+vertex, per-rank payloads that are identical (ignoring timing) collapse
+into one *group* holding the payload once plus the set of ranks; timing
+statistics merge across the group (paper Fig. 13: ``<p0, p1: k>`` when
+both ranks agree, ``<p0: ..., p1: null>`` when they differ).
+
+Rank sets are kept as sorted lists during merging (cheap union of disjoint
+sets) and stride-compressed on serialization — even/odd rank groups like
+the paper's Fig. 13 example become single ``<0, P-2, 2>`` tuples.
+
+``merge_all`` supports two schedules:
+
+* ``tree`` (default) — binary reduction, O(n log P) critical-path work,
+  the parallel algorithm the paper describes;
+* ``fold`` — sequential left fold, O(n·P) critical path (ablation).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.static.cst import BRANCH, CALL, LOOP
+
+from .ctt import CTT, CTTVertex
+from .records import CompressedRecord
+from .sequences import IntSequence
+
+
+class MergeError(Exception):
+    """The two trees disagree structurally (cannot happen for CTTs built
+    from the same CST — indicates a bug or mixed programs)."""
+
+
+def _loop_signature(counts: IntSequence):
+    return ("L", counts.length, tuple(counts.terms))
+
+
+def _visits_signature(visits: IntSequence):
+    return ("B", visits.length, tuple(visits.terms))
+
+
+def _records_signature(records: list[CompressedRecord]):
+    return ("R", tuple((r.key, r.occurrences.length, tuple(r.occurrences.terms)) for r in records))
+
+
+@dataclass
+class Group:
+    """One payload shared by a set of ranks at one merged vertex."""
+
+    signature: tuple
+    ranks: list[int]  # sorted
+    rank_set: set[int]
+    # exactly one of these is used, per vertex kind:
+    counts: IntSequence | None = None
+    visits: IntSequence | None = None
+    records: list[CompressedRecord] | None = None
+    # Records start as references into the source CTT; they are copied
+    # lazily on the first stats merge so per-rank CTTs stay immutable.
+    owns_records: bool = False
+
+    def absorb_ranks(self, other: "Group") -> None:
+        self.ranks = sorted(self.ranks + other.ranks)
+        self.rank_set |= other.rank_set
+        if self.records is not None and other.records is not None:
+            if not self.owns_records:
+                self.records = [r.copy() for r in self.records]
+                self.owns_records = True
+            for mine, theirs in zip(self.records, other.records):
+                mine.duration.merge(theirs.duration)
+                mine.pre_gap.merge(theirs.pre_gap)
+
+
+class MergedVertex:
+    __slots__ = (
+        "gid", "kind", "ast_id", "name", "op", "branch_path",
+        "children", "groups",
+    )
+
+    def __init__(self, template: CTTVertex) -> None:
+        self.gid = template.gid
+        self.kind = template.kind
+        self.ast_id = template.ast_id
+        self.name = template.name
+        self.op = template.op
+        self.branch_path = template.branch_path
+        self.children = [MergedVertex(c) for c in template.children]
+        self.groups: dict[tuple, Group] = {}
+
+    def preorder(self):
+        stack = [self]
+        while stack:
+            node = stack.pop()
+            yield node
+            stack.extend(reversed(node.children))
+
+    def group_of(self, rank: int) -> Group | None:
+        for group in self.groups.values():
+            if rank in group.rank_set:
+                return group
+        return None
+
+    def add_group(self, group: Group) -> None:
+        existing = self.groups.get(group.signature)
+        if existing is None:
+            self.groups[group.signature] = group
+        else:
+            existing.absorb_ranks(group)
+
+    def approx_bytes(self) -> int:
+        total = 6
+        for group in self.groups.values():
+            total += IntSequence.from_values(group.ranks).approx_bytes()
+            if group.counts is not None:
+                total += group.counts.approx_bytes()
+            if group.visits is not None:
+                total += group.visits.approx_bytes()
+            if group.records is not None:
+                total += 2 + sum(r.approx_bytes() for r in group.records)
+        return total
+
+
+class MergedCTT:
+    """The job-wide compressed trace."""
+
+    def __init__(self, root: MergedVertex, nranks_merged: int) -> None:
+        self.root = root
+        self.nranks_merged = nranks_merged
+        self._vertices: list[MergedVertex] | None = None
+
+    def vertices(self) -> list[MergedVertex]:
+        if self._vertices is None:
+            self._vertices = list(self.root.preorder())
+        return self._vertices
+
+    # -- construction -----------------------------------------------------
+
+    @classmethod
+    def from_rank(cls, ctt: CTT) -> "MergedCTT":
+        root = MergedVertex(ctt.root)
+        rank = ctt.rank
+        for src, dst in zip(ctt.preorder(), root.preorder()):
+            group = None
+            if src.kind == LOOP:
+                if len(src.loop_counts):
+                    group = Group(
+                        signature=_loop_signature(src.loop_counts),
+                        ranks=[rank], rank_set={rank}, counts=src.loop_counts,
+                    )
+            elif src.kind == BRANCH:
+                if len(src.visits):
+                    group = Group(
+                        signature=_visits_signature(src.visits),
+                        ranks=[rank], rank_set={rank}, visits=src.visits,
+                    )
+            elif src.kind == CALL:
+                if src.records:
+                    group = Group(
+                        signature=_records_signature(src.records),
+                        ranks=[rank], rank_set={rank},
+                        records=src.records,  # copied lazily on first merge
+                    )
+            if group is not None:
+                dst.add_group(group)
+        return cls(root, 1)
+
+    # -- merging ------------------------------------------------------------
+
+    def absorb(self, other: "MergedCTT") -> "MergedCTT":
+        """Merge ``other`` into this tree (O(n) vertex walk)."""
+        mine_vertices = self.vertices()
+        their_vertices = other.vertices()
+        if len(mine_vertices) != len(their_vertices):
+            raise MergeError(
+                f"structural mismatch: {len(mine_vertices)} vs "
+                f"{len(their_vertices)} vertices (different programs?)"
+            )
+        for mine, theirs in zip(mine_vertices, their_vertices):
+            if mine.gid != theirs.gid or mine.kind != theirs.kind:
+                raise MergeError(
+                    f"structural mismatch at gid {mine.gid} vs {theirs.gid}"
+                )
+            if theirs.groups:
+                for group in theirs.groups.values():
+                    mine.add_group(group)
+        self.nranks_merged += other.nranks_merged
+        return self
+
+    # -- inspection -----------------------------------------------------------
+
+    def vertex_count(self) -> int:
+        return sum(1 for _ in self.root.preorder())
+
+    def group_count(self) -> int:
+        return sum(len(v.groups) for v in self.root.preorder())
+
+    def approx_bytes(self) -> int:
+        return sum(v.approx_bytes() for v in self.root.preorder())
+
+
+def merge_all(ctts: list[CTT], schedule: str = "tree") -> MergedCTT:
+    """Merge every rank's CTT into the job-wide compressed trace.
+
+    ``schedule='tree'`` is the paper's parallel binary-reduction order
+    (O(n log P) critical path when the log P levels run in parallel);
+    ``schedule='fold'`` is the sequential baseline (ablation).
+    """
+    if not ctts:
+        raise ValueError("no CTTs to merge")
+    merged = [MergedCTT.from_rank(c) for c in ctts]
+    if schedule == "fold":
+        acc = merged[0]
+        for m in merged[1:]:
+            acc.absorb(m)
+        return acc
+    if schedule == "tree":
+        while len(merged) > 1:
+            nxt = []
+            for i in range(0, len(merged) - 1, 2):
+                nxt.append(merged[i].absorb(merged[i + 1]))
+            if len(merged) % 2:
+                nxt.append(merged[-1])
+            merged = nxt
+        return merged[0]
+    raise ValueError(f"unknown merge schedule {schedule!r}")

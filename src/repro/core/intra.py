@@ -1,0 +1,381 @@
+"""Intra-process trace compression (paper §IV-A).
+
+This is CYPRESS's on-the-fly compressor: a :class:`~repro.mpisim.pmpi.TraceSink`
+that maintains, per rank, a CTT mirroring the static CST plus a cursor —
+"the pointer *p* always points to the CTT vertex that is currently being
+executed".  Structural markers move the cursor; each MPI event is compared
+only against the last record(s) at its own leaf vertex (O(1) per event,
+the paper's headline intra-process advantage).
+
+Cursor mechanics
+----------------
+
+The cursor is a stack of frames (loop activations, branch-path entries).
+Child lookup is *ordered with wrap-around*: every vertex keeps a search
+position that advances left-to-right as its children execute and resets at
+each loop iteration — this disambiguates multiple inlined copies of the
+same function under one parent (same ``ast_id`` twice among siblings).
+
+Structures that were pruned from this inlined copy (they contain no MPI
+calls here, but the same source-level structure survived in another copy,
+so markers are still emitted) push *null frames*: the markers are consumed
+and ignored, and by the pruning invariant no MPI event can occur inside.
+
+Recursion (pseudo loops, paper Fig. 8): re-entering an active pseudo-loop
+frame starts a new iteration — frames pushed above it since the last entry
+are saved aside and restored when the recursive call returns, linearising
+the recursion tree into the approximate loop the paper describes.
+
+Wildcard receives (paper §IV-A "Non-Deterministic Events"): a nonblocking
+``MPI_Irecv(ANY_SOURCE)`` is cached as a *pending* record; compression is
+delayed until the request completes and the actual source is known.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.mpisim.events import NONBLOCKING_OPS, CommEvent
+from repro.mpisim.pmpi import TraceSink
+from repro.static.cst import BRANCH, CALL, LOOP, CSTNode
+
+from .ctt import CTT, CTTVertex
+from .ranks import encode_peer
+from .records import CompressedRecord, make_key
+from .timing import MEANSTD, TimeStats
+
+
+class CompressionError(Exception):
+    """The event/marker stream did not match the static CST — indicates a
+    static/dynamic inconsistency (a bug, or an un-instrumented program)."""
+
+
+@dataclass(frozen=True)
+class CypressConfig:
+    """Tunables of the dynamic module (ablation switches).
+
+    ``window`` controls leaf-record matching.  ``None`` (default) merges a
+    new event into *any* existing record with the same key — exact because
+    records carry stride-compressed occurrence-index sequences, and the
+    right choice for parameter patterns that cycle (MG's per-level message
+    sizes).  An integer reproduces the paper's bounded scan: the paper's
+    own implementation compares only against the last record
+    (``window=1``, §IV-A) and mentions larger sliding windows as the
+    cost/effectiveness trade-off — the ablation bench sweeps this.
+    """
+
+    window: int | None = None  # None = unbounded keyed merge
+    timing_mode: str = MEANSTD  # 'meanstd' or 'hist'
+    relative_ranks: bool = True  # relative peer encoding (paper §IV-B)
+
+
+@dataclass
+class _Frame:
+    kind: str  # 'loop' or 'branch'
+    vertex: CTTVertex | None  # None = null frame (structure pruned here)
+    iters: int = 0
+
+
+@dataclass
+class _RankState:
+    ctt: CTT
+    stack: list[_Frame] = field(default_factory=list)
+    recursion_saved: list[list[_Frame] | None] = field(default_factory=list)
+    req_gid: dict[int, int] = field(default_factory=dict)
+    pending: dict[int, tuple[CTTVertex, CompressedRecord, CommEvent]] = field(
+        default_factory=dict
+    )
+    last_event_end: float = 0.0
+
+    def top_vertex(self) -> CTTVertex | None:
+        if not self.stack:
+            return self.ctt.root
+        return self.stack[-1].vertex
+
+
+class IntraProcessCompressor(TraceSink):
+    """CYPRESS dynamic module, intra-process phase."""
+
+    wants_markers = True
+
+    def __init__(self, cst: CSTNode, config: CypressConfig | None = None) -> None:
+        self.cst = cst
+        self.config = config or CypressConfig()
+        self._states: dict[int, _RankState] = {}
+
+    # ------------------------------------------------------------------
+
+    def state(self, rank: int) -> _RankState:
+        st = self._states.get(rank)
+        if st is None:
+            st = _RankState(ctt=CTT(self.cst, rank))
+            self._states[rank] = st
+        return st
+
+    def ranks(self) -> list[int]:
+        return sorted(self._states)
+
+    def ctt(self, rank: int) -> CTT:
+        return self.state(rank).ctt
+
+    def approx_bytes(self, rank: int) -> int:
+        """Per-rank memory/size estimate of the compressed trace."""
+        return self.state(rank).ctt.approx_bytes()
+
+    def total_bytes(self) -> int:
+        return sum(self.approx_bytes(r) for r in self._states)
+
+    # ------------------------------------------------------------------
+    # Structural markers.
+
+    def on_loop_push(self, rank: int, ast_id: int) -> None:
+        st = self.state(rank)
+        self._push_loop(st, ast_id)
+
+    def _push_loop(self, st: _RankState, ast_id: int) -> _Frame:
+        cur = st.top_vertex()
+        frame = _Frame(kind="loop", vertex=None)
+        if cur is not None:
+            found = cur.find_child(
+                lambda c: c.kind == LOOP and c.ast_id == ast_id, cur.search_pos
+            )
+            if found is not None:
+                child, idx = found
+                cur.search_pos = idx + 1
+                child.search_pos = 0
+                frame.vertex = child
+        st.stack.append(frame)
+        return frame
+
+    def on_loop_iter(self, rank: int, ast_id: int) -> None:
+        st = self.state(rank)
+        if not st.stack or st.stack[-1].kind != "loop":
+            raise CompressionError(
+                f"rank {rank}: loop iteration marker {ast_id} with no open loop"
+            )
+        frame = st.stack[-1]
+        frame.iters += 1
+        if frame.vertex is not None:
+            frame.vertex.search_pos = 0
+
+    def on_loop_pop(self, rank: int, ast_id: int) -> None:
+        st = self.state(rank)
+        if not st.stack or st.stack[-1].kind != "loop":
+            raise CompressionError(
+                f"rank {rank}: loop exit marker {ast_id} with no open loop"
+            )
+        frame = st.stack.pop()
+        if frame.vertex is not None:
+            frame.vertex.loop_counts.append(frame.iters)
+
+    def on_branch_enter(self, rank: int, ast_id: int, path: int) -> None:
+        st = self.state(rank)
+        cur = st.top_vertex()
+        frame = _Frame(kind="branch", vertex=None)
+        if cur is not None:
+            group = cur.find_group(ast_id, cur.search_pos)
+            if group is not None:
+                cur.search_pos = group.last_index + 1
+                visit = group.visit_counter
+                group.visit_counter += 1
+                path_vertex = group.paths.get(path)
+                if path_vertex is not None:
+                    path_vertex.visits.append(visit)
+                    path_vertex.search_pos = 0
+                    frame.vertex = path_vertex
+        st.stack.append(frame)
+
+    def on_branch_exit(self, rank: int, ast_id: int) -> None:
+        st = self.state(rank)
+        if not st.stack or st.stack[-1].kind != "branch":
+            raise CompressionError(
+                f"rank {rank}: branch exit marker {ast_id} with no open branch"
+            )
+        st.stack.pop()
+
+    def on_recurse_enter(self, rank: int, ast_id: int) -> None:
+        st = self.state(rank)
+        # Find an active pseudo-loop frame for this function.
+        for i in range(len(st.stack) - 1, -1, -1):
+            frame = st.stack[i]
+            if (
+                frame.kind == "loop"
+                and frame.vertex is not None
+                and frame.vertex.ast_id == ast_id
+            ):
+                # New iteration of the approximate loop: set aside the
+                # frames opened since, restore them when this call returns.
+                st.recursion_saved.append(st.stack[i + 1 :])
+                del st.stack[i + 1 :]
+                frame.iters += 1
+                frame.vertex.search_pos = 0
+                return
+        # Outermost entry: behaves like loop push + first iteration.
+        frame = self._push_loop(st, ast_id)
+        frame.iters = 1
+        st.recursion_saved.append(None)
+
+    def on_recurse_exit(self, rank: int, ast_id: int) -> None:
+        st = self.state(rank)
+        if not st.recursion_saved:
+            raise CompressionError(
+                f"rank {rank}: recursion exit marker {ast_id} without entry"
+            )
+        saved = st.recursion_saved.pop()
+        if saved is None:
+            self.on_loop_pop(rank, ast_id)
+        else:
+            st.stack.extend(saved)
+
+    # ------------------------------------------------------------------
+    # Communication events.
+
+    def on_event(self, rank: int, ev: CommEvent) -> None:
+        st = self.state(rank)
+        cur = st.top_vertex()
+        if cur is None:
+            raise CompressionError(
+                f"rank {rank}: event {ev.op} inside a pruned structure"
+            )
+        found = cur.find_child(
+            lambda c: c.kind == CALL and c.op == ev.op, cur.search_pos
+        )
+        if found is None:
+            raise CompressionError(
+                f"rank {rank}: no CST leaf for {ev.op} under vertex "
+                f"gid={cur.gid} ({cur.kind})"
+            )
+        leaf, idx = found
+        cur.search_pos = idx + 1
+        visit = leaf.leaf_visits
+        leaf.leaf_visits += 1
+
+        if ev.op in NONBLOCKING_OPS:
+            st.req_gid[ev.req] = leaf.gid
+        req_gids: tuple[int, ...] = ()
+        if ev.reqs:
+            req_gids = tuple(st.req_gid.get(r, -1) for r in ev.reqs)
+
+        gap = max(0.0, ev.time_start - st.last_event_end)
+        st.last_event_end = max(st.last_event_end, ev.time_start + ev.duration)
+
+        if ev.op == "MPI_Irecv" and ev.wildcard:
+            # Delay compression until the source is known (paper §IV-A).
+            record = CompressedRecord(key=None, pending=True)
+            record.add_occurrence(visit, ev.duration, gap)
+            leaf.records.append(record)
+            st.pending[ev.req] = (leaf, record, ev)
+            return
+
+        key = self._event_key(ev, rank, req_gids)
+        self._add_record(leaf, key, visit, ev.duration, gap)
+
+    def _event_key(self, ev: CommEvent, rank: int, req_gids: tuple[int, ...]):
+        relative = self.config.relative_ranks
+        return make_key(
+            op=ev.op,
+            peer_enc=encode_peer(ev.peer, rank, relative),
+            peer2_enc=encode_peer(ev.peer2, rank, relative),
+            tag=ev.tag,
+            tag2=ev.tag2,
+            nbytes=ev.nbytes,
+            nbytes2=ev.nbytes2,
+            comm=ev.comm,
+            root=ev.root,
+            wildcard=ev.wildcard,
+            req_gids=req_gids,
+            result_comm=ev.result_comm,
+        )
+
+    def _add_record(
+        self,
+        leaf: CTTVertex,
+        key,
+        visit: int,
+        duration: float,
+        gap: float,
+    ) -> None:
+        records = leaf.records
+        window = self.config.window
+        if window is None:
+            candidate = leaf.record_index.get(key)
+            if candidate is not None:
+                candidate.add_occurrence(visit, duration, gap)
+                return
+        else:
+            for back in range(1, min(window, len(records)) + 1):
+                candidate = records[-back]
+                if candidate.pending:
+                    continue
+                if candidate.key == key:
+                    candidate.add_occurrence(visit, duration, gap)
+                    return
+        record = CompressedRecord(
+            key=key,
+            duration=TimeStats(mode=self.config.timing_mode),
+            pre_gap=TimeStats(mode=self.config.timing_mode),
+        )
+        record.add_occurrence(visit, duration, gap)
+        records.append(record)
+        if window is None:
+            leaf.record_index[key] = record
+
+    def on_request_complete(
+        self, rank: int, rid: int, source: int, nbytes: int, when: float
+    ) -> None:
+        st = self.state(rank)
+        entry = st.pending.pop(rid, None)
+        if entry is None:
+            return
+        leaf, record, ev = entry
+        record.key = self._event_key_resolved(ev, rank, source, nbytes)
+        record.pending = False
+        pos = None
+        for i in range(len(leaf.records) - 1, -1, -1):
+            if leaf.records[i] is record:
+                pos = i
+                break
+        if pos is None:  # pragma: no cover - record must be present
+            return
+        window = self.config.window
+        if window is None:
+            other = leaf.record_index.get(record.key)
+            if other is not None and other is not record:
+                other.merge_from(record)
+                del leaf.records[pos]
+            else:
+                leaf.record_index[record.key] = record
+            return
+        # Bounded backward scan (the paper-faithful variant).
+        lo = max(0, pos - window)
+        for i in range(pos - 1, lo - 1, -1):
+            other = leaf.records[i]
+            if other.pending:
+                continue
+            if other.key == record.key:
+                other.merge_from(record)
+                del leaf.records[pos]
+                return
+
+    def _event_key_resolved(self, ev: CommEvent, rank: int, source: int, nbytes: int):
+        relative = self.config.relative_ranks
+        return make_key(
+            op=ev.op,
+            peer_enc=encode_peer(source, rank, relative),
+            peer2_enc=encode_peer(ev.peer2, rank, relative),
+            tag=ev.tag,
+            tag2=ev.tag2,
+            nbytes=nbytes,
+            nbytes2=ev.nbytes2,
+            comm=ev.comm,
+            root=ev.root,
+            wildcard=True,
+            req_gids=(),
+        )
+
+    def on_finalize(self, rank: int) -> None:
+        st = self.state(rank)
+        if st.pending:
+            raise CompressionError(
+                f"rank {rank}: {len(st.pending)} wildcard receive(s) never completed"
+            )

@@ -1,0 +1,42 @@
+"""Relative rank encoding (paper §IV-B, adopting ScalaTrace's method).
+
+To let records from different ranks merge, peer ranks are stored relative
+to the owner: ``dest = myrank + 1`` encodes as ``+1`` on every rank of a
+stencil, so all ranks produce the identical record.  Special values
+(``ANY_SOURCE`` etc., and the "no peer" sentinel) pass through unchanged.
+
+Encoded peers are tuples so they can never be confused with absolute
+ranks: ``("rel", delta)`` or ``("abs", rank)``.
+"""
+
+from __future__ import annotations
+
+from repro.mpisim.datatypes import ANY_SOURCE
+from repro.mpisim.events import NO_PEER
+
+REL = "rel"
+ABS = "abs"
+
+EncodedPeer = tuple[str, int]
+
+
+def encode_peer(peer: int, rank: int, relative: bool = True) -> EncodedPeer:
+    """Encode ``peer`` as seen from ``rank``.
+
+    ``relative=False`` is the ablation switch: always store absolute ranks
+    (records from different ranks then rarely merge).
+    """
+    if peer in (NO_PEER, ANY_SOURCE) or peer < 0:
+        return (ABS, peer)
+    if relative:
+        return (REL, peer - rank)
+    return (ABS, peer)
+
+
+def decode_peer(encoded: EncodedPeer, rank: int) -> int:
+    mode, value = encoded
+    if mode == ABS:
+        return value
+    if mode == REL:
+        return rank + value
+    raise ValueError(f"bad encoded peer {encoded!r}")

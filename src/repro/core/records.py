@@ -1,0 +1,120 @@
+"""Compressed communication records stored at CTT leaf vertices.
+
+A :class:`CompressedRecord` is one distinct parameter set observed at a
+leaf, together with
+
+* the set of *occurrence indices* (which visits of this leaf used these
+  parameters) as a stride-compressed :class:`IntSequence`;
+* timing statistics for the call duration; and
+* timing statistics for the *pre-gap* — the computation time between the
+  end of the previous MPI event on the rank and the start of this one.
+  The pre-gap is what the SIM-MPI replay engine uses as the sequential
+  computation time between communication operations (paper §V).
+
+The record key contains every parameter except time (paper §IV-A), with
+peers in relative encoding and raw request handles replaced by the GIDs of
+the vertices that created them (paper Fig. 12).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .sequences import IntSequence
+from .timing import MEANSTD, TimeStats
+
+# key layout: (op, peer_enc, peer2_enc, tag, tag2, nbytes, nbytes2,
+#              comm, root, wildcard, req_gids, result_comm)
+RecordKey = tuple
+
+
+@dataclass
+class CompressedRecord:
+    key: RecordKey
+    occurrences: IntSequence = field(default_factory=IntSequence)
+    duration: TimeStats = None  # type: ignore[assignment]
+    pre_gap: TimeStats = None  # type: ignore[assignment]
+    pending: bool = False  # wildcard receive awaiting source resolution
+
+    def __post_init__(self) -> None:
+        if self.duration is None:
+            self.duration = TimeStats(mode=MEANSTD)
+        if self.pre_gap is None:
+            self.pre_gap = TimeStats(mode=MEANSTD)
+
+    @property
+    def count(self) -> int:
+        return len(self.occurrences)
+
+    @property
+    def op(self) -> str:
+        return self.key[0]
+
+    def add_occurrence(self, index: int, duration_us: float, gap_us: float) -> None:
+        self.occurrences.append(index)
+        self.duration.add(duration_us)
+        self.pre_gap.add(gap_us)
+
+    def merge_from(self, other: "CompressedRecord") -> None:
+        """Fold another record with the same key into this one (intra-rank
+        deferred-wildcard resolution path).  Occurrence indices are merged
+        in sorted order — a late-resolving wildcard may carry an *earlier*
+        visit index than occurrences already merged, and replay cursors
+        require monotone sequences."""
+        assert self.key == other.key
+        mine = self.occurrences.to_list()
+        theirs = other.occurrences.to_list()
+        if not mine or not theirs or mine[-1] < theirs[0]:
+            self.occurrences.extend(theirs)
+        else:
+            merged = sorted(mine + theirs)
+            self.occurrences = IntSequence.from_values(merged)
+        self.duration.merge(other.duration)
+        self.pre_gap.merge(other.pre_gap)
+
+    def payload_equal(self, other: "CompressedRecord") -> bool:
+        """Equality ignoring timing — the inter-process grouping test."""
+        return self.key == other.key and self.occurrences == other.occurrences
+
+    def copy(self) -> "CompressedRecord":
+        rec = CompressedRecord(
+            key=self.key,
+            occurrences=IntSequence(terms=list(self.occurrences.terms),
+                                    length=self.occurrences.length),
+            duration=self.duration.copy(),
+            pre_gap=self.pre_gap.copy(),
+            pending=self.pending,
+        )
+        return rec
+
+    def approx_bytes(self) -> int:
+        # op string + numeric params + sequences + two stat blocks
+        key_bytes = len(self.key[0]) + 6 * (len(self.key) - 1)
+        gid_bytes = 4 * len(self.key[10]) if len(self.key) > 10 else 0
+        return (
+            key_bytes
+            + gid_bytes
+            + self.occurrences.approx_bytes()
+            + self.duration.approx_bytes()
+            + self.pre_gap.approx_bytes()
+        )
+
+
+def make_key(
+    op: str,
+    peer_enc,
+    peer2_enc,
+    tag: int,
+    tag2: int,
+    nbytes: int,
+    nbytes2: int,
+    comm: int,
+    root: int,
+    wildcard: bool,
+    req_gids: tuple[int, ...],
+    result_comm: int = -1,
+) -> RecordKey:
+    return (
+        op, peer_enc, peer2_enc, tag, tag2, nbytes, nbytes2,
+        comm, root, wildcard, req_gids, result_comm,
+    )

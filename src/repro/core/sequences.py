@@ -1,0 +1,136 @@
+"""Compressed integer sequences: the paper's stride tuples.
+
+Loop iteration counts, branch-taken visit indices and record occurrence
+indices are all monotone or repetitive integer sequences.  CYPRESS
+compresses them with stride tuples like ``<0, k-1, 1>`` ("from 0 to k-1
+with stride 1", paper §IV-A).  :class:`IntSequence` stores a sequence as a
+list of ``(start, count, stride)`` terms and supports O(1) amortised
+online append: a new value either extends the last term or opens a new
+one.
+
+A constant run ``a×n`` is the stride-0 term ``(a, n, 0)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator
+
+
+@dataclass
+class IntSequence:
+    """An append-only integer sequence stored as stride terms."""
+
+    terms: list[tuple[int, int, int]] = field(default_factory=list)  # (start, count, stride)
+    length: int = 0
+
+    # -- construction ----------------------------------------------------
+
+    def append(self, value: int) -> None:
+        self.length += 1
+        if not self.terms:
+            self.terms.append((value, 1, 0))
+            return
+        start, count, stride = self.terms[-1]
+        if count == 1:
+            # A singleton can absorb any second value by fixing its stride.
+            self.terms[-1] = (start, 2, value - start)
+            return
+        if value == start + count * stride:
+            self.terms[-1] = (start, count + 1, stride)
+            return
+        # A two-element term whose continuation fails can donate its second
+        # element to pair with the new value when that compresses better
+        # (e.g. 0,0,1,1,2,2 -> pairs).  Keep it simple: just open a new term.
+        self.terms.append((value, 1, 0))
+
+    def extend(self, values: Iterable[int]) -> None:
+        for v in values:
+            self.append(v)
+
+    @classmethod
+    def from_values(cls, values: Iterable[int]) -> "IntSequence":
+        seq = cls()
+        seq.extend(values)
+        return seq
+
+    # -- access ------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return self.length
+
+    def __iter__(self) -> Iterator[int]:
+        for start, count, stride in self.terms:
+            value = start
+            for _ in range(count):
+                yield value
+                value += stride
+
+    def to_list(self) -> list[int]:
+        return list(self)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, IntSequence):
+            return NotImplemented
+        return self.length == other.length and self.terms == other.terms
+
+    def __hash__(self) -> int:
+        return hash((self.length, tuple(self.terms)))
+
+    def __repr__(self) -> str:
+        shown = ", ".join(
+            f"<{s},{s + (c - 1) * d},{d}>" if c > 1 else str(s)
+            for s, c, d in self.terms[:8]
+        )
+        if len(self.terms) > 8:
+            shown += ", ..."
+        return f"IntSequence({shown}; n={self.length})"
+
+    # -- size accounting -----------------------------------------------------
+
+    def term_count(self) -> int:
+        return len(self.terms)
+
+    def approx_bytes(self) -> int:
+        """Serialized footprint estimate: 3 varint-ish ints per term."""
+        return 2 + 6 * len(self.terms)
+
+
+class SequenceCursor:
+    """Sequential reader over an :class:`IntSequence` (replay helper).
+
+    ``peek``/``next`` walk values in order; ``contains_next(v)`` answers
+    "is ``v`` the next recorded value?" and consumes it when it is — the
+    O(1)-amortised membership test replay uses for monotone visit indices.
+    """
+
+    def __init__(self, seq: IntSequence) -> None:
+        self._seq = seq
+        self._term = 0
+        self._offset = 0
+
+    def exhausted(self) -> bool:
+        return self._term >= len(self._seq.terms)
+
+    def peek(self) -> int | None:
+        if self.exhausted():
+            return None
+        start, _count, stride = self._seq.terms[self._term]
+        return start + self._offset * stride
+
+    def next(self) -> int:
+        value = self.peek()
+        if value is None:
+            raise StopIteration("sequence exhausted")
+        start, count, _stride = self._seq.terms[self._term]
+        self._offset += 1
+        if self._offset >= count:
+            self._term += 1
+            self._offset = 0
+        return value
+
+    def contains_next(self, value: int) -> bool:
+        if self.peek() == value:
+            self.next()
+            return True
+        return False

@@ -1,0 +1,350 @@
+"""Binary serialization of merged compressed traces.
+
+CYPRESS writes its final job-wide trace as a compact binary file
+(optionally gzip-compressed, the paper's "CYPRESS+Gzip" variant).  The
+format is a faithful size-accounting vehicle for the trace-size figures:
+varint-coded integers, zigzag for signed values, an interned string table
+for op names, stride terms for every integer sequence, and sparse
+histogram bins.
+
+Layout::
+
+    magic "CYTR" | version | nranks | string table
+    tree (pre-order): kind, [op/name idx], [branch_path], nchildren
+    payload (pre-order): per vertex, ngroups, then each group:
+        rankset terms | payload (counts / visits / records)
+
+Round-trips: ``loads(dumps(m))`` reconstructs a replayable MergedCTT.
+"""
+
+from __future__ import annotations
+
+import gzip as _gzip
+import struct
+
+from repro.static.cst import BRANCH, CALL, LOOP, ROOT
+
+from .inter import Group, MergedCTT, MergedVertex
+from .records import CompressedRecord
+from .sequences import IntSequence
+from .timing import HIST, MEANSTD, TimeStats
+
+_MAGIC = b"CYTR"
+_VERSION = 4
+
+_KIND_CODE = {ROOT: 0, LOOP: 1, BRANCH: 2, CALL: 3}
+_CODE_KIND = {v: k for k, v in _KIND_CODE.items()}
+
+
+class ByteWriter:
+    def __init__(self) -> None:
+        self._parts: list[bytes] = []
+
+    def bytes(self) -> bytes:
+        return b"".join(self._parts)
+
+    def raw(self, data: bytes) -> None:
+        self._parts.append(data)
+
+    def u(self, value: int) -> None:
+        """Unsigned varint (LEB128)."""
+        if value < 0:
+            raise ValueError(f"u() got negative {value}")
+        out = bytearray()
+        while True:
+            byte = value & 0x7F
+            value >>= 7
+            if value:
+                out.append(byte | 0x80)
+            else:
+                out.append(byte)
+                break
+        self._parts.append(bytes(out))
+
+    def z(self, value: int) -> None:
+        """Signed varint (zigzag)."""
+        self.u((value << 1) ^ (value >> 63) if value >= 0 else ((-value) << 1) - 1)
+
+    def f(self, value: float) -> None:
+        self._parts.append(struct.pack("<d", value))
+
+    def s(self, text: str) -> None:
+        data = text.encode("utf-8")
+        self.u(len(data))
+        self.raw(data)
+
+
+class ByteReader:
+    def __init__(self, data: bytes) -> None:
+        self._data = data
+        self._pos = 0
+
+    def raw(self, n: int) -> bytes:
+        out = self._data[self._pos : self._pos + n]
+        if len(out) != n:
+            raise ValueError("truncated trace file")
+        self._pos += n
+        return out
+
+    def u(self) -> int:
+        shift = 0
+        value = 0
+        while True:
+            byte = self._data[self._pos]
+            self._pos += 1
+            value |= (byte & 0x7F) << shift
+            if not byte & 0x80:
+                return value
+            shift += 7
+
+    def z(self) -> int:
+        raw = self.u()
+        return (raw >> 1) if not raw & 1 else -((raw + 1) >> 1)
+
+    def f(self) -> float:
+        return struct.unpack("<d", self.raw(8))[0]
+
+    def s(self) -> str:
+        return self.raw(self.u()).decode("utf-8")
+
+    def eof(self) -> bool:
+        return self._pos >= len(self._data)
+
+
+# ---------------------------------------------------------------------------
+
+
+def _write_seq(w: ByteWriter, seq: IntSequence) -> None:
+    w.u(len(seq.terms))
+    for start, count, stride in seq.terms:
+        w.z(start)
+        w.u(count)
+        w.z(stride)
+
+
+def _read_seq(r: ByteReader) -> IntSequence:
+    nterms = r.u()
+    terms = []
+    length = 0
+    for _ in range(nterms):
+        start = r.z()
+        count = r.u()
+        stride = r.z()
+        terms.append((start, count, stride))
+        length += count
+    return IntSequence(terms=terms, length=length)
+
+
+def _write_stats(w: ByteWriter, st: TimeStats) -> None:
+    w.u(0 if st.mode == MEANSTD else 1)
+    w.u(st.count)
+    w.f(st.mean)
+    w.f(st.m2)
+    w.f(st.minimum if st.count else 0.0)
+    w.f(st.maximum if st.count else 0.0)
+    if st.mode == HIST:
+        nonzero = [(i, b) for i, b in enumerate(st.bins) if b]
+        w.u(len(nonzero))
+        for i, b in nonzero:
+            w.u(i)
+            w.u(b)
+
+
+def _read_stats(r: ByteReader) -> TimeStats:
+    mode = MEANSTD if r.u() == 0 else HIST
+    st = TimeStats(mode=mode)
+    st.count = r.u()
+    st.mean = r.f()
+    st.m2 = r.f()
+    st.minimum = r.f()
+    st.maximum = r.f()
+    if mode == HIST:
+        for _ in range(r.u()):
+            i = r.u()
+            st.bins[i] = r.u()
+    return st
+
+
+def _write_record(w: ByteWriter, rec: CompressedRecord, ops: dict[str, int]) -> None:
+    (op, peer, peer2, tag, tag2, nbytes, nbytes2, comm, root, wc, gids,
+     result_comm) = rec.key
+    w.u(ops[op])
+    for enc in (peer, peer2):
+        w.u(0 if enc[0] == "abs" else 1)
+        w.z(enc[1])
+    w.z(tag)
+    w.z(tag2)
+    w.u(nbytes)
+    w.u(nbytes2)
+    w.u(comm)
+    w.z(root)
+    w.u(1 if wc else 0)
+    w.u(len(gids))
+    for gid in gids:
+        w.z(gid)
+    w.z(result_comm)
+    _write_seq(w, rec.occurrences)
+    _write_stats(w, rec.duration)
+    _write_stats(w, rec.pre_gap)
+
+
+def _read_record(r: ByteReader, ops: list[str]) -> CompressedRecord:
+    op = ops[r.u()]
+    peers = []
+    for _ in range(2):
+        mode = "abs" if r.u() == 0 else "rel"
+        peers.append((mode, r.z()))
+    tag = r.z()
+    tag2 = r.z()
+    nbytes = r.u()
+    nbytes2 = r.u()
+    comm = r.u()
+    root = r.z()
+    wc = bool(r.u())
+    gids = tuple(r.z() for _ in range(r.u()))
+    result_comm = r.z()
+    key = (op, peers[0], peers[1], tag, tag2, nbytes, nbytes2, comm, root, wc,
+           gids, result_comm)
+    occurrences = _read_seq(r)
+    duration = _read_stats(r)
+    pre_gap = _read_stats(r)
+    return CompressedRecord(
+        key=key, occurrences=occurrences, duration=duration, pre_gap=pre_gap
+    )
+
+
+# ---------------------------------------------------------------------------
+
+
+def dumps(merged: MergedCTT, gzip: bool = False) -> bytes:
+    """Serialize a merged CTT; ``gzip=True`` is the +Gzip variant."""
+    vertices = list(merged.root.preorder())
+    # String table: op names and leaf names.
+    strings: dict[str, int] = {}
+    for v in vertices:
+        for s in (v.op, v.name):
+            if s is not None and s not in strings:
+                strings[s] = len(strings)
+    w = ByteWriter()
+    w.raw(_MAGIC)
+    w.u(_VERSION)
+    w.u(merged.nranks_merged)
+    w.u(len(strings))
+    for text in strings:  # dict preserves insertion order
+        w.s(text)
+    # Topology, pre-order.
+    for v in vertices:
+        w.u(_KIND_CODE[v.kind])
+        if v.kind == CALL:
+            w.u(strings[v.op] if v.op is not None else len(strings))
+            w.u(strings[v.name] if v.name is not None else len(strings))
+        elif v.kind == BRANCH:
+            w.u(v.branch_path if v.branch_path is not None else 0)
+        w.u(len(v.children))
+    # Payload, pre-order.
+    for v in vertices:
+        w.u(len(v.groups))
+        for group in v.groups.values():
+            _write_seq(w, IntSequence.from_values(group.ranks))
+            if v.kind == LOOP:
+                _write_seq(w, group.counts)
+            elif v.kind == BRANCH:
+                _write_seq(w, group.visits)
+            elif v.kind == CALL:
+                w.u(len(group.records))
+                for rec in group.records:
+                    _write_record(w, rec, strings)
+    data = w.bytes()
+    if gzip:
+        return _gzip.compress(data, compresslevel=6)
+    return data
+
+
+def loads(data: bytes) -> MergedCTT:
+    """Inverse of :func:`dumps` (auto-detects gzip).
+
+    Corrupt input raises :class:`ValueError` — never an arbitrary internal
+    exception.
+    """
+    try:
+        return _loads(data)
+    except ValueError:
+        raise
+    except Exception as exc:  # truncated varints, bad indices, zlib noise
+        raise ValueError(f"corrupt CYPRESS trace file: {exc}") from exc
+
+
+def _loads(data: bytes) -> MergedCTT:
+    if data[:2] == b"\x1f\x8b":
+        data = _gzip.decompress(data)
+    r = ByteReader(data)
+    if r.raw(4) != _MAGIC:
+        raise ValueError("not a CYPRESS trace file")
+    version = r.u()
+    if version != _VERSION:
+        raise ValueError(f"unsupported trace version {version}")
+    nranks = r.u()
+    strings = [r.s() for _ in range(r.u())]
+
+    def read_vertex() -> MergedVertex:
+        v = MergedVertex.__new__(MergedVertex)
+        kind = _CODE_KIND[r.u()]
+        v.gid = -1
+        v.kind = kind
+        v.ast_id = None
+        v.name = None
+        v.op = None
+        v.branch_path = None
+        v.groups = {}
+        if kind == CALL:
+            op_idx = r.u()
+            name_idx = r.u()
+            v.op = strings[op_idx] if op_idx < len(strings) else None
+            v.name = strings[name_idx] if name_idx < len(strings) else None
+        elif kind == BRANCH:
+            v.branch_path = r.u()
+        nchildren = r.u()
+        v.children = [read_vertex() for _ in range(nchildren)]
+        return v
+
+    root = read_vertex()
+    vertices = list(root.preorder())
+    for gid, v in enumerate(vertices):
+        v.gid = gid
+    for v in vertices:
+        ngroups = r.u()
+        for _ in range(ngroups):
+            ranks = _read_seq(r).to_list()
+            group = Group(
+                signature=(), ranks=ranks, rank_set=set(ranks)
+            )
+            if v.kind == LOOP:
+                group.counts = _read_seq(r)
+                group.signature = ("L", group.counts.length, tuple(group.counts.terms))
+            elif v.kind == BRANCH:
+                group.visits = _read_seq(r)
+                group.signature = ("B", group.visits.length, tuple(group.visits.terms))
+            elif v.kind == CALL:
+                group.records = [_read_record(r, strings) for _ in range(r.u())]
+                group.signature = (
+                    "R",
+                    tuple(
+                        (rec.key, rec.occurrences.length, tuple(rec.occurrences.terms))
+                        for rec in group.records
+                    ),
+                )
+            v.groups[group.signature] = group
+    return MergedCTT(root, nranks)
+
+
+def save(merged: MergedCTT, path: str, gzip: bool = False) -> int:
+    """Write to ``path``; returns the byte count."""
+    data = dumps(merged, gzip=gzip)
+    with open(path, "wb") as fh:
+        fh.write(data)
+    return len(data)
+
+
+def load(path: str) -> MergedCTT:
+    with open(path, "rb") as fh:
+        return loads(fh.read())

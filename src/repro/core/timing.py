@@ -1,0 +1,115 @@
+"""Communication-time statistics (paper §IV-A).
+
+Two recording modes are supported, matching the paper:
+
+* ``meanstd`` — running average and standard deviation of the repeated
+  operations' times (Welford's online algorithm);
+* ``hist`` — a histogram of the time distribution with logarithmic bins
+  (the scheme ScalaTrace [14] uses and the paper adopts as its second
+  mode).
+
+Both support O(1) update and exact merging across ranks (inter-process
+compression merges the statistics of grouped records).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+MEANSTD = "meanstd"
+HIST = "hist"
+
+# Log-scale histogram bin edges in microseconds: <1, <2, <4, ... <2^22, inf
+_NBINS = 24
+
+
+def _bin_index(us: float) -> int:
+    if us < 1.0:
+        return 0
+    return min(_NBINS - 1, int(math.log2(us)) + 1)
+
+
+@dataclass
+class TimeStats:
+    """Aggregated timing of one (merged) communication record."""
+
+    mode: str = MEANSTD
+    count: int = 0
+    mean: float = 0.0
+    m2: float = 0.0  # sum of squared deviations (Welford)
+    minimum: float = math.inf
+    maximum: float = -math.inf
+    bins: list[int] | None = None  # histogram mode only
+
+    def __post_init__(self) -> None:
+        if self.mode not in (MEANSTD, HIST):
+            raise ValueError(f"unknown timing mode {self.mode!r}")
+        if self.mode == HIST and self.bins is None:
+            self.bins = [0] * _NBINS
+
+    # -- update --------------------------------------------------------
+
+    def add(self, us: float) -> None:
+        self.count += 1
+        delta = us - self.mean
+        self.mean += delta / self.count
+        self.m2 += delta * (us - self.mean)
+        if us < self.minimum:
+            self.minimum = us
+        if us > self.maximum:
+            self.maximum = us
+        if self.mode == HIST:
+            self.bins[_bin_index(us)] += 1
+
+    @property
+    def std(self) -> float:
+        if self.count < 2:
+            return 0.0
+        return math.sqrt(self.m2 / (self.count - 1))
+
+    # -- merge (inter-process compression) --------------------------------
+
+    def merge(self, other: "TimeStats") -> None:
+        if self.mode != other.mode:
+            raise ValueError("cannot merge time stats of different modes")
+        if other.count == 0:
+            return
+        if self.count == 0:
+            self.count = other.count
+            self.mean = other.mean
+            self.m2 = other.m2
+            self.minimum = other.minimum
+            self.maximum = other.maximum
+            if self.mode == HIST:
+                self.bins = list(other.bins)
+            return
+        n1, n2 = self.count, other.count
+        delta = other.mean - self.mean
+        total = n1 + n2
+        self.mean += delta * n2 / total
+        self.m2 += other.m2 + delta * delta * n1 * n2 / total
+        self.count = total
+        self.minimum = min(self.minimum, other.minimum)
+        self.maximum = max(self.maximum, other.maximum)
+        if self.mode == HIST:
+            self.bins = [a + b for a, b in zip(self.bins, other.bins)]
+
+    def copy(self) -> "TimeStats":
+        return TimeStats(
+            mode=self.mode,
+            count=self.count,
+            mean=self.mean,
+            m2=self.m2,
+            minimum=self.minimum,
+            maximum=self.maximum,
+            bins=list(self.bins) if self.bins is not None else None,
+        )
+
+    # -- size ------------------------------------------------------------
+
+    def approx_bytes(self) -> int:
+        base = 4 + 8 * 4  # count + mean/m2/min/max
+        if self.mode == HIST:
+            base += sum(1 for b in self.bins if b) * 5 + 2  # sparse bins
+        return base

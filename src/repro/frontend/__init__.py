@@ -1,0 +1,17 @@
+"""Python frontend: trace annotated Python rank functions with CYPRESS
+(the mpi4py-adoption path — no MiniMPI involved)."""
+
+from .runner import PythonRun, run_python
+from .structure import BuiltStructure, S, Spec, StructureError, build_structure
+from .traced import TracedComm
+
+__all__ = [
+    "PythonRun",
+    "run_python",
+    "BuiltStructure",
+    "S",
+    "Spec",
+    "StructureError",
+    "build_structure",
+    "TracedComm",
+]

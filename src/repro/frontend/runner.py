@@ -1,0 +1,82 @@
+"""Run annotated Python rank functions under the CYPRESS tracer."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterator
+
+from repro.core.decompress import ReplayEvent, decompress_merged_rank
+from repro.core.inter import MergedCTT, merge_all
+from repro.core.intra import CypressConfig, IntraProcessCompressor
+from repro.core import serialize
+from repro.mpisim.netmodel import NetworkModel
+from repro.mpisim.pmpi import MultiSink, TraceSink
+from repro.mpisim.runtime import Runtime, RunResult
+
+from .structure import BuiltStructure, Spec, build_structure
+from .traced import TracedComm
+
+RankFunction = Callable[[TracedComm], Iterator[None]]
+
+
+@dataclass
+class PythonRun:
+    """Result of tracing a Python rank function."""
+
+    structure: BuiltStructure
+    nprocs: int
+    compressor: IntraProcessCompressor
+    run_result: RunResult
+    _merged: MergedCTT | None = field(default=None, repr=False)
+
+    def merge(self, schedule: str = "tree") -> MergedCTT:
+        if self._merged is None:
+            ctts = [self.compressor.ctt(r) for r in range(self.nprocs)]
+            self._merged = merge_all(ctts, schedule=schedule)
+        return self._merged
+
+    def trace_bytes(self, gzip: bool = False) -> int:
+        return len(serialize.dumps(self.merge(), gzip=gzip))
+
+    def save(self, path: str, gzip: bool = False) -> int:
+        return serialize.save(self.merge(), path, gzip=gzip)
+
+    def replay(self, rank: int) -> list[ReplayEvent]:
+        return decompress_merged_rank(self.merge(), rank)
+
+
+def run_python(
+    rank_fn: RankFunction,
+    structure: Spec | BuiltStructure,
+    nprocs: int,
+    config: CypressConfig | None = None,
+    extra_sinks: list[TraceSink] | None = None,
+    network: NetworkModel | None = None,
+) -> PythonRun:
+    """Execute ``rank_fn`` on every simulated rank with CYPRESS attached.
+
+    ``rank_fn(tc)`` must be a generator function taking a
+    :class:`TracedComm`; ``structure`` is the declared communication
+    structure (see :class:`repro.frontend.structure.S`).
+    """
+    built = (
+        structure
+        if isinstance(structure, BuiltStructure)
+        else build_structure(structure)
+    )
+    compressor = IntraProcessCompressor(built.cst, config=config)
+    sink: TraceSink = compressor
+    if extra_sinks:
+        sink = MultiSink([compressor, *extra_sinks])
+    runtime = Runtime(nprocs, network=network, tracer=sink)
+
+    def rank_main(comm):
+        return rank_fn(TracedComm(comm, built))
+
+    result = runtime.run(rank_main)
+    return PythonRun(
+        structure=built,
+        nprocs=nprocs,
+        compressor=compressor,
+        run_result=result,
+    )

@@ -1,0 +1,15 @@
+"""MiniMPI: the small C-like language substrate (paper: C/Fortran + LLVM)."""
+
+from .parser import parse
+from .interp import Interpreter, InstrumentationPlan, InterpError
+from .cfg import build_cfg, build_all_cfgs, CFG
+
+__all__ = [
+    "parse",
+    "Interpreter",
+    "InstrumentationPlan",
+    "InterpError",
+    "build_cfg",
+    "build_all_cfgs",
+    "CFG",
+]

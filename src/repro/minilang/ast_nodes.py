@@ -1,0 +1,206 @@
+"""AST node definitions for the MiniMPI language.
+
+Every node carries a ``node_id`` unique within its program and a source
+``line``.  Control-structure node ids are the anchor the static analysis
+uses to attach CST GIDs back onto the program (the moral equivalent of the
+paper inserting ``PMPI_COMM_Structure`` markers at compile time).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class Node:
+    node_id: int
+    line: int
+
+
+# --------------------------------------------------------------------------
+# Expressions
+# --------------------------------------------------------------------------
+
+
+@dataclass
+class IntLit(Node):
+    value: int
+
+
+@dataclass
+class StrLit(Node):
+    value: str
+
+
+@dataclass
+class VarRef(Node):
+    name: str
+
+
+@dataclass
+class Index(Node):
+    """Array element read: ``name[index]``."""
+
+    name: str
+    index: "Expr"
+
+
+@dataclass
+class Unary(Node):
+    op: str  # '-' or '!'
+    operand: "Expr"
+
+
+@dataclass
+class Binary(Node):
+    op: str  # + - * / % == != < <= > >= && ||
+    left: "Expr"
+    right: "Expr"
+
+
+@dataclass
+class Call(Node):
+    """Function call — either a user-defined function or a builtin
+    (MPI intrinsics live in :mod:`repro.minilang.builtins`)."""
+
+    name: str
+    args: list["Expr"] = field(default_factory=list)
+
+
+Expr = IntLit | StrLit | VarRef | Index | Unary | Binary | Call
+
+
+# --------------------------------------------------------------------------
+# Statements
+# --------------------------------------------------------------------------
+
+
+@dataclass
+class VarDecl(Node):
+    """``var x;`` / ``var x = e;`` / ``var a[n];``"""
+
+    name: str
+    size: Expr | None = None  # array size expression, None for scalars
+    init: Expr | None = None
+
+
+@dataclass
+class Assign(Node):
+    """``x = e;`` or ``a[i] = e;``"""
+
+    name: str
+    index: Expr | None
+    value: Expr
+
+
+@dataclass
+class ExprStmt(Node):
+    expr: Expr
+
+
+@dataclass
+class If(Node):
+    cond: Expr
+    then_body: list["Stmt"]
+    else_body: list["Stmt"] = field(default_factory=list)
+
+
+@dataclass
+class For(Node):
+    """C-style ``for (init; cond; step) body``.
+
+    ``init`` and ``step`` are statements (Assign/VarDecl/ExprStmt) or None;
+    ``cond`` may be None for an infinite loop.
+    """
+
+    init: "Stmt | None"
+    cond: Expr | None
+    step: "Stmt | None"
+    body: list["Stmt"] = field(default_factory=list)
+
+
+@dataclass
+class While(Node):
+    cond: Expr
+    body: list["Stmt"] = field(default_factory=list)
+
+
+@dataclass
+class Return(Node):
+    value: Expr | None = None
+
+
+@dataclass
+class Break(Node):
+    pass
+
+
+@dataclass
+class Continue(Node):
+    pass
+
+
+Stmt = VarDecl | Assign | ExprStmt | If | For | While | Return | Break | Continue
+
+
+# --------------------------------------------------------------------------
+# Top level
+# --------------------------------------------------------------------------
+
+
+@dataclass
+class FuncDef(Node):
+    name: str
+    params: list[str]
+    body: list[Stmt] = field(default_factory=list)
+
+
+@dataclass
+class Program(Node):
+    functions: dict[str, FuncDef] = field(default_factory=dict)
+    source_name: str = "<minimpi>"
+
+    def function(self, name: str) -> FuncDef:
+        try:
+            return self.functions[name]
+        except KeyError:
+            raise KeyError(f"no function named {name!r} in {self.source_name}") from None
+
+
+def walk(node: Node):
+    """Yield ``node`` and all AST nodes beneath it, pre-order."""
+    yield node
+    children: list[Node] = []
+    if isinstance(node, Program):
+        children.extend(node.functions.values())
+    elif isinstance(node, FuncDef):
+        children.extend(node.body)
+    elif isinstance(node, VarDecl):
+        children.extend(c for c in (node.size, node.init) if c is not None)
+    elif isinstance(node, Assign):
+        children.extend(c for c in (node.index, node.value) if c is not None)
+    elif isinstance(node, ExprStmt):
+        children.append(node.expr)
+    elif isinstance(node, If):
+        children.append(node.cond)
+        children.extend(node.then_body)
+        children.extend(node.else_body)
+    elif isinstance(node, For):
+        children.extend(c for c in (node.init, node.cond, node.step) if c is not None)
+        children.extend(node.body)
+    elif isinstance(node, While):
+        children.append(node.cond)
+        children.extend(node.body)
+    elif isinstance(node, Return):
+        if node.value is not None:
+            children.append(node.value)
+    elif isinstance(node, Index):
+        children.append(node.index)
+    elif isinstance(node, Unary):
+        children.append(node.operand)
+    elif isinstance(node, Binary):
+        children.extend((node.left, node.right))
+    elif isinstance(node, Call):
+        children.extend(node.args)
+    for child in children:
+        yield from walk(child)

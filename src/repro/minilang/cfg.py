@@ -1,0 +1,275 @@
+"""Control-flow graph construction for MiniMPI functions.
+
+The CYPRESS static module works on a compiler IR: per-procedure CFGs of
+basic blocks, over which it runs dominator-based loop detection and branch
+identification (paper §III-A).  This module lowers the MiniMPI AST into
+such CFGs.
+
+Each control structure records the AST node id it came from (``ast_id``) —
+the analogue of LLVM debug/loop metadata — which is how the instrumentation
+pass later attaches CST GIDs back onto the executing program.
+
+Block kinds:
+
+* ``entry`` / ``exit`` — unique function entry and exit.
+* ``loop_header`` — evaluates a loop condition; has a back edge from the
+  loop latch and two successors (body, loop exit).  For a MiniMPI
+  ``for``/``while`` this is the only block targeted by a back edge.
+* ``branch`` — ends in a two-way conditional from an ``if``.
+* ``latch`` — the loop back-edge source (holds the ``for`` step).
+* ``plain`` — straight-line code.
+
+Function calls (MPI intrinsics and user-defined functions alike) appear as
+ordered :class:`Invocation` entries inside blocks, in evaluation order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from . import ast_nodes as A
+
+
+@dataclass(frozen=True)
+class Invocation:
+    """A call site recorded in a basic block."""
+
+    name: str
+    ast_id: int
+    line: int
+
+
+@dataclass
+class BasicBlock:
+    bid: int
+    kind: str = "plain"
+    ast_id: int | None = None  # AST node id of the originating control structure
+    invocations: list[Invocation] = field(default_factory=list)
+    succs: list[int] = field(default_factory=list)
+    preds: list[int] = field(default_factory=list)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        inv = ",".join(i.name for i in self.invocations)
+        return f"BB{self.bid}({self.kind}{':' + inv if inv else ''})->{self.succs}"
+
+
+class CFG:
+    """A per-function control-flow graph."""
+
+    def __init__(self, func_name: str) -> None:
+        self.func_name = func_name
+        self.blocks: dict[int, BasicBlock] = {}
+        self.entry: int = -1
+        self.exit: int = -1
+        self._next_bid = 0
+
+    def new_block(self, kind: str = "plain", ast_id: int | None = None) -> BasicBlock:
+        block = BasicBlock(bid=self._next_bid, kind=kind, ast_id=ast_id)
+        self._next_bid += 1
+        self.blocks[block.bid] = block
+        return block
+
+    def add_edge(self, src: int, dst: int) -> None:
+        if dst not in self.blocks[src].succs:
+            self.blocks[src].succs.append(dst)
+        if src not in self.blocks[dst].preds:
+            self.blocks[dst].preds.append(src)
+
+    def postorder(self) -> list[int]:
+        """Blocks in post-order from the entry (unreachable blocks omitted)."""
+        seen: set[int] = set()
+        order: list[int] = []
+        # Iterative DFS preserving successor order.
+        stack: list[tuple[int, int]] = [(self.entry, 0)]
+        seen.add(self.entry)
+        while stack:
+            bid, idx = stack[-1]
+            succs = self.blocks[bid].succs
+            if idx < len(succs):
+                stack[-1] = (bid, idx + 1)
+                nxt = succs[idx]
+                if nxt not in seen:
+                    seen.add(nxt)
+                    stack.append((nxt, 0))
+            else:
+                stack.pop()
+                order.append(bid)
+        return order
+
+    def reverse_postorder(self) -> list[int]:
+        return list(reversed(self.postorder()))
+
+
+class _Builder:
+    """Lowers one function body into a CFG."""
+
+    def __init__(self, func: A.FuncDef) -> None:
+        self.cfg = CFG(func.name)
+        self._func = func
+
+    def build(self) -> CFG:
+        cfg = self.cfg
+        entry = cfg.new_block("entry")
+        cfg.entry = entry.bid
+        exit_block = cfg.new_block("exit")
+        cfg.exit = exit_block.bid
+        last = self._lower_stmts(self._func.body, entry, break_to=None, continue_to=None)
+        if last is not None:
+            cfg.add_edge(last.bid, cfg.exit)
+        return cfg
+
+    # ------------------------------------------------------------------
+
+    def _lower_stmts(
+        self,
+        stmts: list[A.Stmt],
+        current: BasicBlock | None,
+        break_to: int | None,
+        continue_to: int | None,
+    ) -> BasicBlock | None:
+        """Lower a statement list; return the open fall-through block
+        (``None`` if control never falls through, e.g. after ``return``)."""
+        for stmt in stmts:
+            if current is None:  # unreachable code after return/break
+                return None
+            current = self._lower_stmt(stmt, current, break_to, continue_to)
+        return current
+
+    def _lower_stmt(
+        self,
+        stmt: A.Stmt,
+        current: BasicBlock,
+        break_to: int | None,
+        continue_to: int | None,
+    ) -> BasicBlock | None:
+        cfg = self.cfg
+        if isinstance(stmt, A.VarDecl):
+            for e in (stmt.size, stmt.init):
+                if e is not None:
+                    self._collect_calls(e, current)
+            return current
+        if isinstance(stmt, A.Assign):
+            if stmt.index is not None:
+                self._collect_calls(stmt.index, current)
+            self._collect_calls(stmt.value, current)
+            return current
+        if isinstance(stmt, A.ExprStmt):
+            self._collect_calls(stmt.expr, current)
+            return current
+        if isinstance(stmt, A.Return):
+            if stmt.value is not None:
+                self._collect_calls(stmt.value, current)
+            cfg.add_edge(current.bid, cfg.exit)
+            return None
+        if isinstance(stmt, A.Break):
+            if break_to is None:
+                raise ValueError(f"'break' outside loop at line {stmt.line}")
+            cfg.add_edge(current.bid, break_to)
+            return None
+        if isinstance(stmt, A.Continue):
+            if continue_to is None:
+                raise ValueError(f"'continue' outside loop at line {stmt.line}")
+            cfg.add_edge(current.bid, continue_to)
+            return None
+        if isinstance(stmt, A.If):
+            return self._lower_if(stmt, current, break_to, continue_to)
+        if isinstance(stmt, (A.For, A.While)):
+            return self._lower_loop(stmt, current, break_to, continue_to)
+        raise TypeError(f"unhandled statement {type(stmt).__name__}")
+
+    def _lower_if(
+        self,
+        stmt: A.If,
+        current: BasicBlock,
+        break_to: int | None,
+        continue_to: int | None,
+    ) -> BasicBlock | None:
+        cfg = self.cfg
+        self._collect_calls(stmt.cond, current)
+        # The condition lives at the end of `current`, which becomes the
+        # branch block.
+        current.kind = "branch"
+        current.ast_id = stmt.node_id
+        then_entry = cfg.new_block()
+        cfg.add_edge(current.bid, then_entry.bid)
+        then_end = self._lower_stmts(stmt.then_body, then_entry, break_to, continue_to)
+        else_entry = cfg.new_block()
+        cfg.add_edge(current.bid, else_entry.bid)
+        else_end = self._lower_stmts(stmt.else_body, else_entry, break_to, continue_to)
+        if then_end is None and else_end is None:
+            return None
+        join = cfg.new_block("join")
+        if then_end is not None:
+            cfg.add_edge(then_end.bid, join.bid)
+        if else_end is not None:
+            cfg.add_edge(else_end.bid, join.bid)
+        return join
+
+    def _lower_loop(
+        self,
+        stmt: A.For | A.While,
+        current: BasicBlock,
+        break_to: int | None,
+        continue_to: int | None,
+    ) -> BasicBlock:
+        cfg = self.cfg
+        is_for = isinstance(stmt, A.For)
+        if is_for and stmt.init is not None:
+            after = self._lower_stmt(stmt.init, current, break_to, continue_to)
+            assert after is current, "for-init cannot alter control flow"
+        header = cfg.new_block("loop_header", ast_id=stmt.node_id)
+        cfg.add_edge(current.bid, header.bid)
+        cond = stmt.cond
+        if cond is not None:
+            self._collect_calls(cond, header)
+        body_entry = cfg.new_block()
+        cfg.add_edge(header.bid, body_entry.bid)
+        exit_block = cfg.new_block("join")
+        cfg.add_edge(header.bid, exit_block.bid)
+        latch = cfg.new_block("latch")
+        body_end = self._lower_stmts(
+            stmt.body, body_entry, break_to=exit_block.bid, continue_to=latch.bid
+        )
+        if body_end is not None:
+            cfg.add_edge(body_end.bid, latch.bid)
+        if is_for and stmt.step is not None:
+            after = self._lower_stmt(stmt.step, latch, None, None)
+            assert after is latch, "for-step cannot alter control flow"
+        cfg.add_edge(latch.bid, header.bid)  # the back edge
+        return exit_block
+
+    # ------------------------------------------------------------------
+
+    def _collect_calls(self, expr: A.Expr, block: BasicBlock) -> None:
+        """Append all call sites inside ``expr`` to ``block`` in
+        left-to-right evaluation order."""
+        if isinstance(expr, (A.IntLit, A.StrLit, A.VarRef)):
+            return
+        if isinstance(expr, A.Index):
+            self._collect_calls(expr.index, block)
+            return
+        if isinstance(expr, A.Unary):
+            self._collect_calls(expr.operand, block)
+            return
+        if isinstance(expr, A.Binary):
+            self._collect_calls(expr.left, block)
+            self._collect_calls(expr.right, block)
+            return
+        if isinstance(expr, A.Call):
+            for arg in expr.args:
+                self._collect_calls(arg, block)
+            block.invocations.append(
+                Invocation(name=expr.name, ast_id=expr.node_id, line=expr.line)
+            )
+            return
+        raise TypeError(f"unhandled expression {type(expr).__name__}")
+
+
+def build_cfg(func: A.FuncDef) -> CFG:
+    """Build the control-flow graph of one MiniMPI function."""
+    return _Builder(func).build()
+
+
+def build_all_cfgs(program: A.Program) -> dict[str, CFG]:
+    """CFGs for every function in the program, keyed by function name."""
+    return {name: build_cfg(func) for name, func in program.functions.items()}

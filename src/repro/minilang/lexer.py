@@ -1,0 +1,128 @@
+"""Hand-written lexer for the MiniMPI language."""
+
+from __future__ import annotations
+
+from .tokens import KEYWORDS, Token, TokenType
+
+
+class LexError(Exception):
+    """Raised on an unrecognised character or malformed literal."""
+
+    def __init__(self, message: str, line: int, col: int) -> None:
+        super().__init__(f"{message} at {line}:{col}")
+        self.line = line
+        self.col = col
+
+
+_TWO_CHAR_OPS = {
+    "==": TokenType.EQ,
+    "!=": TokenType.NE,
+    "<=": TokenType.LE,
+    ">=": TokenType.GE,
+    "&&": TokenType.AND,
+    "||": TokenType.OR,
+}
+
+_ONE_CHAR_OPS = {
+    "+": TokenType.PLUS,
+    "-": TokenType.MINUS,
+    "*": TokenType.STAR,
+    "/": TokenType.SLASH,
+    "%": TokenType.PERCENT,
+    "=": TokenType.ASSIGN,
+    "<": TokenType.LT,
+    ">": TokenType.GT,
+    "!": TokenType.NOT,
+    "(": TokenType.LPAREN,
+    ")": TokenType.RPAREN,
+    "{": TokenType.LBRACE,
+    "}": TokenType.RBRACE,
+    "[": TokenType.LBRACKET,
+    "]": TokenType.RBRACKET,
+    ",": TokenType.COMMA,
+    ";": TokenType.SEMI,
+}
+
+
+def tokenize(source: str) -> list[Token]:
+    """Convert MiniMPI source text into a token list ending with EOF.
+
+    Supports ``//`` line comments and ``/* */`` block comments.
+    """
+    tokens: list[Token] = []
+    i = 0
+    line = 1
+    col = 1
+    n = len(source)
+
+    def advance(k: int = 1) -> None:
+        nonlocal i, line, col
+        for _ in range(k):
+            if i < n and source[i] == "\n":
+                line += 1
+                col = 1
+            else:
+                col += 1
+            i += 1
+
+    while i < n:
+        ch = source[i]
+        if ch in " \t\r\n":
+            advance()
+            continue
+        if ch == "/" and i + 1 < n and source[i + 1] == "/":
+            while i < n and source[i] != "\n":
+                advance()
+            continue
+        if ch == "/" and i + 1 < n and source[i + 1] == "*":
+            start_line, start_col = line, col
+            advance(2)
+            while i + 1 < n and not (source[i] == "*" and source[i + 1] == "/"):
+                advance()
+            if i + 1 >= n:
+                raise LexError("unterminated block comment", start_line, start_col)
+            advance(2)
+            continue
+        if ch.isdigit():
+            start = i
+            start_line, start_col = line, col
+            while i < n and source[i].isdigit():
+                advance()
+            tokens.append(Token(TokenType.INT, source[start:i], start_line, start_col))
+            continue
+        if ch.isalpha() or ch == "_":
+            start = i
+            start_line, start_col = line, col
+            while i < n and (source[i].isalnum() or source[i] == "_"):
+                advance()
+            text = source[start:i]
+            ttype = KEYWORDS.get(text, TokenType.IDENT)
+            tokens.append(Token(ttype, text, start_line, start_col))
+            continue
+        if ch == '"':
+            start_line, start_col = line, col
+            advance()
+            start = i
+            while i < n and source[i] != '"':
+                if source[i] == "\n":
+                    raise LexError("unterminated string", start_line, start_col)
+                advance()
+            if i >= n:
+                raise LexError("unterminated string", start_line, start_col)
+            text = source[start:i]
+            advance()
+            tokens.append(Token(TokenType.STRING, text, start_line, start_col))
+            continue
+        two = source[i : i + 2]
+        if two in _TWO_CHAR_OPS:
+            tokens.append(Token(_TWO_CHAR_OPS[two], two, line, col))
+            advance(2)
+            continue
+        if ch in _ONE_CHAR_OPS:
+            tokens.append(Token(_ONE_CHAR_OPS[ch], ch, line, col))
+            advance()
+            continue
+        raise LexError(f"unexpected character {ch!r}", line, col)
+
+    tokens.append(Token(TokenType.EOF, "", line, col))
+    return tokens

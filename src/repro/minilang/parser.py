@@ -1,0 +1,312 @@
+"""Recursive-descent parser for the MiniMPI language.
+
+Grammar (EBNF, whitespace-insensitive)::
+
+    program     := funcdef*
+    funcdef     := 'func' IDENT '(' [IDENT (',' IDENT)*] ')' block
+    block       := '{' stmt* '}'
+    stmt        := vardecl | ifstmt | forstmt | whilestmt | returnstmt
+                 | 'break' ';' | 'continue' ';' | simplestmt ';'
+    vardecl     := 'var' IDENT ['[' expr ']'] ['=' expr] ';'
+    ifstmt      := 'if' '(' expr ')' block ['else' (block | ifstmt)]
+    forstmt     := 'for' '(' [simplestmt] ';' [expr] ';' [simplestmt] ')' block
+    whilestmt   := 'while' '(' expr ')' block
+    returnstmt  := 'return' [expr] ';'
+    simplestmt  := IDENT ['[' expr ']'] '=' expr     (assignment)
+                 | expr                              (expression statement)
+    expr        := orexpr
+    orexpr      := andexpr ('||' andexpr)*
+    andexpr     := cmpexpr ('&&' cmpexpr)*
+    cmpexpr     := addexpr (('=='|'!='|'<'|'<='|'>'|'>=') addexpr)?
+    addexpr     := mulexpr (('+'|'-') mulexpr)*
+    mulexpr     := unary (('*'|'/'|'%') unary)*
+    unary       := ('-'|'!') unary | primary
+    primary     := INT | STRING | IDENT ['(' args ')' | '[' expr ']']
+                 | '(' expr ')'
+"""
+
+from __future__ import annotations
+
+from . import ast_nodes as A
+from .lexer import tokenize
+from .tokens import Token, TokenType as T
+
+
+class ParseError(Exception):
+    def __init__(self, message: str, token: Token) -> None:
+        super().__init__(f"{message} at {token.line}:{token.col} (got {token.value!r})")
+        self.token = token
+
+
+class Parser:
+    def __init__(self, tokens: list[Token], source_name: str = "<minimpi>") -> None:
+        self._tokens = tokens
+        self._pos = 0
+        self._next_id = 0
+        self._source_name = source_name
+
+    # -- token helpers ------------------------------------------------------
+
+    def _peek(self, offset: int = 0) -> Token:
+        return self._tokens[min(self._pos + offset, len(self._tokens) - 1)]
+
+    def _at(self, ttype: T) -> bool:
+        return self._peek().type is ttype
+
+    def _advance(self) -> Token:
+        tok = self._tokens[self._pos]
+        if tok.type is not T.EOF:
+            self._pos += 1
+        return tok
+
+    def _expect(self, ttype: T) -> Token:
+        if not self._at(ttype):
+            raise ParseError(f"expected {ttype.name}", self._peek())
+        return self._advance()
+
+    def _accept(self, ttype: T) -> Token | None:
+        if self._at(ttype):
+            return self._advance()
+        return None
+
+    def _nid(self) -> int:
+        self._next_id += 1
+        return self._next_id
+
+    # -- top level -----------------------------------------------------------
+
+    def parse_program(self) -> A.Program:
+        program = A.Program(node_id=0, line=1, source_name=self._source_name)
+        while not self._at(T.EOF):
+            fd = self._funcdef()
+            if fd.name in program.functions:
+                raise ParseError(f"duplicate function {fd.name!r}", self._peek())
+            program.functions[fd.name] = fd
+        return program
+
+    def _funcdef(self) -> A.FuncDef:
+        kw = self._expect(T.FUNC)
+        name = self._expect(T.IDENT).value
+        self._expect(T.LPAREN)
+        params: list[str] = []
+        if not self._at(T.RPAREN):
+            params.append(self._expect(T.IDENT).value)
+            while self._accept(T.COMMA):
+                params.append(self._expect(T.IDENT).value)
+        self._expect(T.RPAREN)
+        body = self._block()
+        return A.FuncDef(node_id=self._nid(), line=kw.line, name=name, params=params, body=body)
+
+    # -- statements -----------------------------------------------------------
+
+    def _block(self) -> list[A.Stmt]:
+        self._expect(T.LBRACE)
+        stmts: list[A.Stmt] = []
+        while not self._at(T.RBRACE):
+            stmts.append(self._stmt())
+        self._expect(T.RBRACE)
+        return stmts
+
+    def _stmt(self) -> A.Stmt:
+        tok = self._peek()
+        if tok.type is T.VAR:
+            return self._vardecl()
+        if tok.type is T.IF:
+            return self._ifstmt()
+        if tok.type is T.FOR:
+            return self._forstmt()
+        if tok.type is T.WHILE:
+            return self._whilestmt()
+        if tok.type is T.RETURN:
+            self._advance()
+            value = None if self._at(T.SEMI) else self._expr()
+            self._expect(T.SEMI)
+            return A.Return(node_id=self._nid(), line=tok.line, value=value)
+        if tok.type is T.BREAK:
+            self._advance()
+            self._expect(T.SEMI)
+            return A.Break(node_id=self._nid(), line=tok.line)
+        if tok.type is T.CONTINUE:
+            self._advance()
+            self._expect(T.SEMI)
+            return A.Continue(node_id=self._nid(), line=tok.line)
+        stmt = self._simplestmt()
+        self._expect(T.SEMI)
+        return stmt
+
+    def _vardecl(self) -> A.VarDecl:
+        kw = self._expect(T.VAR)
+        name = self._expect(T.IDENT).value
+        size = None
+        if self._accept(T.LBRACKET):
+            size = self._expr()
+            self._expect(T.RBRACKET)
+        init = None
+        if self._accept(T.ASSIGN):
+            init = self._expr()
+        self._expect(T.SEMI)
+        return A.VarDecl(node_id=self._nid(), line=kw.line, name=name, size=size, init=init)
+
+    def _ifstmt(self) -> A.If:
+        kw = self._expect(T.IF)
+        self._expect(T.LPAREN)
+        cond = self._expr()
+        self._expect(T.RPAREN)
+        then_body = self._block()
+        else_body: list[A.Stmt] = []
+        if self._accept(T.ELSE):
+            if self._at(T.IF):
+                else_body = [self._ifstmt()]
+            else:
+                else_body = self._block()
+        return A.If(
+            node_id=self._nid(), line=kw.line, cond=cond,
+            then_body=then_body, else_body=else_body,
+        )
+
+    def _forstmt(self) -> A.For:
+        kw = self._expect(T.FOR)
+        self._expect(T.LPAREN)
+        init = None if self._at(T.SEMI) else self._for_clause()
+        self._expect(T.SEMI)
+        cond = None if self._at(T.SEMI) else self._expr()
+        self._expect(T.SEMI)
+        step = None if self._at(T.RPAREN) else self._for_clause()
+        self._expect(T.RPAREN)
+        body = self._block()
+        return A.For(
+            node_id=self._nid(), line=kw.line,
+            init=init, cond=cond, step=step, body=body,
+        )
+
+    def _for_clause(self) -> A.Stmt:
+        if self._at(T.VAR):
+            kw = self._advance()
+            name = self._expect(T.IDENT).value
+            init = None
+            if self._accept(T.ASSIGN):
+                init = self._expr()
+            return A.VarDecl(node_id=self._nid(), line=kw.line, name=name, init=init)
+        return self._simplestmt()
+
+    def _whilestmt(self) -> A.While:
+        kw = self._expect(T.WHILE)
+        self._expect(T.LPAREN)
+        cond = self._expr()
+        self._expect(T.RPAREN)
+        body = self._block()
+        return A.While(node_id=self._nid(), line=kw.line, cond=cond, body=body)
+
+    def _simplestmt(self) -> A.Stmt:
+        tok = self._peek()
+        # assignment: IDENT ('[' expr ']')? '=' ...
+        if tok.type is T.IDENT:
+            if self._peek(1).type is T.ASSIGN:
+                name = self._advance().value
+                self._advance()  # '='
+                value = self._expr()
+                return A.Assign(node_id=self._nid(), line=tok.line, name=name, index=None, value=value)
+            if self._peek(1).type is T.LBRACKET:
+                # could be `a[i] = e` or an expression `a[i] + ...`; try index-assign
+                save = self._pos
+                name = self._advance().value
+                self._advance()  # '['
+                index = self._expr()
+                self._expect(T.RBRACKET)
+                if self._accept(T.ASSIGN):
+                    value = self._expr()
+                    return A.Assign(node_id=self._nid(), line=tok.line, name=name, index=index, value=value)
+                self._pos = save  # not an assignment — re-parse as expression
+        expr = self._expr()
+        return A.ExprStmt(node_id=self._nid(), line=tok.line, expr=expr)
+
+    # -- expressions ------------------------------------------------------------
+
+    def _expr(self) -> A.Expr:
+        return self._orexpr()
+
+    def _orexpr(self) -> A.Expr:
+        left = self._andexpr()
+        while self._at(T.OR):
+            tok = self._advance()
+            right = self._andexpr()
+            left = A.Binary(node_id=self._nid(), line=tok.line, op="||", left=left, right=right)
+        return left
+
+    def _andexpr(self) -> A.Expr:
+        left = self._cmpexpr()
+        while self._at(T.AND):
+            tok = self._advance()
+            right = self._cmpexpr()
+            left = A.Binary(node_id=self._nid(), line=tok.line, op="&&", left=left, right=right)
+        return left
+
+    _CMP = {T.EQ: "==", T.NE: "!=", T.LT: "<", T.LE: "<=", T.GT: ">", T.GE: ">="}
+
+    def _cmpexpr(self) -> A.Expr:
+        left = self._addexpr()
+        if self._peek().type in self._CMP:
+            tok = self._advance()
+            op = self._CMP[tok.type]
+            right = self._addexpr()
+            left = A.Binary(node_id=self._nid(), line=tok.line, op=op, left=left, right=right)
+        return left
+
+    def _addexpr(self) -> A.Expr:
+        left = self._mulexpr()
+        while self._peek().type in (T.PLUS, T.MINUS):
+            tok = self._advance()
+            right = self._mulexpr()
+            left = A.Binary(node_id=self._nid(), line=tok.line, op=tok.value, left=left, right=right)
+        return left
+
+    def _mulexpr(self) -> A.Expr:
+        left = self._unary()
+        while self._peek().type in (T.STAR, T.SLASH, T.PERCENT):
+            tok = self._advance()
+            right = self._unary()
+            left = A.Binary(node_id=self._nid(), line=tok.line, op=tok.value, left=left, right=right)
+        return left
+
+    def _unary(self) -> A.Expr:
+        tok = self._peek()
+        if tok.type in (T.MINUS, T.NOT):
+            self._advance()
+            operand = self._unary()
+            return A.Unary(node_id=self._nid(), line=tok.line, op=tok.value, operand=operand)
+        return self._primary()
+
+    def _primary(self) -> A.Expr:
+        tok = self._peek()
+        if tok.type is T.INT:
+            self._advance()
+            return A.IntLit(node_id=self._nid(), line=tok.line, value=int(tok.value))
+        if tok.type is T.STRING:
+            self._advance()
+            return A.StrLit(node_id=self._nid(), line=tok.line, value=tok.value)
+        if tok.type is T.IDENT:
+            name = self._advance().value
+            if self._accept(T.LPAREN):
+                args: list[A.Expr] = []
+                if not self._at(T.RPAREN):
+                    args.append(self._expr())
+                    while self._accept(T.COMMA):
+                        args.append(self._expr())
+                self._expect(T.RPAREN)
+                return A.Call(node_id=self._nid(), line=tok.line, name=name, args=args)
+            if self._accept(T.LBRACKET):
+                index = self._expr()
+                self._expect(T.RBRACKET)
+                return A.Index(node_id=self._nid(), line=tok.line, name=name, index=index)
+            return A.VarRef(node_id=self._nid(), line=tok.line, name=name)
+        if tok.type is T.LPAREN:
+            self._advance()
+            expr = self._expr()
+            self._expect(T.RPAREN)
+            return expr
+        raise ParseError("expected expression", tok)
+
+
+def parse(source: str, source_name: str = "<minimpi>") -> A.Program:
+    """Parse MiniMPI source text into a :class:`~repro.minilang.ast_nodes.Program`."""
+    return Parser(tokenize(source), source_name).parse_program()

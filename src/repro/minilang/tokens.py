@@ -1,0 +1,92 @@
+"""Token definitions for the MiniMPI language.
+
+MiniMPI is the small C-like language this reproduction uses in place of the
+C/Fortran sources the paper compiles with LLVM.  The token set is
+deliberately small: integers, identifiers, keywords, arithmetic and
+comparison operators, and punctuation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum, auto
+
+
+class TokenType(Enum):
+    """All token categories produced by the lexer."""
+
+    # literals / names
+    INT = auto()
+    IDENT = auto()
+    STRING = auto()
+
+    # keywords
+    FUNC = auto()
+    VAR = auto()
+    IF = auto()
+    ELSE = auto()
+    FOR = auto()
+    WHILE = auto()
+    RETURN = auto()
+    BREAK = auto()
+    CONTINUE = auto()
+
+    # operators
+    PLUS = auto()
+    MINUS = auto()
+    STAR = auto()
+    SLASH = auto()
+    PERCENT = auto()
+    ASSIGN = auto()
+    EQ = auto()
+    NE = auto()
+    LT = auto()
+    LE = auto()
+    GT = auto()
+    GE = auto()
+    AND = auto()
+    OR = auto()
+    NOT = auto()
+
+    # punctuation
+    LPAREN = auto()
+    RPAREN = auto()
+    LBRACE = auto()
+    RBRACE = auto()
+    LBRACKET = auto()
+    RBRACKET = auto()
+    COMMA = auto()
+    SEMI = auto()
+
+    EOF = auto()
+
+
+KEYWORDS = {
+    "func": TokenType.FUNC,
+    "var": TokenType.VAR,
+    "if": TokenType.IF,
+    "else": TokenType.ELSE,
+    "for": TokenType.FOR,
+    "while": TokenType.WHILE,
+    "return": TokenType.RETURN,
+    "break": TokenType.BREAK,
+    "continue": TokenType.CONTINUE,
+}
+
+
+@dataclass(frozen=True)
+class Token:
+    """A single lexical token.
+
+    ``line`` and ``col`` are 1-based source coordinates used for error
+    reporting and for tying AST nodes back to source locations (the
+    equivalent of LLVM debug metadata used by the paper's pass).
+    """
+
+    type: TokenType
+    value: str
+    line: int
+    col: int
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Token({self.type.name}, {self.value!r}, {self.line}:{self.col})"

@@ -1,0 +1,30 @@
+"""Simulated MPI runtime substrate (paper: real MPI library + PMPI layer)."""
+
+from .runtime import Runtime, RunResult
+from .netmodel import NetworkModel
+from .pmpi import TraceSink, NullSink, MultiSink, TimingSink, RecordingSink
+from .events import CommEvent
+from .errors import (
+    MPISimError,
+    DeadlockError,
+    CollectiveMismatchError,
+    InvalidRequestError,
+    ProgramError,
+)
+
+__all__ = [
+    "Runtime",
+    "RunResult",
+    "NetworkModel",
+    "TraceSink",
+    "NullSink",
+    "MultiSink",
+    "TimingSink",
+    "RecordingSink",
+    "CommEvent",
+    "MPISimError",
+    "DeadlockError",
+    "CollectiveMismatchError",
+    "InvalidRequestError",
+    "ProgramError",
+]

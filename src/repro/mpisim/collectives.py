@@ -1,0 +1,152 @@
+"""Collective-operation synchronisation for the simulated runtime.
+
+Each communicator carries an implicit sequence of collective operations; a
+rank entering its ``k``-th collective joins slot ``k``.  The slot completes
+when all ranks of the communicator have arrived; the completion time is
+``max(arrival clocks) + NetworkModel.collective_cost(...)``.  Ranks that
+disagree about which operation (or root) slot ``k`` is raise
+:class:`~repro.mpisim.errors.CollectiveMismatchError` — the runtime's
+equivalent of the MPI standard's erroneous-program rule.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .errors import CollectiveMismatchError
+from .netmodel import NetworkModel
+
+
+@dataclass
+class CollectiveSlot:
+    op: str
+    root: int
+    size: int  # communicator size (arrival target)
+    arrived: dict[int, float] = field(default_factory=dict)  # rank -> entry clock
+    nbytes: dict[int, int] = field(default_factory=dict)
+    payload: dict[int, tuple] = field(default_factory=dict)  # split colors etc.
+    done: bool = False
+    completion_time: float = 0.0
+    results: dict[int, int] = field(default_factory=dict)  # split: rank -> comm
+
+
+class CommRegistry:
+    """World-consistent communicator bookkeeping (MPI_Comm_split).
+
+    Communicator ids are assigned deterministically — per split slot, in
+    ascending color order — so an independent replayer (SIM-MPI) that
+    observes the same split events reconstructs identical ids.
+    """
+
+    def __init__(self, nprocs: int) -> None:
+        self._members: dict[int, list[int]] = {0: list(range(nprocs))}
+        self._next_id = 1
+
+    def members(self, comm: int) -> list[int]:
+        try:
+            return self._members[comm]
+        except KeyError:
+            raise CollectiveMismatchError(f"unknown communicator {comm}") from None
+
+    def size(self, comm: int) -> int:
+        return len(self.members(comm))
+
+    def comm_rank(self, comm: int, world_rank: int) -> int:
+        try:
+            return self.members(comm).index(world_rank)
+        except ValueError:
+            raise CollectiveMismatchError(
+                f"rank {world_rank} is not a member of communicator {comm}"
+            ) from None
+
+    def split(self, contributions: dict[int, tuple[int, int]]) -> dict[int, int]:
+        """Perform one split: ``world rank -> (color, key)`` in, ``world
+        rank -> new comm id`` out.  Negative colors (MPI_UNDEFINED) yield
+        comm id -1."""
+        by_color: dict[int, list[tuple[int, int]]] = {}
+        for world_rank, (color, key) in contributions.items():
+            if color < 0:
+                continue
+            by_color.setdefault(color, []).append((key, world_rank))
+        results: dict[int, int] = {
+            r: -1 for r, (c, _k) in contributions.items() if c < 0
+        }
+        for color in sorted(by_color):
+            comm_id = self._next_id
+            self._next_id += 1
+            ordered = [r for _key, r in sorted(by_color[color])]
+            self._members[comm_id] = ordered
+            for r in ordered:
+                results[r] = comm_id
+        return results
+
+
+class CollectiveEngine:
+    def __init__(self, nprocs: int, network: NetworkModel) -> None:
+        self._nprocs = nprocs
+        self._network = network
+        self.comms = CommRegistry(nprocs)
+        # (comm, slot index) -> slot
+        self._slots: dict[tuple[int, int], CollectiveSlot] = {}
+        # per (comm, rank): how many collectives this rank has entered
+        self._counters: dict[tuple[int, int], int] = {}
+        self.completed = 0  # progress indicators for deadlock detection
+        self.entered = 0
+
+    def enter(
+        self,
+        rank: int,
+        comm: int,
+        op: str,
+        root: int,
+        nbytes: int,
+        clock: float,
+        payload: tuple | None = None,
+    ) -> tuple[int, int]:
+        """Register ``rank``'s arrival at its next collective on ``comm``.
+        Returns the slot key to poll with :meth:`poll`."""
+        members = self.comms.members(comm)
+        if rank not in members:
+            raise CollectiveMismatchError(
+                f"rank {rank} called {op} on communicator {comm} "
+                "it does not belong to"
+            )
+        self.entered += 1
+        counter_key = (comm, rank)
+        index = self._counters.get(counter_key, 0)
+        self._counters[counter_key] = index + 1
+        key = (comm, index)
+        slot = self._slots.get(key)
+        if slot is None:
+            slot = CollectiveSlot(op=op, root=root, size=len(members))
+            self._slots[key] = slot
+        elif slot.op != op or slot.root != root:
+            raise CollectiveMismatchError(
+                f"rank {rank} entered {op}(root={root}) at collective #{index} "
+                f"on comm {comm}, but other ranks entered "
+                f"{slot.op}(root={slot.root})"
+            )
+        slot.arrived[rank] = clock
+        slot.nbytes[rank] = nbytes
+        if payload is not None:
+            slot.payload[rank] = payload
+        if len(slot.arrived) == slot.size and not slot.done:
+            worst = max(slot.arrived.values())
+            size = max(slot.nbytes.values())
+            cost_op = "MPI_Barrier" if op == "MPI_Comm_split" else op
+            slot.completion_time = worst + self._network.collective_cost(
+                cost_op, size, slot.size
+            )
+            if op == "MPI_Comm_split":
+                slot.results = self.comms.split(slot.payload)
+            slot.done = True
+            self.completed += 1
+        return key
+
+    def poll(self, key: tuple[int, int]) -> CollectiveSlot:
+        return self._slots[key]
+
+    def describe_waiting(self, key: tuple[int, int]) -> str:
+        slot = self._slots[key]
+        missing = slot.size - len(slot.arrived)
+        return f"{slot.op} (collective #{key[1]} on comm {key[0]}, waiting for {missing} rank(s))"

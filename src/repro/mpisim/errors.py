@@ -1,0 +1,36 @@
+"""Error types for the simulated MPI runtime."""
+
+from __future__ import annotations
+
+
+class MPISimError(Exception):
+    """Base class for simulated-MPI runtime errors."""
+
+
+class DeadlockError(MPISimError):
+    """Raised when no rank can make progress.
+
+    Carries a human-readable description of what every live rank was
+    blocked on, mirroring what a parallel debugger would show.
+    """
+
+    def __init__(self, blocked: dict[int, str]) -> None:
+        self.blocked = dict(blocked)
+        lines = [f"deadlock: {len(blocked)} rank(s) blocked"]
+        for rank in sorted(blocked)[:16]:
+            lines.append(f"  rank {rank}: {blocked[rank]}")
+        if len(blocked) > 16:
+            lines.append(f"  ... and {len(blocked) - 16} more")
+        super().__init__("\n".join(lines))
+
+
+class CollectiveMismatchError(MPISimError):
+    """Ranks disagreed on which collective operation is being executed."""
+
+
+class InvalidRequestError(MPISimError):
+    """A wait/test referenced an unknown or already-completed request."""
+
+
+class ProgramError(MPISimError):
+    """A MiniMPI program misused the MPI API (bad rank, negative size...)."""

@@ -1,0 +1,86 @@
+"""Message matching engine: envelopes, ordering, wildcard resolution.
+
+Implements MPI matching semantics for the simulated runtime:
+
+* messages between a (source, destination) pair on one communicator are
+  *non-overtaking*: a receive matches the earliest-sent fitting message;
+* ``ANY_SOURCE`` receives pick, among each source's earliest fitting
+  message, the one with the smallest arrival time (ties broken by global
+  send order) — the behaviour of a single-threaded progress engine;
+* ``ANY_TAG`` matches any tag but still respects per-source send order for
+  the tags it can match.
+
+Sends are eager/buffered: the sender never blocks, the message is enqueued
+at the destination with a computed arrival time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .datatypes import ANY_SOURCE, ANY_TAG
+
+
+@dataclass(frozen=True)
+class Message:
+    src: int
+    dst: int
+    tag: int
+    nbytes: int
+    comm: int
+    send_time: float
+    arrival_time: float
+    seq: int  # global send sequence number (tie breaker)
+
+
+class Mailbox:
+    """Arrived-but-unmatched messages of one destination rank."""
+
+    def __init__(self, rank: int) -> None:
+        self.rank = rank
+        # (comm, src) -> in-order list of pending messages from that source.
+        self._queues: dict[tuple[int, int], list[Message]] = {}
+
+    def deliver(self, msg: Message) -> None:
+        self._queues.setdefault((msg.comm, msg.src), []).append(msg)
+
+    def pending_count(self) -> int:
+        return sum(len(q) for q in self._queues.values())
+
+    # ------------------------------------------------------------------
+
+    def _first_fitting(self, queue: list[Message], tag: int) -> int | None:
+        for i, msg in enumerate(queue):
+            if tag == ANY_TAG or msg.tag == tag:
+                return i
+        return None
+
+    def match(self, src: int, tag: int, comm: int) -> Message | None:
+        """Find and consume the message a receive of (src, tag, comm) should
+        match right now, or None if nothing fits yet."""
+        if src != ANY_SOURCE:
+            queue = self._queues.get((comm, src))
+            if not queue:
+                return None
+            idx = self._first_fitting(queue, tag)
+            if idx is None:
+                return None
+            return queue.pop(idx)
+        # Wildcard source: consider every source's first fitting message.
+        best_key: tuple[float, int] | None = None
+        best: tuple[tuple[int, int], int] | None = None
+        for key, queue in self._queues.items():
+            if key[0] != comm or not queue:
+                continue
+            idx = self._first_fitting(queue, tag)
+            if idx is None:
+                continue
+            msg = queue[idx]
+            cand = (msg.arrival_time, msg.seq)
+            if best_key is None or cand < best_key:
+                best_key = cand
+                best = (key, idx)
+        if best is None:
+            return None
+        key, idx = best
+        return self._queues[key].pop(idx)

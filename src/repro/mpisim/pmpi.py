@@ -1,0 +1,181 @@
+"""PMPI-style tracing layer.
+
+The simulated runtime reports every MPI call — and, when CYPRESS
+instrumentation is active, every control-structure marker — to a
+:class:`TraceSink`.  This mirrors the paper's customised MPI communication
+library built on the MPI profiling layer, including the two instrumented
+functions ``PMPI_COMM_Structure`` / ``PMPI_COMM_Structure_Exit`` (Fig. 9),
+which appear here as the ``on_loop_* / on_branch_* / on_recurse_*``
+callbacks.
+
+Sinks compose: :class:`MultiSink` fans one execution out to several
+compressors at once (so a benchmark can trace one run with CYPRESS,
+ScalaTrace and the raw writer simultaneously), and :class:`TimingSink`
+wraps any sink with CPU-time accounting used by the overhead figures.
+"""
+
+from __future__ import annotations
+
+import time
+
+from .events import CommEvent
+
+
+class TraceSink:
+    """Interface every trace consumer implements.  Default: ignore all."""
+
+    # -- structural markers (CYPRESS instrumentation only) ---------------
+
+    def on_loop_push(self, rank: int, ast_id: int) -> None: ...
+
+    def on_loop_iter(self, rank: int, ast_id: int) -> None: ...
+
+    def on_loop_pop(self, rank: int, ast_id: int) -> None: ...
+
+    def on_branch_enter(self, rank: int, ast_id: int, path: int) -> None: ...
+
+    def on_branch_exit(self, rank: int, ast_id: int) -> None: ...
+
+    def on_recurse_enter(self, rank: int, ast_id: int) -> None: ...
+
+    def on_recurse_exit(self, rank: int, ast_id: int) -> None: ...
+
+    # -- communication events ------------------------------------------
+
+    def on_event(self, rank: int, event: CommEvent) -> None: ...
+
+    def on_request_complete(
+        self, rank: int, rid: int, source: int, nbytes: int, when: float
+    ) -> None:
+        """Called when a nonblocking request completes — resolves wildcard
+        receive sources (the paper delays their compression until here)."""
+
+    def on_finalize(self, rank: int) -> None:
+        """Called when ``rank`` executes MPI_Finalize."""
+
+    # -- hints -----------------------------------------------------------
+
+    wants_markers: bool = False  # runtimes skip marker plumbing when False
+
+
+class NullSink(TraceSink):
+    """Tracing disabled (used to measure the uninstrumented baseline)."""
+
+
+class MultiSink(TraceSink):
+    """Broadcast every callback to several sinks."""
+
+    def __init__(self, sinks: list[TraceSink]) -> None:
+        self.sinks = list(sinks)
+        self.wants_markers = any(s.wants_markers for s in sinks)
+
+    def on_loop_push(self, rank, ast_id):
+        for s in self.sinks:
+            s.on_loop_push(rank, ast_id)
+
+    def on_loop_iter(self, rank, ast_id):
+        for s in self.sinks:
+            s.on_loop_iter(rank, ast_id)
+
+    def on_loop_pop(self, rank, ast_id):
+        for s in self.sinks:
+            s.on_loop_pop(rank, ast_id)
+
+    def on_branch_enter(self, rank, ast_id, path):
+        for s in self.sinks:
+            s.on_branch_enter(rank, ast_id, path)
+
+    def on_branch_exit(self, rank, ast_id):
+        for s in self.sinks:
+            s.on_branch_exit(rank, ast_id)
+
+    def on_recurse_enter(self, rank, ast_id):
+        for s in self.sinks:
+            s.on_recurse_enter(rank, ast_id)
+
+    def on_recurse_exit(self, rank, ast_id):
+        for s in self.sinks:
+            s.on_recurse_exit(rank, ast_id)
+
+    def on_event(self, rank, event):
+        for s in self.sinks:
+            s.on_event(rank, event)
+
+    def on_request_complete(self, rank, rid, source, nbytes, when):
+        for s in self.sinks:
+            s.on_request_complete(rank, rid, source, nbytes, when)
+
+    def on_finalize(self, rank):
+        for s in self.sinks:
+            s.on_finalize(rank)
+
+
+class TimingSink(TraceSink):
+    """Wraps a sink, accumulating the CPU time spent inside it.
+
+    ``elapsed`` (seconds) is the intra-process compression overhead
+    attributable to the wrapped compressor — the quantity Fig. 16 plots
+    relative to application time.
+    """
+
+    def __init__(self, inner: TraceSink) -> None:
+        self.inner = inner
+        self.elapsed = 0.0
+        self.calls = 0
+        self.wants_markers = inner.wants_markers
+
+    def _timed(self, fn, *args) -> None:
+        t0 = time.perf_counter()
+        fn(*args)
+        self.elapsed += time.perf_counter() - t0
+        self.calls += 1
+
+    def on_loop_push(self, rank, ast_id):
+        self._timed(self.inner.on_loop_push, rank, ast_id)
+
+    def on_loop_iter(self, rank, ast_id):
+        self._timed(self.inner.on_loop_iter, rank, ast_id)
+
+    def on_loop_pop(self, rank, ast_id):
+        self._timed(self.inner.on_loop_pop, rank, ast_id)
+
+    def on_branch_enter(self, rank, ast_id, path):
+        self._timed(self.inner.on_branch_enter, rank, ast_id, path)
+
+    def on_branch_exit(self, rank, ast_id):
+        self._timed(self.inner.on_branch_exit, rank, ast_id)
+
+    def on_recurse_enter(self, rank, ast_id):
+        self._timed(self.inner.on_recurse_enter, rank, ast_id)
+
+    def on_recurse_exit(self, rank, ast_id):
+        self._timed(self.inner.on_recurse_exit, rank, ast_id)
+
+    def on_event(self, rank, event):
+        self._timed(self.inner.on_event, rank, event)
+
+    def on_request_complete(self, rank, rid, source, nbytes, when):
+        self._timed(self.inner.on_request_complete, rank, rid, source, nbytes, when)
+
+    def on_finalize(self, rank):
+        self._timed(self.inner.on_finalize, rank)
+
+
+class RecordingSink(TraceSink):
+    """Collects raw per-rank event lists — ground truth for tests and for
+    the replay-correctness checks (sequence preservation)."""
+
+    def __init__(self) -> None:
+        self.events: dict[int, list[CommEvent]] = {}
+
+    def on_event(self, rank: int, event: CommEvent) -> None:
+        self.events.setdefault(rank, []).append(event)
+
+    def on_request_complete(self, rank, rid, source, nbytes, when):
+        # Resolve wildcard receives in the recorded ground truth the same
+        # way compressors do, so comparisons line up.
+        for ev in reversed(self.events.get(rank, ())):
+            if ev.req == rid and ev.op == "MPI_Irecv" and ev.wildcard:
+                ev.peer = source
+                ev.nbytes = nbytes
+                break

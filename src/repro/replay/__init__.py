@@ -1,0 +1,16 @@
+"""SIM-MPI: trace-driven performance prediction under LogGP."""
+
+from .loggp import LogGPParams
+from .simmpi import SimMPI, SimResult, predict
+from .calibrate import fit_loggp, measure_pingpong
+from .decomposition import collective_cost
+
+__all__ = [
+    "LogGPParams",
+    "SimMPI",
+    "SimResult",
+    "predict",
+    "fit_loggp",
+    "measure_pingpong",
+    "collective_cost",
+]

@@ -1,0 +1,104 @@
+"""Collective decomposition into point-to-point operations (paper §V,
+citing Zhang et al. [23]).
+
+SIM-MPI does not model collectives natively: each collective is decomposed
+into a schedule of point-to-point messages, and its cost is the LogGP cost
+of that schedule's critical path.  The schedule generators are exposed for
+tests and for users who want per-message detail; the ``*_cost`` functions
+evaluate the critical path.
+"""
+
+from __future__ import annotations
+
+from math import ceil, log2
+
+from .loggp import LogGPParams
+
+
+def _rounds(nprocs: int) -> int:
+    return max(1, ceil(log2(max(2, nprocs))))
+
+
+def binomial_bcast_schedule(nprocs: int, root: int = 0) -> list[list[tuple[int, int]]]:
+    """Rounds of (src, dst) pairs for a binomial-tree broadcast."""
+    # Work in root-relative numbering, translate at the end.
+    schedule: list[list[tuple[int, int]]] = []
+    have = 1
+    while have < nprocs:
+        round_pairs = []
+        for src in range(min(have, nprocs)):
+            dst = src + have
+            if dst < nprocs:
+                round_pairs.append(
+                    ((src + root) % nprocs, (dst + root) % nprocs)
+                )
+        schedule.append(round_pairs)
+        have *= 2
+    return schedule
+
+
+def recursive_doubling_schedule(nprocs: int) -> list[list[tuple[int, int]]]:
+    """Rounds of symmetric exchanges for allgather/allreduce (power-of-two
+    pattern; non-powers fall back to the next tree size)."""
+    schedule: list[list[tuple[int, int]]] = []
+    dist = 1
+    while dist < nprocs:
+        pairs = []
+        for r in range(nprocs):
+            peer = r ^ dist
+            if peer < nprocs and r < peer:
+                pairs.append((r, peer))
+        schedule.append(pairs)
+        dist *= 2
+    return schedule
+
+
+def pairwise_alltoall_schedule(nprocs: int) -> list[list[tuple[int, int]]]:
+    """P-1 rounds of pairwise exchange (XOR schedule for powers of two,
+    rotation otherwise)."""
+    schedule = []
+    for step in range(1, nprocs):
+        pairs = []
+        for r in range(nprocs):
+            peer = (r + step) % nprocs
+            pairs.append((r, peer))
+        schedule.append(pairs)
+    return schedule
+
+
+# ---------------------------------------------------------------------------
+# Critical-path costs under LogGP.
+# ---------------------------------------------------------------------------
+
+
+def collective_cost(
+    params: LogGPParams, op: str, nbytes: int, nprocs: int
+) -> float:
+    """LogGP critical-path cost of the decomposed collective, measured from
+    the moment every rank has arrived."""
+    rounds = _rounds(nprocs)
+    if op == "MPI_Barrier":
+        return rounds * params.p2p_time(0)
+    if op in ("MPI_Bcast", "MPI_Reduce", "MPI_Scatter", "MPI_Gather"):
+        # Binomial tree: log2(P) sequential hops of the full payload.
+        return rounds * params.p2p_time(nbytes)
+    if op == "MPI_Allreduce":
+        # Reduce + broadcast down the same tree.
+        return 2 * rounds * params.p2p_time(nbytes)
+    if op == "MPI_Scan":
+        return rounds * params.p2p_time(nbytes)
+    if op == "MPI_Reduce_scatter":
+        return (rounds + 1) * params.p2p_time(nbytes)
+    if op == "MPI_Allgather":
+        # Recursive doubling: message doubles each round.
+        total = 0.0
+        chunk = nbytes
+        for _ in range(rounds):
+            total += params.p2p_time(chunk)
+            chunk *= 2
+        return total
+    if op == "MPI_Alltoall":
+        # Pairwise: P-1 rounds, nbytes per pair, g-limited injection.
+        per_round = max(params.p2p_time(nbytes), params.g)
+        return (nprocs - 1) * per_round
+    raise ValueError(f"unknown collective {op!r}")

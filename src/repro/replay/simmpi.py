@@ -1,0 +1,309 @@
+"""SIM-MPI: trace-driven performance prediction (paper §V, Fig. 14).
+
+Replays decompressed communication traces under the LogGP model:
+
+* the recorded *pre-gap* of each event is the sequential computation time
+  between communication operations (obtained in the paper by
+  deterministic replay on one node; here recorded during tracing);
+* point-to-point operations are simulated with message matching and LogGP
+  costs;
+* collectives are synchronised and charged their decomposed critical-path
+  cost (:mod:`repro.replay.decomposition`).
+
+The output is the predicted per-rank execution time, compared in Fig. 21
+against the "measured" time of the simulated machine.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+from repro.core.decompress import ReplayEvent
+from repro.mpisim.collectives import CommRegistry
+from repro.mpisim.errors import DeadlockError
+from repro.mpisim.matching import Mailbox, Message
+
+from .decomposition import collective_cost
+from .loggp import LogGPParams
+
+_COLLECTIVES = {
+    "MPI_Barrier",
+    "MPI_Bcast",
+    "MPI_Reduce",
+    "MPI_Allreduce",
+    "MPI_Gather",
+    "MPI_Scatter",
+    "MPI_Allgather",
+    "MPI_Alltoall",
+    "MPI_Scan",
+    "MPI_Reduce_scatter",
+    "MPI_Comm_split",
+}
+
+
+@dataclass
+class SimResult:
+    finish_times: list[float]
+    comm_times: list[float]  # per-rank time spent inside MPI
+    wait_times: list[float] | None = None  # per-rank blocked-on-peer time
+
+    @property
+    def elapsed(self) -> float:
+        return max(self.finish_times) if self.finish_times else 0.0
+
+    def comm_fraction(self) -> float:
+        total = sum(self.finish_times)
+        return sum(self.comm_times) / total if total else 0.0
+
+    def wait_fraction(self, rank: int) -> float:
+        """Share of a rank's time spent *waiting* for peers (late senders,
+        collective stragglers) — the imbalance signal the paper's
+        performance-analysis use case looks for (§VII-D)."""
+        if self.wait_times is None or not self.finish_times[rank]:
+            return 0.0
+        return self.wait_times[rank] / self.finish_times[rank]
+
+    def bottleneck_ranks(self, top: int = 3) -> list[int]:
+        """Ranks with the *lowest* wait share — the ones everyone else is
+        waiting for."""
+        if self.wait_times is None:
+            return []
+        order = sorted(
+            range(len(self.finish_times)), key=lambda r: self.wait_fraction(r)
+        )
+        return order[:top]
+
+
+@dataclass
+class _CollectiveSlot:
+    op: str
+    size: int
+    nbytes: int = 0
+    arrived: dict[int, float] = field(default_factory=dict)
+    payload: dict[int, tuple] = field(default_factory=dict)
+    done: bool = False
+    completion: float = 0.0
+    cost: float = 0.0  # critical-path cost (completion - last arrival)
+
+
+@dataclass
+class _PostedRecv:
+    gid: int
+    src: int
+    tag: int
+    nbytes: int
+    post_time: float
+    complete: bool = False
+    completion: float = 0.0
+
+
+class SimMPI:
+    """Event-driven replay of per-rank traces under LogGP."""
+
+    def __init__(
+        self,
+        traces: dict[int, list[ReplayEvent]],
+        params: LogGPParams | None = None,
+    ) -> None:
+        self.traces = traces
+        self.params = params or LogGPParams()
+        self.nprocs = (max(traces) + 1) if traces else 0
+        self._mailboxes = [Mailbox(r) for r in range(self.nprocs)]
+        self._posted: list[list[_PostedRecv]] = [[] for _ in range(self.nprocs)]
+        self._pending_by_gid: list[dict[int, deque[_PostedRecv]]] = [
+            {} for _ in range(self.nprocs)
+        ]
+        self._comms = CommRegistry(self.nprocs)
+        self._slots: dict[tuple[int, int], _CollectiveSlot] = {}
+        self._counters: dict[tuple[int, int], int] = {}
+        self._send_seq = 0
+        self._progress = 0
+        self.clocks = [0.0] * self.nprocs
+        self.comm_time = [0.0] * self.nprocs
+        self.wait_time = [0.0] * self.nprocs
+
+    # -- plumbing --------------------------------------------------------
+
+    def _send(self, src: int, dst: int, tag: int, nbytes: int, t: float) -> None:
+        self._send_seq += 1
+        arrival = t + self.params.o + self.params.L + max(0, nbytes - 1) * self.params.G
+        self._mailboxes[dst].deliver(
+            Message(
+                src=src, dst=dst, tag=tag, nbytes=nbytes, comm=0,
+                send_time=t, arrival_time=arrival, seq=self._send_seq,
+            )
+        )
+        self._progress += 1
+        self._match(dst)
+
+    def _match(self, rank: int) -> None:
+        posted = self._posted[rank]
+        if not posted:
+            return
+        mailbox = self._mailboxes[rank]
+        remaining: list[_PostedRecv] = []
+        for recv in posted:
+            msg = mailbox.match(recv.src, recv.tag, 0)
+            if msg is None:
+                remaining.append(recv)
+                continue
+            recv.complete = True
+            recv.completion = max(recv.post_time, msg.arrival_time) + self.params.o
+            self._progress += 1
+        self._posted[rank] = remaining
+
+    # -- per-rank coroutine -----------------------------------------------
+
+    def _rank_gen(self, rank: int):
+        params = self.params
+        for ev in self.traces.get(rank, []):
+            # Sequential computation between events.
+            self.clocks[rank] += ev.mean_gap
+            t0 = self.clocks[rank]
+            op = ev.op
+            if op in ("MPI_Init", "MPI_Finalize"):
+                pass
+            elif op == "MPI_Send":
+                self._send(rank, ev.peer, ev.tag, ev.nbytes, t0)
+                self.clocks[rank] = t0 + params.sender_busy(ev.nbytes)
+            elif op == "MPI_Isend":
+                self._send(rank, ev.peer, ev.tag, ev.nbytes, t0)
+                self.clocks[rank] = t0 + params.sender_busy(ev.nbytes)
+            elif op == "MPI_Recv":
+                recv = self._post_recv(rank, ev, t0, ev.gid)
+                while not recv.complete:
+                    yield
+                self.clocks[rank] = max(t0, recv.completion)
+                self.wait_time[rank] += max(
+                    0.0, recv.completion - params.o - t0
+                )
+            elif op == "MPI_Irecv":
+                self._post_recv(rank, ev, t0, ev.gid)
+                self.clocks[rank] = t0 + params.o * 0.5
+            elif op == "MPI_Sendrecv":
+                self._send(rank, ev.peer, ev.tag, ev.nbytes, t0)
+                sr = ReplayEvent(
+                    op="MPI_Recv", peer=ev.peer2, peer2=-100, tag=ev.tag2,
+                    tag2=0, nbytes=ev.nbytes2, nbytes2=0, comm=ev.comm,
+                    root=-1, wildcard=ev.wildcard, req_gids=(),
+                    mean_duration=0.0, mean_gap=0.0, gid=ev.gid,
+                )
+                recv = self._post_recv(rank, sr, t0, ev.gid)
+                while not recv.complete:
+                    yield
+                self.clocks[rank] = max(
+                    t0 + params.sender_busy(ev.nbytes), recv.completion
+                )
+                self.wait_time[rank] += max(
+                    0.0, recv.completion - params.o - t0
+                )
+            elif op in ("MPI_Wait", "MPI_Waitall", "MPI_Waitany", "MPI_Waitsome"):
+                worst = self.clocks[rank]
+                for gid in ev.req_gids:
+                    queue = self._pending_by_gid[rank].get(gid)
+                    if not queue:
+                        continue  # isend request: completes immediately
+                    recv = queue.popleft()
+                    while not recv.complete:
+                        yield
+                    worst = max(worst, recv.completion)
+                self.wait_time[rank] += max(0.0, worst - t0 - params.o)
+                self.clocks[rank] = worst
+            elif op == "MPI_Test":
+                self.clocks[rank] = t0 + params.o * 0.1
+                if ev.req_gids:
+                    for gid in ev.req_gids:
+                        queue = self._pending_by_gid[rank].get(gid)
+                        if not queue:
+                            continue
+                        recv = queue.popleft()
+                        while not recv.complete:
+                            yield
+                        self.clocks[rank] = max(self.clocks[rank], recv.completion)
+            elif op in _COLLECTIVES:
+                slot = self._enter_collective(rank, ev, t0)
+                while not slot.done:
+                    yield
+                self.clocks[rank] = max(t0, slot.completion)
+                self.wait_time[rank] += max(
+                    0.0, slot.completion - slot.cost - t0
+                )
+            else:
+                raise ValueError(f"SIM-MPI cannot replay op {op!r}")
+            self.comm_time[rank] += self.clocks[rank] - t0
+
+    def _post_recv(
+        self, rank: int, ev: ReplayEvent, t0: float, gid: int
+    ) -> _PostedRecv:
+        recv = _PostedRecv(
+            gid=gid, src=ev.peer, tag=ev.tag, nbytes=ev.nbytes, post_time=t0
+        )
+        self._posted[rank].append(recv)
+        if ev.op == "MPI_Irecv":
+            self._pending_by_gid[rank].setdefault(gid, deque()).append(recv)
+        self._match(rank)
+        return recv
+
+    def _enter_collective(
+        self, rank: int, ev: ReplayEvent, t0: float
+    ) -> _CollectiveSlot:
+        comm = ev.comm
+        counter_key = (comm, rank)
+        index = self._counters.get(counter_key, 0)
+        self._counters[counter_key] = index + 1
+        key = (comm, index)
+        slot = self._slots.get(key)
+        if slot is None:
+            slot = _CollectiveSlot(op=ev.op, size=self._comms.size(comm))
+            self._slots[key] = slot
+        slot.nbytes = max(slot.nbytes, ev.nbytes)
+        slot.arrived[rank] = t0
+        if ev.op == "MPI_Comm_split":
+            # tag carries the colour, peer the key (see comm.py).
+            slot.payload[rank] = (ev.tag, ev.peer)
+        if len(slot.arrived) == slot.size and not slot.done:
+            worst = max(slot.arrived.values())
+            op = "MPI_Barrier" if slot.op == "MPI_Comm_split" else slot.op
+            slot.cost = collective_cost(self.params, op, slot.nbytes, slot.size)
+            slot.completion = worst + slot.cost
+            if slot.op == "MPI_Comm_split":
+                # Reconstruct the communicator; ids come out identical to
+                # the traced ones because assignment is deterministic.
+                self._comms.split(slot.payload)
+            slot.done = True
+            self._progress += 1
+        return slot
+
+    # -- driver ---------------------------------------------------------------
+
+    def run(self) -> SimResult:
+        gens = {r: self._rank_gen(r) for r in range(self.nprocs)}
+        live = deque(range(self.nprocs))
+        while live:
+            before = self._progress
+            finished = []
+            for rank in list(live):
+                try:
+                    next(gens[rank])
+                except StopIteration:
+                    finished.append(rank)
+                    self._progress += 1
+            for rank in finished:
+                live.remove(rank)
+            if live and self._progress == before:
+                raise DeadlockError(
+                    {r: "blocked in SIM-MPI replay" for r in live}
+                )
+        return SimResult(
+            finish_times=list(self.clocks),
+            comm_times=list(self.comm_time),
+            wait_times=list(self.wait_time),
+        )
+
+
+def predict(
+    traces: dict[int, list[ReplayEvent]], params: LogGPParams | None = None
+) -> SimResult:
+    """One-call prediction from decompressed traces."""
+    return SimMPI(traces, params).run()

@@ -1,0 +1,20 @@
+"""CYPRESS static analysis module: CST extraction at compile time."""
+
+from .cst import CSTNode, ROOT, LOOP, BRANCH, CALL, FUNC, assign_gids, prune
+from .inter import build_program_cst, StaticAnalysisResult
+from .instrument import compile_minimpi, CompiledProgram
+
+__all__ = [
+    "CSTNode",
+    "ROOT",
+    "LOOP",
+    "BRANCH",
+    "CALL",
+    "FUNC",
+    "assign_gids",
+    "prune",
+    "build_program_cst",
+    "StaticAnalysisResult",
+    "compile_minimpi",
+    "CompiledProgram",
+]

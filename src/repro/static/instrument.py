@@ -1,0 +1,67 @@
+"""Compile-time driver: parse + analyse + instrument a MiniMPI program.
+
+``compile_minimpi(source)`` is the equivalent of running the paper's LLVM
+plug-in during the build: it parses the program, extracts the CST, and
+produces the instrumentation plan the runtime needs.  With
+``cypress=False`` it performs only the baseline compilation work (lexing,
+parsing, CFG construction) — the two modes are what Table I compares.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from repro.minilang import ast_nodes as A
+from repro.minilang.builtins import make_classifier
+from repro.minilang.cfg import build_all_cfgs
+from repro.minilang.interp import InstrumentationPlan
+from repro.minilang.parser import parse
+
+from .inter import StaticAnalysisResult, build_program_cst
+from .legality import check_trace_legality
+
+
+@dataclass
+class CompiledProgram:
+    """Everything produced by one compilation."""
+
+    program: A.Program
+    static: StaticAnalysisResult | None  # None when compiled without CYPRESS
+    plan: InstrumentationPlan | None
+    compile_seconds: float
+    source_name: str = "<minimpi>"
+
+    @property
+    def cst(self):
+        if self.static is None:
+            raise ValueError("program was compiled without the CYPRESS pass")
+        return self.static.cst
+
+
+def compile_minimpi(
+    source: str,
+    cypress: bool = True,
+    entry: str = "main",
+    source_name: str = "<minimpi>",
+) -> CompiledProgram:
+    """Compile MiniMPI source, optionally running the CYPRESS static pass."""
+    t0 = time.perf_counter()
+    program = parse(source, source_name)
+    # Baseline compilation always builds CFGs (any optimising compiler does);
+    # the CYPRESS pass adds the CST extraction on top.
+    build_all_cfgs(program)
+    static = None
+    plan = None
+    if cypress:
+        check_trace_legality(program)
+        static = build_program_cst(program, make_classifier(program), entry=entry)
+        plan = InstrumentationPlan.from_static(static)
+    elapsed = time.perf_counter() - t0
+    return CompiledProgram(
+        program=program,
+        static=static,
+        plan=plan,
+        compile_seconds=elapsed,
+        source_name=source_name,
+    )

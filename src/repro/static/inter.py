@@ -1,0 +1,197 @@
+"""Inter-procedural CST construction (paper §III-B, Algorithm 2).
+
+Combines the per-procedure intermediate CSTs into the whole-program CST:
+
+1. build the program call graph (PCG);
+2. convert recursion into pseudo-loop structures (paper Fig. 8, after
+   Emami et al.): a pseudo loop vertex is inserted at the entry of each
+   recursive function / SCC entry, and cycle-closing recursive call leaves
+   are dropped (their surrounding branch vertices already record, at
+   runtime, which path recursed);
+3. run the bottom-up fixpoint of Algorithm 2, splicing each user-defined
+   function leaf with a copy of its callee's intermediate CST;
+4. prune non-MPI leaves iteratively (paper's two-step DFS pruning);
+5. assign pre-order GIDs.
+
+The final CST of ``main`` is the program CST.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.minilang import ast_nodes as A
+from repro.minilang.cfg import build_all_cfgs
+
+from .callgraph import CallGraph, build_call_graph
+from .cst import FUNC, LOOP, ROOT, CSTNode, assign_gids, prune
+from .intra import Classifier, build_intra_cst
+
+# ``ast_id`` namespace for pseudo loops: FuncDef node ids are reused, offset
+# so they can never collide with real control-structure ids.
+PSEUDO_LOOP_OFFSET = 1_000_000
+
+
+def pseudo_loop_id(func_node_id: int) -> int:
+    return PSEUDO_LOOP_OFFSET + func_node_id
+
+
+@dataclass
+class StaticAnalysisResult:
+    """Everything the dynamic module needs from compile time."""
+
+    cst: CSTNode
+    # Control-structure AST ids that survive in the final CST (markers are
+    # only emitted for these — the paper's selective bracketing).
+    instrumented_ast_ids: frozenset[int] = frozenset()
+    # Recursive function name -> pseudo-loop ast id.
+    recursive_pseudo: dict[str, int] = field(default_factory=dict)
+    # Per-procedure intermediate CSTs (useful for inspection/tests).
+    intra_csts: dict[str, CSTNode] = field(default_factory=dict)
+    call_graph: CallGraph | None = None
+
+
+def _convert_recursion(
+    intra: dict[str, CSTNode],
+    program: A.Program,
+    graph: CallGraph,
+) -> dict[str, int]:
+    """Apply the Fig. 8 recursion conversion in place.
+
+    Returns ``function name -> pseudo-loop ast id`` for every converted
+    function entry.
+    """
+    pseudo: dict[str, int] = {}
+    for comp in graph.sccs():
+        members = set(comp)
+        is_recursive = len(comp) > 1 or comp[0] in graph.callees(comp[0])
+        if not is_recursive:
+            continue
+        # Pick the SCC entry: a member called from outside the SCC (or the
+        # first member as a fallback for a closed cycle).
+        entries = [
+            f
+            for f in comp
+            if any(
+                f in graph.callees(caller)
+                for caller in graph.functions
+                if caller not in members
+            )
+        ]
+        entry = entries[0] if entries else comp[0]
+        # Drop cycle-closing call leaves: inside SCC members, any call leaf
+        # targeting the SCC entry (self recursion: f -> f) or, for mutual
+        # recursion, any intra-SCC call back to an already-reachable member
+        # along the DFS tree rooted at the entry.
+        keep_edges = _scc_spanning_edges(graph, entry, members)
+        for name in comp:
+            _drop_call_leaves(
+                intra[name],
+                lambda callee, caller=name: callee in members
+                and (caller, callee) not in keep_edges,
+            )
+        # Wrap the entry body in a pseudo loop.
+        func = program.functions[entry]
+        loop_ast_id = pseudo_loop_id(func.node_id)
+        root = intra[entry]
+        wrapper = CSTNode(kind=LOOP, ast_id=loop_ast_id, name=f"~{entry}", line=func.line)
+        wrapper.children = root.children
+        root.children = [wrapper]
+        pseudo[entry] = loop_ast_id
+    return pseudo
+
+
+def _scc_spanning_edges(
+    graph: CallGraph, entry: str, members: set[str]
+) -> set[tuple[str, str]]:
+    """DFS-tree edges of the SCC subgraph from ``entry``; these call edges
+    are kept (inlined), all other intra-SCC edges are dropped."""
+    keep: set[tuple[str, str]] = set()
+    seen = {entry}
+    stack = [entry]
+    while stack:
+        caller = stack.pop()
+        for callee in graph.callees(caller):
+            if callee in members and callee not in seen:
+                seen.add(callee)
+                keep.add((caller, callee))
+                stack.append(callee)
+    return keep
+
+
+def _drop_call_leaves(root: CSTNode, should_drop) -> None:
+    for node in root.preorder():
+        node.children = [
+            c
+            for c in node.children
+            if not (c.kind == FUNC and should_drop(c.name))
+        ]
+
+
+def _inline_functions(intra: dict[str, CSTNode], graph: CallGraph) -> None:
+    """Algorithm 2: bottom-up fixpoint replacing user-function leaves with
+    copies of their intermediate CSTs (spliced — the callee's virtual root
+    is not kept)."""
+    changed = True
+    while changed:
+        changed = False
+        for proc in graph.postorder():
+            tree = intra.get(proc)
+            if tree is None:
+                continue
+            for node in list(tree.preorder()):
+                if not any(c.kind == FUNC for c in node.children):
+                    continue
+                new_children: list[CSTNode] = []
+                for child in node.children:
+                    if child.kind == FUNC and child.name in intra:
+                        callee_root = intra[child.name]
+                        new_children.extend(c.copy() for c in callee_root.children)
+                        changed = True
+                    elif child.kind == FUNC:
+                        # Call to an unknown function: drop (pruned anyway).
+                        changed = True
+                    else:
+                        new_children.append(child)
+                node.children = new_children
+
+
+def _collect_instrumented_ids(cst: CSTNode) -> frozenset[int]:
+    ids = set()
+    for node in cst.preorder():
+        if node.kind in (LOOP, "branch") and node.ast_id is not None:
+            ids.add(node.ast_id)
+    return frozenset(ids)
+
+
+def build_program_cst(
+    program: A.Program,
+    classify: Classifier,
+    entry: str = "main",
+) -> StaticAnalysisResult:
+    """Run the complete static analysis module on a MiniMPI program.
+
+    This is the top of the static pipeline: CFGs -> intra-procedural CSTs
+    (Algorithm 1) -> PCG -> recursion conversion -> inter-procedural
+    inlining (Algorithm 2) -> pruning -> GID assignment.
+    """
+    if entry not in program.functions:
+        raise ValueError(f"program has no entry function {entry!r}")
+    cfgs = build_all_cfgs(program)
+    intra = {name: build_intra_cst(cfg, classify) for name, cfg in cfgs.items()}
+    intra_snapshot = {name: tree.copy() for name, tree in intra.items()}
+    graph = build_call_graph(program)
+    pseudo = _convert_recursion(intra, program, graph)
+    _inline_functions(intra, graph)
+    cst = intra[entry]
+    cst.kind = ROOT
+    cst.name = entry
+    prune(cst)
+    assign_gids(cst)
+    return StaticAnalysisResult(
+        cst=cst,
+        instrumented_ast_ids=_collect_instrumented_ids(cst),
+        recursive_pseudo=pseudo,
+        intra_csts=intra_snapshot,
+        call_graph=graph,
+    )

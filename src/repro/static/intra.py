@@ -1,0 +1,136 @@
+"""Intra-procedural CST construction (paper §III-A, Algorithm 1).
+
+Builds an intermediate CST for one procedure from its CFG:
+
+* loop and branch structures are identified over the CFG (dominator-based
+  natural-loop detection; two-way conditional blocks);
+* each MPI invocation and each user-defined function call becomes a leaf
+  vertex;
+* a virtual root connects the first-level vertices;
+* branch structures contribute one branch vertex *per path*.
+
+The construction walks CFG regions guided by the dominator analysis:
+a loop's body region is delimited by its header (back-edge target, found by
+the natural-loop pass); a branch's paths are delimited by the branch
+block's immediate post-dominator (the join).  Early exits (``break`` /
+``return``) terminate a region at the enclosing loop-exit / function-exit
+blocks, which are threaded through as stop sets.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.minilang.cfg import CFG
+
+from .cst import BRANCH, CALL, FUNC, LOOP, ROOT, CSTNode
+from .dominators import immediate_dominators, immediate_post_dominators
+from .loops import natural_loops
+
+# classify(name) -> "mpi" | "user" | None (ignored computation builtin)
+Classifier = Callable[[str], str | None]
+
+
+class IntraProceduralAnalysis:
+    """Runs Algorithm 1 for a single procedure."""
+
+    def __init__(self, cfg: CFG, classify: Classifier) -> None:
+        self.cfg = cfg
+        self.classify = classify
+        self._idom = immediate_dominators(cfg)
+        self._ipdom = immediate_post_dominators(cfg)
+        self._loops = natural_loops(cfg, self._idom)
+
+    def build(self) -> CSTNode:
+        """The intermediate CST of the procedure (unpruned, no GIDs)."""
+        root = CSTNode(kind=ROOT, name=self.cfg.func_name)
+        root.children = self._region(self.cfg.entry, stops=frozenset({self.cfg.exit}))
+        return root
+
+    # ------------------------------------------------------------------
+
+    def _leaf_vertices(self, bid: int) -> list[CSTNode]:
+        leaves = []
+        for inv in self.cfg.blocks[bid].invocations:
+            kind = self.classify(inv.name)
+            if kind == "mpi":
+                leaves.append(CSTNode(kind=CALL, ast_id=inv.ast_id, name=inv.name, line=inv.line))
+            elif kind == "user":
+                leaves.append(CSTNode(kind=FUNC, ast_id=inv.ast_id, name=inv.name, line=inv.line))
+        return leaves
+
+    def _region(self, start: int, stops: frozenset[int]) -> list[CSTNode]:
+        """CST vertices for the linear chain of regions from ``start`` until
+        any block in ``stops`` is reached."""
+        out: list[CSTNode] = []
+        cur = start
+        visited_here: set[int] = set()
+        while cur not in stops:
+            if cur in visited_here:  # safety net against malformed CFGs
+                raise RuntimeError(
+                    f"region walk revisited block {cur} in {self.cfg.func_name}"
+                )
+            visited_here.add(cur)
+            block = self.cfg.blocks[cur]
+            if cur in self._loops:
+                # Header invocations (loop-condition calls) belong *inside*
+                # the loop vertex — _loop_vertex emits them.
+                out.append(self._loop_vertex(cur, stops))
+                cur = self._loop_exit(cur)
+                continue
+            out.extend(self._leaf_vertices(cur))
+            if block.kind == "branch" and len(block.succs) == 2:
+                vertices, join = self._branch_vertices(cur, stops)
+                out.extend(vertices)
+                cur = join
+                continue
+            if not block.succs:
+                break
+            cur = block.succs[0]
+        return out
+
+    def _loop_exit(self, header: int) -> int:
+        loop = self._loops[header]
+        exits = [s for s in self.cfg.blocks[header].succs if s not in loop.body]
+        if len(exits) != 1:  # structured MiniMPI loops have exactly one
+            raise RuntimeError(
+                f"loop header {header} in {self.cfg.func_name} has {len(exits)} exits"
+            )
+        return exits[0]
+
+    def _loop_vertex(self, header: int, stops: frozenset[int]) -> CSTNode:
+        loop = self._loops[header]
+        block = self.cfg.blocks[header]
+        vertex = CSTNode(kind=LOOP, ast_id=block.ast_id, line=0)
+        body_entries = [s for s in block.succs if s in loop.body]
+        exit_block = self._loop_exit(header)
+        # Invocations in the header (loop-condition calls) execute once per
+        # iteration: they are the loop vertex's first children.
+        vertex.children.extend(self._leaf_vertices(header))
+        body_stops = stops | {header, exit_block}
+        for entry in body_entries:
+            vertex.children.extend(self._region(entry, frozenset(body_stops)))
+        return vertex
+
+    def _branch_vertices(
+        self, bid: int, stops: frozenset[int]
+    ) -> tuple[list[CSTNode], int]:
+        block = self.cfg.blocks[bid]
+        join = self._ipdom.get(bid, self.cfg.exit)
+        path_stops = frozenset(stops | {join})
+        vertices: list[CSTNode] = []
+        for path, succ in enumerate(block.succs):
+            vertex = CSTNode(kind=BRANCH, ast_id=block.ast_id, branch_path=path)
+            vertex.children = self._region(succ, path_stops)
+            vertices.append(vertex)
+        return vertices, join
+
+
+def build_intra_cst(cfg: CFG, classify: Classifier) -> CSTNode:
+    """Intermediate (per-procedure) CST — Algorithm 1.
+
+    Returns a CST whose root is the procedure's virtual root.  A procedure
+    without MPI or user-function calls yields a root with no surviving
+    descendants after pruning (the paper's "null" intermediate CST).
+    """
+    return IntraProceduralAnalysis(cfg, classify).build()

@@ -1,0 +1,126 @@
+"""Trace-legality checks for MiniMPI programs.
+
+CYPRESS's runtime cursor assumes that the marker stream (emitted by the
+AST-walking interpreter) and the CST (derived from the CFG) agree on
+structure.  Early exits break that agreement: with ``if (x) continue;``
+the CFG places the rest of the loop body under the branch's untaken path,
+while the interpreter's markers close the branch before executing it.
+
+Rather than approximate, the compiler rejects the problematic patterns up
+front — in any function that (transitively) performs MPI communication:
+
+* ``break`` and ``continue`` are forbidden;
+* ``return`` is allowed only where no MPI communication can execute after
+  it in the same function activation (this admits the guard-clause pattern
+  of the paper's recursive example, Fig. 8: ``if (num == 0) return;``);
+* loop conditions may not call MPI intrinsics or MPI-performing functions
+  (their evaluation count is iterations+1, which desynchronises leaf
+  visit counting).
+
+Functions that perform no communication are unrestricted.
+"""
+
+from __future__ import annotations
+
+from repro.minilang import ast_nodes as A
+from repro.minilang.ast_nodes import walk
+from repro.minilang.builtins import MPI_INTRINSICS
+
+
+class CompileError(Exception):
+    """A MiniMPI program is not legal for CYPRESS tracing."""
+
+
+def functions_with_mpi(program: A.Program) -> set[str]:
+    """Names of functions that transitively contain MPI intrinsics."""
+    direct: set[str] = set()
+    calls: dict[str, set[str]] = {}
+    user = set(program.functions)
+    for name, func in program.functions.items():
+        callees: set[str] = set()
+        for node in walk(func):
+            if isinstance(node, A.Call):
+                if node.name in MPI_INTRINSICS:
+                    direct.add(name)
+                elif node.name in user:
+                    callees.add(node.name)
+        calls[name] = callees
+    # Propagate up the call graph to a fixpoint.
+    result = set(direct)
+    changed = True
+    while changed:
+        changed = False
+        for name, callees in calls.items():
+            if name not in result and callees & result:
+                result.add(name)
+                changed = True
+    return result
+
+
+def _expr_calls_mpi(expr: A.Expr, mpi_funcs: set[str]) -> bool:
+    for node in walk(expr):
+        if isinstance(node, A.Call) and (
+            node.name in MPI_INTRINSICS or node.name in mpi_funcs
+        ):
+            return True
+    return False
+
+
+def _stmt_has_mpi(stmt: A.Stmt, mpi_funcs: set[str]) -> bool:
+    for node in walk(stmt):
+        if isinstance(node, A.Call) and (
+            node.name in MPI_INTRINSICS or node.name in mpi_funcs
+        ):
+            return True
+    return False
+
+
+def _check_returns(
+    name: str, stmts: list[A.Stmt], mpi_after: bool, mpi_funcs: set[str]
+) -> None:
+    """Reject any ``return`` that has MPI-relevant code after it."""
+    # Walk backwards, tracking whether MPI occurs later in this list.
+    follows = mpi_after
+    for stmt in reversed(stmts):
+        if isinstance(stmt, A.Return):
+            if follows:
+                raise CompileError(
+                    f"{name}(): 'return' at line {stmt.line} with MPI "
+                    "communication after it is not traceable"
+                )
+        elif isinstance(stmt, A.If):
+            _check_returns(name, stmt.then_body, follows, mpi_funcs)
+            _check_returns(name, stmt.else_body, follows, mpi_funcs)
+        elif isinstance(stmt, (A.For, A.While)):
+            # A return inside a loop exits the function, so only code after
+            # (and the current iteration's tail, covered by the body walk
+            # with the body's own trailing MPI) matters.
+            _check_returns(name, stmt.body, follows, mpi_funcs)
+        if _stmt_has_mpi(stmt, mpi_funcs):
+            follows = True
+
+
+def check_trace_legality(program: A.Program) -> None:
+    """Raise :class:`CompileError` on patterns CYPRESS cannot trace exactly."""
+    mpi_funcs = functions_with_mpi(program)
+    for name, func in program.functions.items():
+        if name not in mpi_funcs:
+            continue
+        for node in walk(func):
+            if isinstance(node, A.Break):
+                raise CompileError(
+                    f"{name}(): 'break' at line {node.line} inside an "
+                    "MPI-performing function is not traceable"
+                )
+            if isinstance(node, A.Continue):
+                raise CompileError(
+                    f"{name}(): 'continue' at line {node.line} inside an "
+                    "MPI-performing function is not traceable"
+                )
+            if isinstance(node, (A.For, A.While)) and node.cond is not None:
+                if _expr_calls_mpi(node.cond, mpi_funcs):
+                    raise CompileError(
+                        f"{name}(): MPI call in loop condition at line "
+                        f"{node.line} is not traceable"
+                    )
+        _check_returns(name, func.body, False, mpi_funcs)

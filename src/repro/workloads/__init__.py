@@ -1,0 +1,15 @@
+"""NPB-like communication kernels and the LESlie3d proxy (MiniMPI)."""
+
+from .base import Workload, grid_2d, grid_3d, is_pow2, is_square
+from .registry import NPB_NAMES, WORKLOADS, get
+
+__all__ = [
+    "Workload",
+    "WORKLOADS",
+    "NPB_NAMES",
+    "get",
+    "grid_2d",
+    "grid_3d",
+    "is_pow2",
+    "is_square",
+]

@@ -1,0 +1,87 @@
+"""AMR-like workload: halo exchange with phase changes (extension).
+
+Adaptive mesh refinement periodically *regrids*: after each regrid the
+communication pattern changes — message sizes grow where the mesh
+refined, and refined ranks gain diagonal neighbours.  Time-varying
+patterns are a classic stressor for trace compressors: bottom-up tools
+see their repeating window broken at every phase boundary, while the CTT
+records per-phase parameter changes as a handful of extra records with
+stride-compressed occurrence sets.
+
+Runs on perfect-square process counts.
+"""
+
+from __future__ import annotations
+
+from .base import Workload, is_square, scaled
+
+SOURCE = """
+// AMR-like 2D halo exchange with regridding phase changes.
+func xchg(peer, nbytes, tag, r, nreq) {
+  r[nreq] = mpi_irecv(peer, nbytes, tag);
+  r[nreq + 1] = mpi_isend(peer, nbytes, tag);
+  return nreq + 2;
+}
+
+func main() {
+  mpi_init();
+  var rank = mpi_comm_rank();
+  var size = mpi_comm_size();
+  var p = isqrt(size);
+  var row = rank / p;
+  var col = rank % p;
+  var r[12];
+  for (var it = 0; it < niter; it = it + 1) {
+    // refinement level of this rank's patch: the lower-left quadrant
+    // refines at each regrid (its messages double)
+    var phase = it / regrid;
+    var level = 0;
+    if (row < p / 2 && col < p / 2) {
+      level = min(phase, 3);
+    }
+    var msg = base * pow2(level);
+    var nreq = 0;
+    if (col > 0)     { nreq = xchg(rank - 1, msg, 1, r, nreq); }
+    if (col < p - 1) { nreq = xchg(rank + 1, msg, 1, r, nreq); }
+    if (row > 0)     { nreq = xchg(rank - p, msg, 2, r, nreq); }
+    if (row < p - 1) { nreq = xchg(rank + p, msg, 2, r, nreq); }
+    // refined patches also exchange diagonals (flux correction) — only
+    // with partners that are themselves refined (inside the quadrant)
+    if (level > 0) {
+      if (row > 0 && col > 0) {
+        nreq = xchg(rank - p - 1, msg / 4, 3, r, nreq);
+      }
+      if (row < p / 2 - 1 && col < p / 2 - 1) {
+        nreq = xchg(rank + p + 1, msg / 4, 3, r, nreq);
+      }
+    }
+    mpi_waitall(r, nreq);
+    compute(ctime);
+    if (it % regrid == regrid - 1) {
+      mpi_allreduce(8 * size);  // load-balance metric exchange
+    }
+  }
+  mpi_finalize();
+}
+"""
+
+
+def defines(nprocs: int, scale: float = 1.0) -> dict[str, int]:
+    if not is_square(nprocs):
+        raise ValueError(f"AMR needs a square process count, got {nprocs}")
+    return {
+        "base": 8192,
+        "regrid": 6,
+        "niter": scaled(24, scale),
+        "ctime": 250,
+    }
+
+
+WORKLOAD = Workload(
+    name="amr",
+    source=SOURCE,
+    defines=defines,
+    valid_procs=tuple(q * q for q in range(2, 33)),
+    paper_procs=(),  # extension; not in the paper's grid
+    description="AMR-style halo exchange; regridding changes sizes and partners",
+)

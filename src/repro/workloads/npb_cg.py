@@ -1,0 +1,94 @@
+"""CG-like kernel: conjugate gradient with row-group reductions and a
+transpose exchange.
+
+NPB CG partitions the sparse matrix on a nprows×npcols grid.  Each CG
+iteration does (a) a large q = A·p exchange with the transpose partner,
+and (b) log2(npcols) butterfly stages of small dot-product
+send/recv pairs within the row group.  Messages are two-scale (one big,
+many tiny), loop structure is deep and regular.
+
+Runs on power-of-two process counts (paper: 64, 128, 256, 512).
+"""
+
+from __future__ import annotations
+
+from .base import Workload, is_pow2, scaled
+
+SOURCE = """
+// CG-like kernel.  Row groups of npcols ranks, aligned on npcols
+// boundaries (npcols is a power of two), so XOR butterflies stay in-group.
+func reduce_exch(partner, nbytes, tag) {
+  var r[2];
+  r[0] = mpi_irecv(partner, nbytes, tag);
+  r[1] = mpi_isend(partner, nbytes, tag);
+  mpi_waitall(r, 2);
+}
+
+func main() {
+  mpi_init();
+  var rank = mpi_comm_rank();
+  var size = mpi_comm_size();
+  var row = rank / npcols;
+  var col = rank % npcols;
+  // Transpose partner (square grids swap row/col; rectangular grids pair
+  // half-row blocks, the NPB l2npcols trick).
+  var exch;
+  if (nprows == npcols) {
+    exch = col * npcols + row;
+  } else {
+    exch = (rank + size / 2) % size;
+  }
+  var qmsg = 8 * (na / nprows);
+  for (var it = 0; it < niter; it = it + 1) {
+    for (var cgit = 0; cgit < cgitmax; cgit = cgit + 1) {
+      // q = A.p transpose exchange
+      if (exch != rank) {
+        reduce_exch(exch, qmsg, 40);
+      }
+      // dot products: XOR butterfly over the row group (symmetric pairs)
+      for (var j = 0; j < l2npcols; j = j + 1) {
+        var d = pow2(j);
+        var peer;
+        if ((col / d) % 2 == 0) { peer = col + d; } else { peer = col - d; }
+        reduce_exch(row * npcols + peer, 8, 50 + j);
+      }
+      compute(ctime);
+    }
+    // residual norm butterfly
+    for (var j = 0; j < l2npcols; j = j + 1) {
+      var d = pow2(j);
+      var peer;
+      if ((col / d) % 2 == 0) { peer = col + d; } else { peer = col - d; }
+      reduce_exch(row * npcols + peer, 8, 70 + j);
+    }
+  }
+  mpi_finalize();
+}
+"""
+
+
+def defines(nprocs: int, scale: float = 1.0) -> dict[str, int]:
+    if not is_pow2(nprocs):
+        raise ValueError(f"CG needs a power-of-two process count, got {nprocs}")
+    k = nprocs.bit_length() - 1
+    npcols = 1 << ((k + 1) // 2)
+    nprows = nprocs // npcols
+    return {
+        "na": 1_500_000,  # CLASS D matrix order
+        "npcols": npcols,
+        "nprows": nprows,
+        "l2npcols": npcols.bit_length() - 1,
+        "niter": scaled(6, scale),  # CLASS D: 100
+        "cgitmax": scaled(8, scale),  # inner CG iterations: 25
+        "ctime": 300,
+    }
+
+
+WORKLOAD = Workload(
+    name="cg",
+    source=SOURCE,
+    defines=defines,
+    valid_procs=tuple(1 << k for k in range(2, 13)),
+    paper_procs=(64, 128, 256, 512),
+    description="Conjugate gradient; transpose exchange + butterfly reductions",
+)

@@ -1,0 +1,75 @@
+"""DT-like kernel: data-traffic graph (quad-tree shuffle + sink gather).
+
+NPB DT streams data through a task graph.  This kernel builds a quad-tree
+over the ranks: the root scatters a payload down the tree, leaves reduce
+their answers back to rank 0 — which collects them with **wildcard
+receives** (``MPI_ANY_SOURCE``), exercising the non-deterministic-event
+path of every compressor.  There is no outer time-step loop, so traces
+are tiny and essentially constant in P (paper Fig. 15c).
+
+Runs on any process count >= 5 (paper: 48, 64, 128, 256).
+"""
+
+from __future__ import annotations
+
+from .base import Workload
+
+SOURCE = """
+// DT-like quad-tree data-flow graph.
+func main() {
+  mpi_init();
+  var rank = mpi_comm_rank();
+  var size = mpi_comm_size();
+  // Downward pass: receive the payload from the quad-tree parent,
+  // forward shrunk copies to up to 4 children.
+  if (rank > 0) {
+    mpi_recv((rank - 1) / 4, payload, 5);
+  }
+  var nchildren = 0;
+  for (var c = 1; c <= 4; c = c + 1) {
+    var child = 4 * rank + c;
+    if (child < size) {
+      mpi_send(child, payload, 5);
+      nchildren = nchildren + 1;
+    }
+  }
+  compute(ctime);
+  // Leaves report to the sink (rank 0), which gathers with ANY_SOURCE.
+  if (rank == 0) {
+    var nleaves = 0;
+    for (var i = 0; i < size; i = i + 1) {
+      if (4 * i + 1 >= size) {
+        nleaves = nleaves + 1;
+      }
+    }
+    for (var i = 0; i < nleaves; i = i + 1) {
+      mpi_recv(-1, result, 9);
+    }
+  } else {
+    if (4 * rank + 1 >= size) {
+      mpi_send(0, result, 9);
+    }
+  }
+  mpi_barrier();
+  mpi_finalize();
+}
+"""
+
+
+def defines(nprocs: int, scale: float = 1.0) -> dict[str, int]:
+    del scale  # DT has no time-step loop to scale
+    return {
+        "payload": 1 << 16,  # 64 KB feature chunk
+        "result": 64,
+        "ctime": 500,
+    }
+
+
+WORKLOAD = Workload(
+    name="dt",
+    source=SOURCE,
+    defines=defines,
+    valid_procs=tuple(range(5, 1025)),
+    paper_procs=(48, 64, 128, 256),
+    description="Data-traffic quad-tree graph; wildcard receives at the sink",
+)

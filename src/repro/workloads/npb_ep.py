@@ -1,0 +1,47 @@
+"""EP-like kernel: embarrassingly parallel random-number statistics.
+
+NPB EP computes Gaussian pairs independently on every rank; the only
+communication is a handful of small allreduces combining the sums and the
+annulus counts at the end.  Traces are minuscule and constant in P
+(paper Fig. 15d) — the floor case for every compressor.
+
+Runs on any process count (paper: 64, 128, 256, 512).
+"""
+
+from __future__ import annotations
+
+from .base import Workload, scaled
+
+SOURCE = """
+func main() {
+  mpi_init();
+  // Independent computation batches (the only structure EP has).
+  for (var b = 0; b < nbatches; b = b + 1) {
+    compute(ctime);
+  }
+  // Combine sx, sy and the 10 annulus counts.
+  mpi_allreduce(8);
+  mpi_allreduce(8);
+  mpi_allreduce(80);
+  mpi_barrier();
+  mpi_finalize();
+}
+"""
+
+
+def defines(nprocs: int, scale: float = 1.0) -> dict[str, int]:
+    del nprocs
+    return {
+        "nbatches": scaled(16, scale),
+        "ctime": 2000,
+    }
+
+
+WORKLOAD = Workload(
+    name="ep",
+    source=SOURCE,
+    defines=defines,
+    valid_procs=tuple(range(1, 4097)),
+    paper_procs=(64, 128, 256, 512),
+    description="Embarrassingly parallel; three final allreduces only",
+)

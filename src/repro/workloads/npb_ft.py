@@ -1,0 +1,51 @@
+"""FT-like kernel: 3D FFT with all-to-all transposes.
+
+NPB FT evolves a spectral PDE: each time step performs a global transpose
+(MPI_Alltoall of the local slab) followed by a checksum reduction.  The
+communication is pure collectives — trace structure is trivial, but the
+*volume* moved is enormous, so raw traces stay small while timing-heavy.
+(Paper Fig. 15e: near-constant compressed sizes.)
+
+Runs on power-of-two process counts (paper: 64, 128, 256, 512).
+"""
+
+from __future__ import annotations
+
+from .base import Workload, is_pow2, scaled
+
+SOURCE = """
+func main() {
+  mpi_init();
+  var size = mpi_comm_size();
+  // total complex grid points / P^2 per pairwise chunk
+  var chunk = (ntotal / size) / size * 16;
+  // warm-up transpose of the initial state
+  mpi_alltoall(chunk);
+  for (var it = 0; it < niter; it = it + 1) {
+    compute(ctime);             // evolve + local FFTs
+    mpi_alltoall(chunk);        // global transpose
+    mpi_allreduce(16);          // complex checksum
+  }
+  mpi_finalize();
+}
+"""
+
+
+def defines(nprocs: int, scale: float = 1.0) -> dict[str, int]:
+    if not is_pow2(nprocs):
+        raise ValueError(f"FT needs a power-of-two process count, got {nprocs}")
+    return {
+        "ntotal": 2048 * 1024 * 1024 // 1024,  # CLASS D points, scaled down 1024x
+        "niter": scaled(12, scale),  # CLASS D: 25
+        "ctime": 1500,
+    }
+
+
+WORKLOAD = Workload(
+    name="ft",
+    source=SOURCE,
+    defines=defines,
+    valid_procs=tuple(1 << k for k in range(2, 13)),
+    paper_procs=(64, 128, 256, 512),
+    description="3D FFT; alltoall transpose + checksum allreduce per step",
+)

@@ -1,0 +1,60 @@
+"""IS-like kernel: parallel integer (bucket) sort.
+
+Not part of the paper's evaluation grid (the paper uses the other eight
+NPB codes), included as an extension: NPB IS stresses collectives with
+*data-dependent* volumes — per iteration an allreduce over the bucket
+histograms, an alltoall of bucket counts, and the key redistribution
+(alltoallv in NPB; modelled here as an alltoall of the dominant bucket
+size, which varies per iteration).  It also verifies partial ordering
+with neighbour sends at the end.
+
+Runs on power-of-two process counts.
+"""
+
+from __future__ import annotations
+
+from .base import Workload, is_pow2, scaled
+
+SOURCE = """
+func main() {
+  mpi_init();
+  var rank = mpi_comm_rank();
+  var size = mpi_comm_size();
+  var keys_per_rank = nkeys / size;
+  for (var it = 0; it < niter; it = it + 1) {
+    compute(ctime);                        // local bucket counting
+    mpi_allreduce(4 * nbuckets);           // global bucket histogram
+    mpi_alltoall(4 * (nbuckets / size));   // bucket-count exchange
+    // key redistribution: volume wobbles with the iteration (keys move
+    // between buckets as the random walk advances)
+    mpi_alltoall(4 * (keys_per_rank / size + 16 * (it % 3)));
+    compute(ctime / 2);                    // local rank computation
+  }
+  // partial verification: boundary keys flow to the neighbour rank
+  if (rank < size - 1) { mpi_send(rank + 1, 4 * 128, 77); }
+  if (rank > 0)        { mpi_recv(rank - 1, 4 * 128, 77); }
+  mpi_reduce(0, 4);                        // verification counter
+  mpi_finalize();
+}
+"""
+
+
+def defines(nprocs: int, scale: float = 1.0) -> dict[str, int]:
+    if not is_pow2(nprocs):
+        raise ValueError(f"IS needs a power-of-two process count, got {nprocs}")
+    return {
+        "nkeys": 1 << 25,  # CLASS D: 2^31 keys, scaled down
+        "nbuckets": 1024,
+        "niter": scaled(10, scale),
+        "ctime": 800,
+    }
+
+
+WORKLOAD = Workload(
+    name="is",
+    source=SOURCE,
+    defines=defines,
+    valid_procs=tuple(1 << k for k in range(1, 13)),
+    paper_procs=(),  # extension; not in the paper's Fig. 15 grid
+    description="Integer bucket sort; collective-heavy, data-dependent volumes",
+)

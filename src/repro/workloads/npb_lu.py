@@ -1,0 +1,85 @@
+"""LU-like kernel: SSOR wavefront pipelining on a 2D process grid.
+
+NPB LU factorises with lower/upper triangular sweeps pipelined over the
+k-planes of the grid: per plane each rank receives a pencil from its
+north and west neighbours, computes, and forwards south and east; the
+upper sweep runs the reverse wavefront.  Per time step this emits
+``2 · nz · 4`` *small* blocking messages — LU produces by far the largest
+raw traces in the paper's grid (Fig. 15f, ~10^8 KB at 512 ranks for Gzip)
+while compressing to near-constant size under CYPRESS.
+
+Runs on power-of-two process counts (paper: 64, 128, 256, 512).
+"""
+
+from __future__ import annotations
+
+from .base import Workload, grid_2d, is_pow2, scaled
+
+SOURCE = """
+// LU-like SSOR wavefront: px x py grid, pencil messages per k-plane.
+func main() {
+  mpi_init();
+  var rank = mpi_comm_rank();
+  var row = rank / px;
+  var col = rank % px;
+  var pencil = 8 * 5 * (nx / px);   // 5 doubles per pencil point
+  for (var it = 0; it < niter; it = it + 1) {
+    // lower-triangular sweep (blts): wavefront from (0,0)
+    for (var k = 0; k < nz; k = k + 1) {
+      if (row > 0) { mpi_recv(rank - px, pencil, 30); }
+      if (col > 0) { mpi_recv(rank - 1, pencil, 31); }
+      compute(ctime);
+      if (row < py - 1) { mpi_send(rank + px, pencil, 30); }
+      if (col < px - 1) { mpi_send(rank + 1, pencil, 31); }
+    }
+    // upper-triangular sweep (buts): wavefront from (py-1, px-1)
+    for (var k = 0; k < nz; k = k + 1) {
+      if (row < py - 1) { mpi_recv(rank + px, pencil, 32); }
+      if (col < px - 1) { mpi_recv(rank + 1, pencil, 33); }
+      compute(ctime);
+      if (row > 0) { mpi_send(rank - px, pencil, 32); }
+      if (col > 0) { mpi_send(rank - 1, pencil, 33); }
+    }
+    // halo exchange of the full solution slab (exchange_3)
+    var halo = 8 * 5 * nx / px * 2;
+    var r[4];
+    var nreq = 0;
+    if (row > 0)      { r[nreq] = mpi_irecv(rank - px, halo, 34); nreq = nreq + 1; }
+    if (row < py - 1) { r[nreq] = mpi_irecv(rank + px, halo, 34); nreq = nreq + 1; }
+    if (row > 0)      { mpi_send(rank - px, halo, 34); }
+    if (row < py - 1) { mpi_send(rank + px, halo, 34); }
+    mpi_waitall(r, nreq);
+    // residual norm every inorm steps
+    if (it % inorm == 0) {
+      mpi_allreduce(40);
+    }
+  }
+  mpi_allreduce(40);
+  mpi_finalize();
+}
+"""
+
+
+def defines(nprocs: int, scale: float = 1.0) -> dict[str, int]:
+    if not is_pow2(nprocs):
+        raise ValueError(f"LU needs a power-of-two process count, got {nprocs}")
+    px, py = grid_2d(nprocs)
+    return {
+        "px": px,
+        "py": py,
+        "nx": 408,  # CLASS D edge
+        "nz": scaled(10, scale),  # CLASS D: 408 planes
+        "niter": scaled(12, scale),  # CLASS D: 300
+        "inorm": 4,
+        "ctime": 60,
+    }
+
+
+WORKLOAD = Workload(
+    name="lu",
+    source=SOURCE,
+    defines=defines,
+    valid_procs=tuple(1 << k for k in range(2, 13)),
+    paper_procs=(64, 128, 256, 512),
+    description="SSOR wavefront; thousands of small pipelined messages",
+)

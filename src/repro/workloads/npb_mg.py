@@ -1,0 +1,103 @@
+"""MG-like kernel: V-cycle multigrid with nested-torus communication.
+
+NPB MG solves a 3D Poisson equation with a multigrid V-cycle.  At each
+level the active ranks exchange halos with their ±x/±y/±z neighbours at a
+level-dependent stride; at coarse levels only every ``2^level``-th rank
+participates — the "nested 3D torus for some particular communication
+processes, which results in irregular communication operations between
+different processes" (paper §VII-B, Fig. 17a).  The rank-dependent
+participation branches and level-varying message sizes are what blow up
+dynamic-only compressors (ScalaTrace's 400% overhead case, Fig. 16e).
+
+Runs on power-of-two process counts (paper: 64, 128, 256, 512).
+"""
+
+from __future__ import annotations
+
+from .base import Workload, grid_3d, is_pow2, scaled
+
+SOURCE = """
+// MG-like V-cycle.  3D grid px x py x pz; level-l active ranks are those
+// whose coordinates are multiples of 2^l (clamped per dimension).
+func halo(axis_extent, coord, stride, delta, msg, tag) {
+  // exchange with the +stride and -stride neighbours along one axis
+  // (periodic), where delta converts axis steps into rank steps.
+  var r[4];
+  var up = ((coord + stride) % axis_extent - coord) * delta;
+  var dn = ((coord + axis_extent - stride) % axis_extent - coord) * delta;
+  var rank = mpi_comm_rank();
+  if (up != 0) {
+    r[0] = mpi_irecv(rank + dn, msg, tag);
+    r[1] = mpi_irecv(rank + up, msg, tag);
+    r[2] = mpi_isend(rank + up, msg, tag);
+    r[3] = mpi_isend(rank + dn, msg, tag);
+    mpi_waitall(r, 4);
+  }
+}
+
+func level_exchange(level, msg) {
+  var rank = mpi_comm_rank();
+  var x = rank % px;
+  var y = (rank / px) % py;
+  var z = rank / (px * py);
+  var sx = min(pow2(level), px / 2);
+  var sy = min(pow2(level), py / 2);
+  var sz = min(pow2(level), pz / 2);
+  var active = 0;
+  if (sx > 0 && sy > 0 && sz > 0) {
+    if (x % sx == 0 && y % sy == 0 && z % sz == 0) {
+      active = 1;
+    }
+  }
+  if (active == 1) {
+    halo(px, x, sx, 1, msg, 80 + level);
+    halo(py, y, sy, px, msg, 90 + level);
+    halo(pz, z, sz, px * py, msg, 100 + level);
+  }
+}
+
+func main() {
+  mpi_init();
+  for (var it = 0; it < niter; it = it + 1) {
+    // down the V: restrict; message sizes shrink with the level
+    for (var l = 0; l < nlevels; l = l + 1) {
+      level_exchange(l, max(msgbase / pow2(2 * l), 64));
+      compute(ctime);
+    }
+    // up the V: prolongate
+    for (var l = 0; l < nlevels; l = l + 1) {
+      var lev = nlevels - 1 - l;
+      level_exchange(lev, max(msgbase / pow2(2 * lev), 64));
+      compute(ctime);
+    }
+    // residual norm
+    mpi_allreduce(8);
+  }
+  mpi_finalize();
+}
+"""
+
+
+def defines(nprocs: int, scale: float = 1.0) -> dict[str, int]:
+    if not is_pow2(nprocs):
+        raise ValueError(f"MG needs a power-of-two process count, got {nprocs}")
+    px, py, pz = grid_3d(nprocs)
+    return {
+        "px": px,
+        "py": py,
+        "pz": pz,
+        "nlevels": 4,  # CLASS D: 10 levels
+        "msgbase": 1 << 17,  # finest-level halo bytes
+        "niter": scaled(10, scale),  # CLASS D: 50
+        "ctime": 200,
+    }
+
+
+WORKLOAD = Workload(
+    name="mg",
+    source=SOURCE,
+    defines=defines,
+    valid_procs=tuple(1 << k for k in range(3, 13)),
+    paper_procs=(64, 128, 256, 512),
+    description="V-cycle multigrid; nested-torus, level-dependent participation",
+)

@@ -1,0 +1,78 @@
+"""SP-like kernel: scalar-pentadiagonal ADI with *non-uniform* messages.
+
+NPB SP has the same multi-partition sweep structure as BT but exchanges
+more, smaller messages whose sizes and tags vary per sweep stage and per
+rank — the adversarial case the paper calls out: "for some loops in SP,
+the message sizes and the message tags of sending and receiving
+communications are varied for each process" (§VII-B).  This defeats
+record merging keyed on exact parameters (CYPRESS, ScalaTrace) while
+ScalaTrace-2's elastic encoding absorbs it — SP is the one benchmark
+where ScalaTrace-2+Gzip beats CYPRESS on size (Fig. 15h), at higher
+compression overhead (Fig. 16f / 18).
+
+Runs on perfect-square process counts (paper: 64, 121, 256, 400).
+"""
+
+from __future__ import annotations
+
+from .base import Workload, is_square, scaled
+
+SOURCE = """
+// SP-like ADI kernel with per-stage, per-rank varied message sizes/tags.
+func stage(dst, src, msg, tag, ctime) {
+  var r[2];
+  r[0] = mpi_irecv(src, msg, tag);
+  r[1] = mpi_isend(dst, msg, tag);
+  mpi_waitall(r, 2);
+  compute(ctime);
+}
+
+func main() {
+  mpi_init();
+  var rank = mpi_comm_rank();
+  var size = mpi_comm_size();
+  var p = isqrt(size);
+  var row = rank / p;
+  var col = rank % p;
+  var cell = probsize / p;
+  var base = cell * cell * 8;
+  for (var it = 0; it < niter; it = it + 1) {
+    // Three sub-stages per direction, message size depends on the stage,
+    // the iteration, and the rank's grid position (non-uniform!).
+    for (var s = 0; s < 3; s = s + 1) {
+      var mx = base + 8 * (s * 5 + it % 7) + 16 * col;
+      stage(row * p + (col + 1) % p, row * p + (col + p - 1) % p,
+            mx, 100 + s * 10 + it % 4, ctime);
+      var my = base + 8 * (s * 3 + it % 5) + 16 * row;
+      stage(((row + 1) % p) * p + col, ((row + p - 1) % p) * p + col,
+            my, 200 + s * 10 + it % 4, ctime);
+      var mz = base + 8 * (s * 2 + it % 3) + 8 * (row + col);
+      stage(((row + 1) % p) * p + (col + 1) % p,
+            ((row + p - 1) % p) * p + (col + p - 1) % p,
+            mz, 300 + s * 10 + it % 4, ctime);
+    }
+  }
+  mpi_allreduce(40);
+  mpi_finalize();
+}
+"""
+
+
+def defines(nprocs: int, scale: float = 1.0) -> dict[str, int]:
+    if not is_square(nprocs):
+        raise ValueError(f"SP needs a square process count, got {nprocs}")
+    return {
+        "probsize": 408,
+        "niter": scaled(16, scale),  # CLASS D: 500
+        "ctime": 150,
+    }
+
+
+WORKLOAD = Workload(
+    name="sp",
+    source=SOURCE,
+    defines=defines,
+    valid_procs=tuple(p * p for p in range(2, 33)),
+    paper_procs=(64, 121, 256, 400),
+    description="Scalar-pentadiagonal ADI; varied sizes/tags per rank and stage",
+)

@@ -1,0 +1,32 @@
+"""Name-indexed registry of all workloads."""
+
+from __future__ import annotations
+
+from .amr import WORKLOAD as AMR
+from .base import Workload
+from .leslie3d import WORKLOAD as LESLIE3D
+from .npb_bt import WORKLOAD as BT
+from .npb_cg import WORKLOAD as CG
+from .npb_dt import WORKLOAD as DT
+from .npb_ep import WORKLOAD as EP
+from .npb_ft import WORKLOAD as FT
+from .npb_is import WORKLOAD as IS
+from .npb_lu import WORKLOAD as LU
+from .npb_mg import WORKLOAD as MG
+from .npb_sp import WORKLOAD as SP
+from .taskfarm import WORKLOAD as FARM
+
+WORKLOADS: dict[str, Workload] = {
+    w.name: w for w in (BT, CG, DT, EP, FT, IS, LU, MG, SP, LESLIE3D, FARM, AMR)
+}
+
+NPB_NAMES = ("bt", "cg", "dt", "ep", "ft", "lu", "mg", "sp")
+
+
+def get(name: str) -> Workload:
+    try:
+        return WORKLOADS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown workload {name!r}; available: {sorted(WORKLOADS)}"
+        ) from None

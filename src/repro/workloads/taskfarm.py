@@ -1,0 +1,62 @@
+"""Task-farm workload: master/worker with wildcard receives (extension).
+
+Not an NPB code — added to exercise the paper's non-deterministic-event
+machinery (§IV-A) under realistic pressure: the master serves work
+requests with ``MPI_ANY_SOURCE`` receives, so *every* master-side record
+depends on runtime arrival order, and its replies have data-dependent
+destinations.  Compression degrades gracefully (per-source record
+groups) instead of exploding, and replay must reproduce the exact
+recorded arrival order.
+
+Workers run fixed request/receive rounds with rank-skewed computation, so
+arrival order is non-trivial but the trace stays deterministic for the
+simulated machine.
+
+Runs on any process count >= 2.
+"""
+
+from __future__ import annotations
+
+from .base import Workload, scaled
+
+SOURCE = """
+func main() {
+  mpi_init();
+  var rank = mpi_comm_rank();
+  var size = mpi_comm_size();
+  if (rank == 0) {
+    // master: serve every request in arrival order
+    for (var t = 0; t < (size - 1) * rounds; t = t + 1) {
+      var src = mpi_recv(-1, 8, 1);   // work request (ANY_SOURCE)
+      mpi_send(src, chunk, 2);        // task payload to the requester
+    }
+  } else {
+    for (var j = 0; j < rounds; j = j + 1) {
+      mpi_send(0, 8, 1);              // ask for work
+      mpi_recv(0, chunk, 2);          // receive the task
+      compute(wtime + (rank * 37) % 29 + 7 * (j % 3));  // skewed work
+    }
+  }
+  mpi_reduce(0, 8);
+  mpi_finalize();
+}
+"""
+
+
+def defines(nprocs: int, scale: float = 1.0) -> dict[str, int]:
+    del nprocs
+    return {
+        "rounds": scaled(12, scale),
+        "chunk": 32 * 1024,
+        "wtime": 120,
+    }
+
+
+WORKLOAD = Workload(
+    name="farm",
+    source=SOURCE,
+    defines=defines,
+    valid_procs=tuple(range(2, 4097)),
+    paper_procs=(),  # extension; not in the paper's grid
+    description="Master/worker task farm; wildcard receives, data-dependent replies",
+)

@@ -1,0 +1,76 @@
+"""Trace diff tests."""
+
+import sys
+
+sys.path.insert(0, "tests")
+from helpers import run_traced  # noqa: E402
+
+from repro.analysis.diff import diff_traces  # noqa: E402
+from repro.core.inter import merge_all  # noqa: E402
+
+
+def merged_of(source, nprocs, defines=None):
+    _, _, cyp, _ = run_traced(source, nprocs, defines=defines)
+    return merge_all([cyp.ctt(r) for r in range(nprocs)])
+
+
+BASE = """
+func main() {
+  mpi_init();
+  var rank = mpi_comm_rank();
+  var size = mpi_comm_size();
+  for (var i = 0; i < n; i = i + 1) {
+    mpi_send((rank + 1) % size, 512, 1);
+    mpi_recv((rank + size - 1) % size, 512, 1);
+  }
+  mpi_finalize();
+}
+"""
+
+
+class TestDiff:
+    def test_identical_traces(self):
+        a = merged_of(BASE, 4, {"n": 5})
+        b = merged_of(BASE, 4, {"n": 5})
+        result = diff_traces(a, b)
+        assert result.identical
+        assert result.format() == "traces are identical"
+
+    def test_iteration_count_change_detected(self):
+        a = merged_of(BASE, 4, {"n": 5})
+        b = merged_of(BASE, 4, {"n": 6})
+        result = diff_traces(a, b)
+        assert not result.identical
+        assert len(result.diverged) == 4
+        # Same prefix, different length -> divergence at the tail.
+        d = result.diverged[0]
+        assert d.len_a != d.len_b
+
+    def test_parameter_change_detected(self):
+        a = merged_of(BASE, 2, {"n": 3})
+        b = merged_of(BASE.replace("512", "1024"), 2, {"n": 3})
+        result = diff_traces(a, b)
+        assert not result.identical
+        d = result.diverged[0]
+        assert d.first_divergence == 1  # Init matches, first send differs
+        assert "MPI_Send" in d.detail
+
+    def test_rank_count_mismatch(self):
+        a = merged_of(BASE, 4, {"n": 2})
+        b = merged_of(BASE, 2, {"n": 2})
+        result = diff_traces(a, b)
+        assert result.only_in_a == [2, 3]
+        assert not result.identical
+
+    def test_cli_diff(self, tmp_path, capsys):
+        from repro.cli import main
+
+        t1 = str(tmp_path / "a.cyp")
+        t2 = str(tmp_path / "b.cyp")
+        assert main(["trace", "ft", "-n", "4", "--scale", "0.5", "-o", t1]) == 0
+        assert main(["trace", "ft", "-n", "4", "--scale", "0.5", "-o", t2]) == 0
+        assert main(["diff", t1, t2]) == 0
+        t3 = str(tmp_path / "c.cyp")
+        # More FT iterations -> more alltoall/allreduce events.
+        assert main(["trace", "ft", "-n", "4", "--scale", "1.0", "-o", t3]) == 0
+        assert main(["diff", t1, t3]) == 1

@@ -1,0 +1,95 @@
+"""Pattern-extraction tests."""
+
+import sys
+
+import numpy as np
+
+sys.path.insert(0, "tests")
+from helpers import run_traced  # noqa: E402
+
+from repro.analysis.patterns import (  # noqa: E402
+    ascii_heatmap,
+    communication_matrix,
+    message_sizes,
+    neighbor_sets,
+)
+from repro.core.inter import merge_all  # noqa: E402
+
+
+def merged_of(source, nprocs, defines=None):
+    _, rec, cyp, _ = run_traced(source, nprocs, defines=defines)
+    return merge_all([cyp.ctt(r) for r in range(nprocs)])
+
+
+RING = """
+func main() {
+  var rank = mpi_comm_rank();
+  var size = mpi_comm_size();
+  for (var i = 0; i < 4; i = i + 1) {
+    mpi_send((rank + 1) % size, 100, 0);
+    mpi_recv((rank + size - 1) % size, 100, 0);
+  }
+}
+"""
+
+
+class TestMatrix:
+    def test_ring_volumes(self):
+        m = merged_of(RING, 6)
+        matrix = communication_matrix(m, 6)
+        for r in range(6):
+            assert matrix[r, (r + 1) % 6] == 400
+        assert matrix.sum() == 6 * 400
+
+    def test_collectives_excluded(self):
+        m = merged_of("func main() { mpi_allreduce(4096); }", 4)
+        assert communication_matrix(m, 4).sum() == 0
+
+    def test_sendrecv_counted(self):
+        m = merged_of(
+            "func main() { var p = 1 - mpi_comm_rank(); "
+            "mpi_sendrecv(p, 300, 0, p, 300, 0); }",
+            2,
+        )
+        matrix = communication_matrix(m, 2)
+        assert matrix[0, 1] == 300 and matrix[1, 0] == 300
+
+    def test_isend_counted(self):
+        m = merged_of(
+            """
+            func main() {
+              var p = 1 - mpi_comm_rank();
+              var r[2];
+              r[0] = mpi_irecv(p, 128, 0);
+              r[1] = mpi_isend(p, 128, 0);
+              mpi_waitall(r, 2);
+            }
+            """,
+            2,
+        )
+        assert communication_matrix(m, 2)[0, 1] == 128
+
+
+class TestDerived:
+    def test_neighbor_sets_symmetric_union(self):
+        m = merged_of(RING, 4)
+        matrix = communication_matrix(m, 4)
+        neighbors = neighbor_sets(matrix)
+        assert neighbors[0] == [1, 3]  # sends to 1, receives from 3
+
+    def test_message_sizes_histogram(self):
+        m = merged_of(RING, 4)
+        sizes = message_sizes(m)
+        assert sizes == {100: 16}
+
+    def test_heatmap_renders(self):
+        m = merged_of(RING, 8)
+        art = ascii_heatmap(communication_matrix(m, 8))
+        lines = art.splitlines()
+        assert len(lines) == 8
+        assert any(ch != " " for ch in art)
+
+    def test_heatmap_downsamples_large(self):
+        matrix = np.eye(128, dtype=np.int64) * 1000
+        art = ascii_heatmap(matrix, width=32)
+        assert len(art.splitlines()) == 32

@@ -1,0 +1,67 @@
+"""Measurement-harness tests (the code behind Figs. 15/16/18/19)."""
+
+import pytest
+
+from repro.analysis.stats import measure_all_methods
+from repro.workloads import get
+
+
+@pytest.fixture(scope="module")
+def leslie_measurement():
+    return measure_all_methods(get("leslie3d"), 8, scale=0.3)
+
+
+class TestMeasurement:
+    def test_all_methods_present(self, leslie_measurement):
+        assert set(leslie_measurement.methods) == {
+            "gzip", "scalatrace", "scalatrace2", "cypress",
+        }
+
+    def test_sizes_positive(self, leslie_measurement):
+        for method in leslie_measurement.methods.values():
+            assert method.trace_bytes > 0
+
+    def test_cypress_beats_raw(self, leslie_measurement):
+        m = leslie_measurement.methods
+        assert m["cypress"].trace_bytes < m["gzip"].trace_bytes
+
+    def test_gzip_variants_smaller(self, leslie_measurement):
+        m = leslie_measurement.methods
+        assert m["cypress"].gzip_bytes < m["cypress"].trace_bytes
+        assert m["gzip"].gzip_bytes < m["gzip"].trace_bytes
+
+    def test_overhead_percentages(self, leslie_measurement):
+        pct = leslie_measurement.overhead_pct("cypress", "intra")
+        assert pct >= 0
+        assert leslie_measurement.base_seconds > 0
+
+    def test_inter_seconds_recorded(self, leslie_measurement):
+        for name in ("scalatrace", "scalatrace2", "cypress"):
+            assert leslie_measurement.methods[name].inter_seconds >= 0
+
+    def test_subset_of_methods(self):
+        m = measure_all_methods(get("ep"), 4, scale=0.5, methods=("cypress",))
+        assert list(m.methods) == ["cypress"]
+
+    def test_invalid_proc_count_rejected(self):
+        with pytest.raises(ValueError):
+            measure_all_methods(get("bt"), 7)
+
+
+class TestShapes:
+    def test_cypress_intra_cheaper_than_scalatrace(self):
+        """The paper's headline: 5x lower intra-process overhead.  MG (the
+        complex-pattern case) shows the gap robustly; we assert the
+        direction (constants differ in Python)."""
+        m = measure_all_methods(get("mg"), 16, scale=0.4)
+        assert (
+            m.methods["cypress"].intra_seconds
+            < m.methods["scalatrace"].intra_seconds
+        )
+
+    def test_cypress_inter_cheaper_than_scalatrace(self):
+        m = measure_all_methods(get("mg"), 16, scale=0.4)
+        assert (
+            m.methods["cypress"].inter_seconds
+            < m.methods["scalatrace"].inter_seconds
+        )

@@ -1,0 +1,37 @@
+"""measure_all_methods with a custom CYPRESS config (ablation plumbing)."""
+
+from repro.analysis.stats import measure_all_methods
+from repro.core.intra import CypressConfig
+from repro.workloads import get
+
+
+class TestConfigPlumbing:
+    def test_window_config_changes_cypress_size(self):
+        w = get("mg")
+        wide = measure_all_methods(
+            w, 8, scale=0.3, methods=("cypress",),
+            config=CypressConfig(window=None),
+        )
+        narrow = measure_all_methods(
+            w, 8, scale=0.3, methods=("cypress",),
+            config=CypressConfig(window=1),
+        )
+        assert (
+            wide.methods["cypress"].trace_bytes
+            < narrow.methods["cypress"].trace_bytes
+        )
+
+    def test_histogram_config_grows_trace(self):
+        w = get("ft")
+        mean = measure_all_methods(
+            w, 8, scale=0.5, methods=("cypress",),
+            config=CypressConfig(timing_mode="meanstd"),
+        )
+        hist = measure_all_methods(
+            w, 8, scale=0.5, methods=("cypress",),
+            config=CypressConfig(timing_mode="hist"),
+        )
+        assert (
+            hist.methods["cypress"].trace_bytes
+            >= mean.methods["cypress"].trace_bytes
+        )

@@ -1,0 +1,114 @@
+"""Post-mortem compression tests: raw text traces -> offline ScalaTrace."""
+
+import sys
+
+import pytest
+
+sys.path.insert(0, "tests")
+from helpers import truth_signatures  # noqa: E402
+
+from repro.baselines.postmortem import (  # noqa: E402
+    TraceParseError,
+    compress_postmortem,
+    parse_line,
+    parse_rank_trace,
+    parse_req_line,
+)
+from repro.baselines.rawtrace import RawTraceSink  # noqa: E402
+from repro.baselines.rsd import expand  # noqa: E402
+from repro.driver import run_compiled  # noqa: E402
+from repro.mpisim.pmpi import MultiSink, RecordingSink  # noqa: E402
+from repro.static.instrument import compile_minimpi  # noqa: E402
+
+
+class TestParsing:
+    def test_simple_line(self):
+        ev = parse_line("MPI_Send r3 t=1.500 d=0.700 peer=4 bytes=128 tag=9", 0)
+        assert ev.op == "MPI_Send" and ev.rank == 3
+        assert ev.peer == 4 and ev.nbytes == 128 and ev.tag == 9
+        assert ev.time_start == pytest.approx(1.5)
+
+    def test_collective_line(self):
+        ev = parse_line("MPI_Bcast r0 t=0.000 d=2.000 bytes=64 root=2", 0)
+        assert ev.root == 2 and ev.peer == -100
+
+    def test_wait_line_with_reqs(self):
+        ev = parse_line("MPI_Waitall r1 t=0.000 d=0.100 reqs=3,4", 0)
+        assert ev.reqs == (3, 4)
+
+    def test_wildcard_flag(self):
+        ev = parse_line("MPI_Recv r0 t=0.1 d=0.2 peer=5 bytes=8 anysrc", 0)
+        assert ev.wildcard and ev.peer == 5
+
+    def test_req_line(self):
+        assert parse_req_line("REQ 7 src=2 bytes=64 t=1.234") == (7, 2, 64)
+        assert parse_req_line("MPI_Send r0 t=0 d=0") is None
+
+    def test_garbage_rejected(self):
+        with pytest.raises(TraceParseError):
+            parse_line("this is not a trace line", 0)
+
+    def test_blank_and_req_skipped(self):
+        events, resolutions = parse_rank_trace(
+            "MPI_Barrier r0 t=0.000 d=1.000\n\nREQ 1 src=3 bytes=8 t=2.0\n"
+        )
+        assert len(events) == 1
+        assert resolutions == {1: (3, 8)}
+
+
+class TestRoundTrip:
+    SRC = """
+    func main() {
+      var rank = mpi_comm_rank();
+      var size = mpi_comm_size();
+      for (var i = 0; i < 8; i = i + 1) {
+        if (rank < size - 1) { mpi_send(rank + 1, 64, 1); }
+        if (rank > 0) { mpi_recv(rank - 1, 64, 1); }
+        mpi_allreduce(8);
+      }
+    }
+    """
+
+    def collect(self, nprocs, src=None):
+        compiled = compile_minimpi(src or self.SRC, cypress=False)
+        rec = RecordingSink()
+        raw = RawTraceSink()
+        run_compiled(compiled, nprocs, tracer=MultiSink([rec, raw]))
+        texts = {r: raw.rank_blob(r).decode() for r in range(nprocs)}
+        return rec, texts
+
+    def test_offline_equals_online_content(self):
+        rec, texts = self.collect(4)
+        comp = compress_postmortem(texts)
+        for rank in range(4):
+            got = expand(comp.queue(rank))
+            want = truth_signatures(rec, rank)
+            assert got == want
+
+    def test_compression_achieved(self):
+        rec, texts = self.collect(4)
+        comp = compress_postmortem(texts)
+        flat_events = sum(len(v) for v in rec.events.values())
+        compressed_terms = sum(len(comp.queue(r)) for r in range(4))
+        assert compressed_terms < flat_events / 4
+
+    def test_wildcards_resolved_from_req_lines(self):
+        src = """
+        func main() {
+          var rank = mpi_comm_rank();
+          if (rank == 0) {
+            var r1 = mpi_irecv(-1, 8, 0);
+            var r2 = mpi_irecv(-1, 8, 0);
+            mpi_wait(r1);
+            mpi_wait(r2);
+          } else {
+            compute(40 * rank);
+            mpi_send(0, 8, 0);
+          }
+        }
+        """
+        rec, texts = self.collect(3, src)
+        comp = compress_postmortem(texts)
+        got = expand(comp.queue(0))
+        want = truth_signatures(rec, 0)
+        assert got == want

@@ -1,0 +1,83 @@
+"""Raw-trace (Gzip baseline) tests."""
+
+from repro.baselines.rawtrace import RawTraceSink
+from repro.driver import run_compiled
+from repro.mpisim.pmpi import MultiSink
+from repro.static.instrument import compile_minimpi
+
+
+def run_raw(source, nprocs, defines=None):
+    compiled = compile_minimpi(source, cypress=False)
+    raw = RawTraceSink()
+    run_compiled(compiled, nprocs, defines=defines, tracer=raw)
+    return raw
+
+
+LOOPED = """
+func main() {
+  var rank = mpi_comm_rank();
+  var size = mpi_comm_size();
+  for (var i = 0; i < n; i = i + 1) {
+    mpi_send((rank + 1) % size, 256, 1);
+    mpi_recv((rank + size - 1) % size, 256, 1);
+  }
+}
+"""
+
+
+class TestVolume:
+    def test_bytes_proportional_to_events(self):
+        small = run_raw(LOOPED, 4, {"n": 10})
+        big = run_raw(LOOPED, 4, {"n": 100})
+        assert big.total_bytes() > 8 * small.total_bytes()
+
+    def test_bytes_linear_in_ranks(self):
+        p4 = run_raw(LOOPED, 4, {"n": 20})
+        p8 = run_raw(LOOPED, 8, {"n": 20})
+        ratio = p8.total_bytes() / p4.total_bytes()
+        assert 1.8 < ratio < 2.2
+
+    def test_gzip_compresses_repetition(self):
+        raw = run_raw(LOOPED, 4, {"n": 200})
+        assert raw.gzip_bytes() < raw.total_bytes() / 5
+
+    def test_gzip_still_linear_in_ranks(self):
+        # The paper's point: per-rank gzip cannot do inter-process
+        # compression, so total size scales with P.
+        p4 = run_raw(LOOPED, 4, {"n": 50}).gzip_bytes()
+        p8 = run_raw(LOOPED, 8, {"n": 50}).gzip_bytes()
+        assert p8 > 1.7 * p4
+
+
+class TestContent:
+    def test_one_line_per_event(self):
+        raw = run_raw("func main() { mpi_barrier(); mpi_barrier(); }", 3)
+        assert raw.event_count() == 6
+
+    def test_lines_carry_parameters(self):
+        raw = run_raw(
+            "func main() { var p = 1 - mpi_comm_rank(); "
+            "mpi_send(p, 512, 9); mpi_recv(p, 512, 9); }",
+            2,
+        )
+        text = raw.rank_blob(0).decode()
+        assert "MPI_Send" in text and "bytes=512" in text and "tag=9" in text
+
+    def test_request_completions_logged(self):
+        raw = run_raw(
+            """
+            func main() {
+              var rank = mpi_comm_rank();
+              if (rank == 0) { var r = mpi_irecv(-1, 8, 0); mpi_wait(r); }
+              else { mpi_send(0, 8, 0); }
+            }
+            """,
+            2,
+        )
+        assert "REQ" in raw.rank_blob(0).decode()
+
+    def test_empty_rank(self):
+        raw = RawTraceSink()
+        assert raw.rank_bytes(5) == 0
+        assert raw.rank_blob(5) == b""
+        assert raw.gzip_bytes() == 0

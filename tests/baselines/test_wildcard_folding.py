@@ -1,0 +1,95 @@
+"""Regression tests: pending (unresolved) wildcard receives must never be
+folded by the baseline matchers — two provisional terms with identical
+signatures may resolve to different sources.
+
+This was a real bug: three wildcard irecvs posted back-to-back, resolved
+in staggered order, let the first resolution's fold pass merge the two
+still-pending terms, orphaning one pending reference and replaying the
+wrong source.
+"""
+
+import sys
+
+sys.path.insert(0, "tests")
+from helpers import truth_signatures  # noqa: E402
+
+from repro.baselines.rsd import expand  # noqa: E402
+from repro.baselines.scalatrace import ScalaTraceCompressor  # noqa: E402
+from repro.baselines.scalatrace2 import (  # noqa: E402
+    ScalaTrace2Compressor,
+    expand_intra,
+)
+from repro.driver import run_compiled  # noqa: E402
+from repro.mpisim.pmpi import MultiSink, RecordingSink  # noqa: E402
+from repro.static.instrument import compile_minimpi  # noqa: E402
+
+# Rank 0 posts several wildcard irecvs back-to-back; senders respond at
+# staggered times, so resolutions interleave with pending terms at the
+# queue tail.
+STAGGERED = """
+func main() {
+  var rank = mpi_comm_rank();
+  var size = mpi_comm_size();
+  if (rank == 0) {
+    var r[6];
+    for (var i = 0; i < size - 1; i = i + 1) {
+      r[i] = mpi_irecv(-1, 8, 0);
+    }
+    mpi_barrier();
+    for (var i = 0; i < size - 1; i = i + 1) {
+      mpi_wait(r[i]);
+    }
+  } else {
+    mpi_barrier();
+    compute(100 * rank);
+    mpi_send(0, 8, 0);
+  }
+}
+"""
+
+
+def run_both(nprocs):
+    compiled = compile_minimpi(STAGGERED, cypress=False)
+    rec = RecordingSink()
+    st = ScalaTraceCompressor()
+    st2 = ScalaTrace2Compressor()
+    run_compiled(compiled, nprocs, tracer=MultiSink([rec, st, st2]))
+    return rec, st, st2
+
+
+class TestPendingNotFolded:
+    def test_scalatrace_lossless_with_staggered_wildcards(self):
+        rec, st, _ = run_both(4)
+        assert expand(st.queue(0)) == truth_signatures(rec, 0)
+
+    def test_scalatrace2_lossless_with_staggered_wildcards(self):
+        rec, _, st2 = run_both(4)
+        assert expand_intra(st2.queue(0)) == truth_signatures(rec, 0)
+
+    def test_larger_fanin(self):
+        rec, st, st2 = run_both(7)
+        assert expand(st.queue(0)) == truth_signatures(rec, 0)
+        assert expand_intra(st2.queue(0)) == truth_signatures(rec, 0)
+
+    def test_resolved_terms_still_fold(self):
+        # After everything resolves, repeated patterns must still compress
+        # (the fix must not simply disable folding).
+        src = """
+        func main() {
+          var rank = mpi_comm_rank();
+          if (rank == 0) {
+            for (var i = 0; i < 10; i = i + 1) {
+              var r = mpi_irecv(-1, 8, 0);
+              mpi_wait(r);
+            }
+          } else {
+            for (var i = 0; i < 10; i = i + 1) { mpi_send(0, 8, 0); }
+          }
+        }
+        """
+        compiled = compile_minimpi(src, cypress=False)
+        rec = RecordingSink()
+        st = ScalaTraceCompressor()
+        run_compiled(compiled, 2, tracer=MultiSink([rec, st]))
+        assert expand(st.queue(0)) == truth_signatures(rec, 0)
+        assert len(st.queue(0)) <= 3  # irecv+wait pairs folded into an RSD

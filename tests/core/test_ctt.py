@@ -1,0 +1,117 @@
+"""CTT structure tests: mirroring, branch groups, cursor helpers."""
+
+from repro.core.ctt import CTT
+from repro.static.cst import BRANCH, CALL, LOOP, ROOT
+from repro.static.instrument import compile_minimpi
+
+SRC = """
+func main() {
+  mpi_init();
+  for (var i = 0; i < 3; i = i + 1) {
+    if (i % 2 == 0) { mpi_send(0, 8, 0); } else { mpi_recv(0, 8, 0); }
+    exchange();
+    exchange();
+  }
+  mpi_finalize();
+}
+func exchange() {
+  mpi_barrier();
+}
+"""
+
+
+def build():
+    compiled = compile_minimpi(SRC)
+    return compiled, CTT(compiled.cst, rank=0)
+
+
+class TestMirroring:
+    def test_same_vertex_count_as_cst(self):
+        compiled, ctt = build()
+        assert ctt.vertex_count() == compiled.cst.size()
+
+    def test_same_gids_preorder(self):
+        compiled, ctt = build()
+        assert [v.gid for v in ctt.preorder()] == [
+            n.gid for n in compiled.cst.preorder()
+        ]
+
+    def test_payload_slots_by_kind(self):
+        _, ctt = build()
+        for v in ctt.preorder():
+            assert (v.loop_counts is not None) == (v.kind == LOOP)
+            assert (v.visits is not None) == (v.kind == BRANCH)
+            assert (v.records is not None) == (v.kind == CALL)
+            assert (v.record_index is not None) == (v.kind == CALL)
+
+    def test_op_names_resolved(self):
+        _, ctt = build()
+        ops = {v.op for v in ctt.preorder() if v.kind == CALL}
+        assert ops == {"MPI_Init", "MPI_Send", "MPI_Recv", "MPI_Barrier",
+                       "MPI_Finalize"}
+
+    def test_vertex_lookup_by_gid(self):
+        _, ctt = build()
+        for v in ctt.preorder():
+            assert ctt.vertex(v.gid) is v
+
+
+class TestBranchGroups:
+    def test_paths_grouped(self):
+        _, ctt = build()
+        loop = next(v for v in ctt.preorder() if v.kind == LOOP)
+        assert len(loop.branch_groups) == 1
+        (group,) = loop.branch_groups
+        assert sorted(group.paths) == [0, 1]
+        assert group.last_index == group.first_index + 1
+
+    def test_find_group_by_ast_id(self):
+        _, ctt = build()
+        loop = next(v for v in ctt.preorder() if v.kind == LOOP)
+        (group,) = loop.branch_groups
+        assert loop.find_group(group.ast_id, 0) is group
+        assert loop.find_group(999999, 0) is None
+
+    def test_root_has_no_groups(self):
+        _, ctt = build()
+        assert ctt.root.branch_groups == []
+
+
+class TestFindChild:
+    def test_ordered_search(self):
+        _, ctt = build()
+        loop = next(v for v in ctt.preorder() if v.kind == LOOP)
+        # two inlined exchange() copies -> two barrier leaves
+        barriers = [c for c in loop.children if c.op == "MPI_Barrier"]
+        assert len(barriers) == 2
+        first, idx1 = loop.find_child(
+            lambda c: c.kind == CALL and c.op == "MPI_Barrier", 0
+        )
+        second, idx2 = loop.find_child(
+            lambda c: c.kind == CALL and c.op == "MPI_Barrier", idx1 + 1
+        )
+        assert first is barriers[0] and second is barriers[1]
+
+    def test_wraparound(self):
+        _, ctt = build()
+        loop = next(v for v in ctt.preorder() if v.kind == LOOP)
+        nchildren = len(loop.children)
+        # Start past the end: wraps to the beginning.
+        found, idx = loop.find_child(
+            lambda c: c.kind == CALL and c.op == "MPI_Barrier", nchildren - 1
+        )
+        assert found.op == "MPI_Barrier"
+
+    def test_no_match(self):
+        _, ctt = build()
+        assert ctt.root.find_child(lambda c: c.kind == "nope", 0) is None
+
+
+class TestSizeAccounting:
+    def test_empty_ctt_small(self):
+        _, ctt = build()
+        assert 0 < ctt.approx_bytes() < 500
+
+    def test_record_count_zero_before_tracing(self):
+        _, ctt = build()
+        assert ctt.record_count() == 0

@@ -1,0 +1,162 @@
+"""Decompression / replay tests, including the end-to-end property test:
+random structured programs must replay exactly (sequence preservation)."""
+
+import sys
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+sys.path.insert(0, "tests")
+from helpers import assert_replay_exact, run_traced  # noqa: E402
+
+from repro.core.decompress import (  # noqa: E402
+    DecompressionError,
+    decompress_all,
+    decompress_rank,
+)
+from repro.core.inter import merge_all  # noqa: E402
+
+
+class TestBasics:
+    def test_empty_program(self):
+        _, rec, cyp, _ = run_traced("func main() { var x = 1; }", 2)
+        assert decompress_rank(cyp.ctt(0)) == []
+
+    def test_event_metadata_carried(self):
+        _, rec, cyp, _ = run_traced(
+            "func main() { compute(100); mpi_bcast(2, 4096); }", 4
+        )
+        (ev,) = decompress_rank(cyp.ctt(1))
+        assert ev.op == "MPI_Bcast"
+        assert ev.root == 2 and ev.nbytes == 4096
+        assert ev.mean_gap >= 100
+        assert ev.gid > 0
+
+    def test_decompress_all_covers_ranks(self):
+        _, rec, cyp, _ = run_traced("func main() { mpi_barrier(); }", 5)
+        merged = merge_all([cyp.ctt(r) for r in range(5)])
+        traces = decompress_all(merged)
+        assert sorted(traces) == [0, 1, 2, 3, 4]
+        assert all(len(t) == 1 for t in traces.values())
+
+    def test_corrupt_payload_detected(self):
+        _, rec, cyp, _ = run_traced(
+            "func main() { for (var i = 0; i < 3; i = i + 1) { mpi_barrier(); } }",
+            1,
+        )
+        ctt = cyp.ctt(0)
+        # Sabotage: claim 5 iterations while records only cover 3.
+        for v in ctt.preorder():
+            if v.loop_counts is not None:
+                v.loop_counts.terms = [(5, 1, 0)]
+        with pytest.raises(DecompressionError):
+            decompress_rank(ctt)
+
+
+# ---------------------------------------------------------------------------
+# Random-program property test.  Programs are generated from deadlock-free
+# building blocks: collectives, symmetric neighbour exchanges, self-messages
+# inside rank-dependent branches, nested data-dependent loops.
+# ---------------------------------------------------------------------------
+
+
+@st.composite
+def random_program(draw):
+    depth_budget = 3
+    lines: list[str] = []
+
+    def block(depth, indent):
+        pad = "  " * indent
+        n = draw(st.integers(1, 3))
+        for _ in range(n):
+            choices = ["coll", "selfmsg", "exchange", "compute"]
+            if depth < depth_budget:
+                choices += ["loop", "branch", "loop", "branch"]
+            kind = draw(st.sampled_from(choices))
+            if kind == "coll":
+                op = draw(st.sampled_from(
+                    ["mpi_barrier()", "mpi_allreduce(8)", "mpi_bcast(0, 64)",
+                     "mpi_reduce(0, 16)", "mpi_alltoall(32)"]
+                ))
+                lines.append(f"{pad}{op};")
+            elif kind == "selfmsg":
+                nbytes = draw(st.integers(1, 3)) * 8
+                tag = draw(st.integers(0, 2))
+                lines.append(f"{pad}mpi_send(rank, {nbytes}, {tag});")
+                lines.append(f"{pad}mpi_recv(rank, {nbytes}, {tag});")
+            elif kind == "exchange":
+                nbytes = draw(st.integers(1, 4)) * 16
+                lines.append(f"{pad}r[0] = mpi_irecv(rank + 1 - 2 * (rank % 2), {nbytes}, 9);")
+                lines.append(f"{pad}r[1] = mpi_isend(rank + 1 - 2 * (rank % 2), {nbytes}, 9);")
+                lines.append(f"{pad}mpi_waitall(r, 2);")
+            elif kind == "compute":
+                lines.append(f"{pad}compute({draw(st.integers(1, 50))});")
+            elif kind == "loop":
+                count = draw(st.integers(0, 4))
+                var = f"i{indent}_{len(lines)}"
+                lines.append(
+                    f"{pad}for (var {var} = 0; {var} < {count}; {var} = {var} + 1) {{"
+                )
+                block(depth + 1, indent + 1)
+                lines.append(f"{pad}}}")
+            else:  # branch
+                cond = draw(st.sampled_from(
+                    ["rank % 2 == 0", "rank < size / 2", "rank == 0", "1", "0"]
+                ))
+                has_else = draw(st.booleans())
+                lines.append(f"{pad}if ({cond}) {{")
+                # Rank-dependent branches must stay deadlock-free: only
+                # self-messages / compute inside.
+                sub = draw(st.integers(1, 2))
+                for _ in range(sub):
+                    what = draw(st.sampled_from(["selfmsg", "compute"]))
+                    if what == "selfmsg":
+                        lines.append(f"{pad}  mpi_send(rank, 8, 5);")
+                        lines.append(f"{pad}  mpi_recv(rank, 8, 5);")
+                    else:
+                        lines.append(f"{pad}  compute(3);")
+                if has_else:
+                    lines.append(f"{pad}}} else {{")
+                    lines.append(f"{pad}  compute(2);")
+                lines.append(f"{pad}}}")
+
+    block(0, 1)
+    body = "\n".join(lines)
+    return (
+        "func main() {\n"
+        "  var rank = mpi_comm_rank();\n"
+        "  var size = mpi_comm_size();\n"
+        "  var r[2];\n"
+        f"{body}\n"
+        "}\n"
+    )
+
+
+class TestSequencePreservationProperty:
+    @settings(max_examples=40, deadline=None)
+    @given(random_program(), st.sampled_from([2, 4, 6]))
+    def test_random_program_replays_exactly(self, source, nprocs):
+        _, rec, cyp, _ = run_traced(source, nprocs)
+        assert_replay_exact(rec, cyp, nprocs)
+
+    @settings(max_examples=20, deadline=None)
+    @given(random_program(), st.sampled_from([2, 4]))
+    def test_random_program_merged_replay_exact(self, source, nprocs):
+        _, rec, cyp, _ = run_traced(source, nprocs)
+        assert_replay_exact(rec, cyp, nprocs, merged=True)
+
+    @settings(max_examples=15, deadline=None)
+    @given(random_program())
+    def test_serialization_preserves_replay(self, source):
+        from repro.core import serialize
+        from repro.core.decompress import decompress_merged_rank
+
+        nprocs = 4
+        _, rec, cyp, _ = run_traced(source, nprocs)
+        merged = merge_all([cyp.ctt(r) for r in range(nprocs)])
+        back = serialize.loads(serialize.dumps(merged, gzip=True))
+        for rank in range(nprocs):
+            truth = [e.replay_tuple() for e in rec.events.get(rank, [])]
+            replay = [e.call_tuple() for e in decompress_merged_rank(back, rank)]
+            assert replay == truth

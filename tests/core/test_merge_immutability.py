@@ -1,0 +1,71 @@
+"""Regression guards: inter-process merging must never mutate the
+per-rank CTTs (groups copy records lazily on first stats merge)."""
+
+import copy
+import sys
+
+sys.path.insert(0, "tests")
+from helpers import run_traced  # noqa: E402
+
+from repro.core.inter import merge_all  # noqa: E402
+
+SRC = """
+func main() {
+  mpi_init();
+  for (var i = 0; i < 8; i = i + 1) { mpi_allreduce(64); }
+  mpi_finalize();
+}
+"""
+
+
+def snapshot(ctt):
+    out = []
+    for v in ctt.preorder():
+        if v.records:
+            out.append(
+                [
+                    (r.key, r.occurrences.to_list(), r.duration.count,
+                     r.duration.mean)
+                    for r in v.records
+                ]
+            )
+        if v.loop_counts is not None:
+            out.append(v.loop_counts.to_list())
+    return out
+
+
+class TestMergeImmutability:
+    def test_single_merge_leaves_sources_intact(self):
+        _, rec, cyp, _ = run_traced(SRC, 6)
+        ctts = [cyp.ctt(r) for r in range(6)]
+        before = [snapshot(c) for c in ctts]
+        merge_all(ctts)
+        after = [snapshot(c) for c in ctts]
+        assert before == after
+
+    def test_repeated_merges_identical(self):
+        _, rec, cyp, _ = run_traced(SRC, 4)
+        ctts = [cyp.ctt(r) for r in range(4)]
+        first = merge_all(ctts)
+        second = merge_all(ctts)
+        # Identical group structure and identical merged timing counts.
+        for va, vb in zip(first.root.preorder(), second.root.preorder()):
+            assert set(va.groups) == set(vb.groups)
+            for sig in va.groups:
+                ga, gb = va.groups[sig], vb.groups[sig]
+                assert ga.ranks == gb.ranks
+                if ga.records:
+                    for ra, rb in zip(ga.records, gb.records):
+                        assert ra.duration.count == rb.duration.count
+                        assert ra.duration.mean == rb.duration.mean
+
+    def test_merged_time_counts_scale_with_ranks(self):
+        _, rec, cyp, _ = run_traced(SRC, 4)
+        merged = merge_all([cyp.ctt(r) for r in range(4)])
+        for v in merged.root.preorder():
+            for g in v.groups.values():
+                if g.records:
+                    for r in g.records:
+                        # 8 calls per rank x 4 ranks merged
+                        if r.key[0] == "MPI_Allreduce":
+                            assert r.duration.count == 32

@@ -1,0 +1,76 @@
+"""CompressedRecord unit tests."""
+
+from repro.core.records import CompressedRecord, make_key
+from repro.core.sequences import IntSequence
+
+
+def key(**kw):
+    base = dict(
+        op="MPI_Send", peer_enc=("rel", 1), peer2_enc=("abs", -100),
+        tag=0, tag2=0, nbytes=64, nbytes2=0, comm=0, root=-1,
+        wildcard=False, req_gids=(),
+    )
+    base.update(kw)
+    return make_key(**base)
+
+
+class TestOccurrences:
+    def test_add_occurrence_tracks_count_and_stats(self):
+        rec = CompressedRecord(key=key())
+        for i in range(5):
+            rec.add_occurrence(i, duration_us=2.0, gap_us=1.0)
+        assert rec.count == 5
+        assert rec.occurrences.terms == [(0, 5, 1)]
+        assert rec.duration.count == 5 and rec.duration.mean == 2.0
+        assert rec.pre_gap.mean == 1.0
+
+    def test_op_accessor(self):
+        assert CompressedRecord(key=key()).op == "MPI_Send"
+
+
+class TestMerge:
+    def test_ordered_merge_appends_when_monotone(self):
+        a = CompressedRecord(key=key())
+        b = CompressedRecord(key=key())
+        a.add_occurrence(0, 1.0, 0.0)
+        a.add_occurrence(1, 1.0, 0.0)
+        b.add_occurrence(2, 3.0, 0.0)
+        a.merge_from(b)
+        assert a.occurrences.to_list() == [0, 1, 2]
+        assert a.duration.count == 3
+
+    def test_ordered_merge_sorts_when_interleaved(self):
+        # A late-resolving wildcard may carry an earlier visit index.
+        a = CompressedRecord(key=key())
+        b = CompressedRecord(key=key())
+        for i in (1, 3, 5):
+            a.add_occurrence(i, 1.0, 0.0)
+        for i in (0, 2):
+            b.add_occurrence(i, 1.0, 0.0)
+        a.merge_from(b)
+        assert a.occurrences.to_list() == [0, 1, 2, 3, 5]
+
+    def test_payload_equal_ignores_timing(self):
+        a = CompressedRecord(key=key())
+        b = CompressedRecord(key=key())
+        a.add_occurrence(0, 1.0, 0.0)
+        b.add_occurrence(0, 99.0, 50.0)
+        assert a.payload_equal(b)
+        c = CompressedRecord(key=key(nbytes=128))
+        c.add_occurrence(0, 1.0, 0.0)
+        assert not a.payload_equal(c)
+
+
+class TestCopy:
+    def test_copy_independent(self):
+        a = CompressedRecord(key=key())
+        a.add_occurrence(0, 1.0, 0.5)
+        b = a.copy()
+        b.add_occurrence(1, 2.0, 0.5)
+        assert a.count == 1 and b.count == 2
+        assert a.duration.count == 1
+
+    def test_approx_bytes_positive(self):
+        a = CompressedRecord(key=key(req_gids=(1, 2, 3)))
+        a.add_occurrence(0, 1.0, 0.0)
+        assert a.approx_bytes() > 20

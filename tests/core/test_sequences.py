@@ -1,0 +1,135 @@
+"""Stride-tuple sequence tests (unit + property-based)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.sequences import IntSequence, SequenceCursor
+
+
+class TestEncoding:
+    def test_empty(self):
+        seq = IntSequence()
+        assert len(seq) == 0 and seq.to_list() == []
+
+    def test_constant_run_single_term(self):
+        seq = IntSequence.from_values([7] * 100)
+        assert seq.terms == [(7, 100, 0)]
+
+    def test_arithmetic_run_single_term(self):
+        seq = IntSequence.from_values(range(0, 20, 2))
+        assert seq.terms == [(0, 10, 2)]
+
+    def test_paper_stride_example(self):
+        # Paper Fig. 11: branch taken at iterations <0, 8, 2>.
+        seq = IntSequence.from_values([0, 2, 4, 6, 8])
+        assert seq.terms == [(0, 5, 2)]
+
+    def test_descending_stride(self):
+        seq = IntSequence.from_values([10, 7, 4, 1])
+        assert seq.terms == [(10, 4, -3)]
+
+    def test_irregular_splits_terms(self):
+        seq = IntSequence.from_values([0, 1, 2, 10, 20, 21, 22])
+        assert len(seq.terms) <= 4
+        assert seq.to_list() == [0, 1, 2, 10, 20, 21, 22]
+
+    def test_nested_loop_counts_fig10(self):
+        # Paper Fig. 10: inner loop counts <0, 1, 2, ..., k-1>.
+        k = 12
+        seq = IntSequence.from_values(range(k))
+        assert seq.terms == [(0, k, 1)]
+
+    def test_negative_values(self):
+        seq = IntSequence.from_values([-5, -3, -1, 1])
+        assert seq.terms == [(-5, 4, 2)]
+
+
+class TestEquality:
+    def test_equal_sequences(self):
+        a = IntSequence.from_values([1, 2, 3])
+        b = IntSequence.from_values([1, 2, 3])
+        assert a == b and hash(a) == hash(b)
+
+    def test_different_sequences(self):
+        assert IntSequence.from_values([1, 2]) != IntSequence.from_values([1, 3])
+
+    def test_not_equal_to_other_types(self):
+        assert IntSequence() != [1, 2]
+
+
+class TestCursor:
+    def test_sequential_read(self):
+        seq = IntSequence.from_values([3, 5, 5, 9])
+        cur = SequenceCursor(seq)
+        assert [cur.next() for _ in range(4)] == [3, 5, 5, 9]
+        assert cur.exhausted()
+
+    def test_contains_next_consumes(self):
+        cur = SequenceCursor(IntSequence.from_values([0, 2, 4]))
+        assert cur.contains_next(0)
+        assert not cur.contains_next(1)
+        assert cur.contains_next(2)
+
+    def test_peek_does_not_consume(self):
+        cur = SequenceCursor(IntSequence.from_values([7]))
+        assert cur.peek() == 7
+        assert cur.peek() == 7
+        assert cur.next() == 7
+        assert cur.peek() is None
+
+    def test_next_on_exhausted_raises(self):
+        import pytest
+
+        cur = SequenceCursor(IntSequence())
+        with pytest.raises(StopIteration):
+            cur.next()
+
+
+class TestSizeAccounting:
+    def test_compressible_cheaper_than_random(self):
+        regular = IntSequence.from_values(range(1000))
+        irregular = IntSequence.from_values(
+            [((i * 2654435761) >> 7) % 1000 for i in range(1000)]
+        )
+        assert regular.approx_bytes() < irregular.approx_bytes()
+
+
+class TestProperties:
+    @settings(max_examples=200, deadline=None)
+    @given(st.lists(st.integers(-(2**40), 2**40)))
+    def test_roundtrip(self, values):
+        seq = IntSequence.from_values(values)
+        assert seq.to_list() == values
+        assert len(seq) == len(values)
+
+    @settings(max_examples=100, deadline=None)
+    @given(st.lists(st.integers(-1000, 1000)))
+    def test_incremental_equals_bulk(self, values):
+        a = IntSequence()
+        for v in values:
+            a.append(v)
+        assert a == IntSequence.from_values(values)
+
+    @settings(max_examples=100, deadline=None)
+    @given(st.lists(st.integers(0, 50), min_size=1))
+    def test_cursor_replays_sequence(self, values):
+        cur = SequenceCursor(IntSequence.from_values(values))
+        assert [cur.next() for _ in values] == values
+
+    @settings(max_examples=100, deadline=None)
+    @given(
+        st.integers(-100, 100),
+        st.integers(1, 200),
+        st.integers(-10, 10),
+    )
+    def test_arithmetic_progressions_are_one_term(self, start, count, stride):
+        seq = IntSequence.from_values(
+            start + i * stride for i in range(count)
+        )
+        assert len(seq.terms) == 1
+
+    @settings(max_examples=100, deadline=None)
+    @given(st.lists(st.integers(0, 2**20)))
+    def test_term_count_never_exceeds_length(self, values):
+        seq = IntSequence.from_values(values)
+        assert seq.term_count() <= max(1, len(values))

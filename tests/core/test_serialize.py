@@ -1,0 +1,167 @@
+"""Binary trace format tests (varints, roundtrips, gzip)."""
+
+import sys
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+sys.path.insert(0, "tests")
+from helpers import run_traced  # noqa: E402
+
+from repro.core import serialize  # noqa: E402
+from repro.core.decompress import decompress_merged_rank  # noqa: E402
+from repro.core.inter import merge_all  # noqa: E402
+from repro.core.serialize import ByteReader, ByteWriter  # noqa: E402
+
+SRC = """
+func main() {
+  var rank = mpi_comm_rank();
+  var size = mpi_comm_size();
+  for (var i = 0; i < 8; i = i + 1) {
+    if (rank < size - 1) { mpi_send(rank + 1, 128, 3); }
+    if (rank > 0) { mpi_recv(rank - 1, 128, 3); }
+    mpi_allreduce(16);
+  }
+}
+"""
+
+
+def make_merged(nprocs=6, timing_mode="meanstd"):
+    from repro.core.intra import CypressConfig
+
+    _, rec, cyp, _ = run_traced(
+        SRC, nprocs, config=CypressConfig(timing_mode=timing_mode)
+    )
+    return rec, merge_all([cyp.ctt(r) for r in range(nprocs)])
+
+
+class TestVarints:
+    @settings(max_examples=200, deadline=None)
+    @given(st.integers(0, 2**62))
+    def test_unsigned_roundtrip(self, value):
+        w = ByteWriter()
+        w.u(value)
+        assert ByteReader(w.bytes()).u() == value
+
+    @settings(max_examples=200, deadline=None)
+    @given(st.integers(-(2**60), 2**60))
+    def test_signed_roundtrip(self, value):
+        w = ByteWriter()
+        w.z(value)
+        assert ByteReader(w.bytes()).z() == value
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.floats(allow_nan=False, allow_infinity=False))
+    def test_float_roundtrip(self, value):
+        w = ByteWriter()
+        w.f(value)
+        assert ByteReader(w.bytes()).f() == value
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.text(max_size=100))
+    def test_string_roundtrip(self, text):
+        w = ByteWriter()
+        w.s(text)
+        assert ByteReader(w.bytes()).s() == text
+
+    def test_negative_unsigned_rejected(self):
+        with pytest.raises(ValueError):
+            ByteWriter().u(-1)
+
+    def test_truncated_input_rejected(self):
+        w = ByteWriter()
+        w.f(1.0)
+        with pytest.raises(ValueError):
+            ByteReader(w.bytes()[:4]).f()
+
+    def test_small_values_one_byte(self):
+        w = ByteWriter()
+        w.u(127)
+        assert len(w.bytes()) == 1
+
+
+class TestRoundtrip:
+    def test_replay_identical_after_roundtrip(self):
+        rec, merged = make_merged()
+        back = serialize.loads(serialize.dumps(merged))
+        for rank in range(6):
+            a = [e.call_tuple() for e in decompress_merged_rank(merged, rank)]
+            b = [e.call_tuple() for e in decompress_merged_rank(back, rank)]
+            assert a == b
+            truth = [e.replay_tuple() for e in rec.events[rank]]
+            assert b == truth
+
+    def test_gzip_variant_roundtrips(self):
+        rec, merged = make_merged()
+        data = serialize.dumps(merged, gzip=True)
+        assert data[:2] == b"\x1f\x8b"
+        back = serialize.loads(data)
+        assert back.nranks_merged == merged.nranks_merged
+
+    def test_gzip_smaller_or_close(self):
+        _, merged = make_merged()
+        raw = serialize.dumps(merged)
+        gz = serialize.dumps(merged, gzip=True)
+        assert len(gz) < len(raw) * 1.2
+
+    def test_histogram_timing_roundtrips(self):
+        rec, merged = make_merged(timing_mode="hist")
+        back = serialize.loads(serialize.dumps(merged))
+        for v_a, v_b in zip(merged.root.preorder(), back.root.preorder()):
+            for sig in v_a.groups:
+                ga, gb = v_a.groups[sig], v_b.groups[sig]
+                if ga.records:
+                    for ra, rb in zip(ga.records, gb.records):
+                        assert ra.duration.bins == rb.duration.bins
+
+    def test_timing_statistics_survive(self):
+        _, merged = make_merged()
+        back = serialize.loads(serialize.dumps(merged))
+        for v_a, v_b in zip(merged.root.preorder(), back.root.preorder()):
+            for sig, ga in v_a.groups.items():
+                gb = v_b.groups[sig]
+                if ga.records:
+                    for ra, rb in zip(ga.records, gb.records):
+                        assert ra.duration.count == rb.duration.count
+                        assert ra.duration.mean == pytest.approx(rb.duration.mean)
+
+    def test_file_save_load(self, tmp_path):
+        _, merged = make_merged()
+        path = str(tmp_path / "t.cyp")
+        n = serialize.save(merged, path, gzip=True)
+        import os
+
+        assert os.path.getsize(path) == n
+        back = serialize.load(path)
+        assert back.group_count() == merged.group_count()
+
+
+class TestFormatGuards:
+    def test_bad_magic_rejected(self):
+        with pytest.raises(ValueError, match="not a CYPRESS"):
+            serialize.loads(b"XXXX12345")
+
+    def test_bad_version_rejected(self):
+        _, merged = make_merged(nprocs=2)
+        data = bytearray(serialize.dumps(merged))
+        data[4] = 99  # version varint byte
+        with pytest.raises(ValueError, match="version"):
+            serialize.loads(bytes(data))
+
+
+class TestSizeScaling:
+    def test_size_flat_in_iterations(self):
+        """The headline property: compressed size must be (near) constant
+        as the trace gets longer."""
+        src = """
+        func main() {
+          for (var i = 0; i < n; i = i + 1) { mpi_allreduce(8); }
+        }
+        """
+        sizes = []
+        for n in (10, 100, 1000):
+            _, rec, cyp, _ = run_traced(src, 4, defines={"n": n})
+            merged = merge_all([cyp.ctt(r) for r in range(4)])
+            sizes.append(len(serialize.dumps(merged)))
+        assert sizes[2] <= sizes[0] + 8  # only the loop count varint grows

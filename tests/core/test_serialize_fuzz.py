@@ -1,0 +1,85 @@
+"""Corruption-robustness fuzzing of the trace loader: any mangled input
+must either load (if the damage missed the live bytes) or raise
+ValueError — never an arbitrary internal exception."""
+
+import sys
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+sys.path.insert(0, "tests")
+from helpers import run_traced  # noqa: E402
+
+from repro.core import serialize  # noqa: E402
+from repro.core.inter import merge_all  # noqa: E402
+
+SRC = """
+func main() {
+  var rank = mpi_comm_rank();
+  var size = mpi_comm_size();
+  for (var i = 0; i < 6; i = i + 1) {
+    if (rank < size - 1) { mpi_send(rank + 1, 128, 2); }
+    if (rank > 0) { mpi_recv(rank - 1, 128, 2); }
+    mpi_allreduce(16);
+  }
+}
+"""
+
+
+def make_blob() -> bytes:
+    _, rec, cyp, _ = run_traced(SRC, 4)
+    merged = merge_all([cyp.ctt(r) for r in range(4)])
+    return serialize.dumps(merged)
+
+
+BLOB = None
+
+
+def blob() -> bytes:
+    global BLOB
+    if BLOB is None:
+        BLOB = make_blob()
+    return BLOB
+
+
+class TestCorruptionRobustness:
+    @settings(max_examples=150, deadline=None)
+    @given(st.data())
+    def test_single_byte_flip_never_crashes(self, data):
+        raw = bytearray(blob())
+        pos = data.draw(st.integers(0, len(raw) - 1))
+        raw[pos] ^= data.draw(st.integers(1, 255))
+        try:
+            serialize.loads(bytes(raw))
+        except ValueError:
+            pass  # the expected failure mode
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.integers(0, 10_000))
+    def test_truncation_never_crashes(self, cut):
+        raw = blob()
+        truncated = raw[: min(cut, len(raw) - 1)]
+        try:
+            serialize.loads(truncated)
+        except ValueError:
+            pass
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.binary(max_size=200))
+    def test_random_garbage_rejected(self, junk):
+        try:
+            serialize.loads(junk)
+        except ValueError:
+            pass
+
+    def test_empty_input(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            serialize.loads(b"")
+
+    def test_gzip_garbage(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            serialize.loads(b"\x1f\x8bnot really gzip at all")

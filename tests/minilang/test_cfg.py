@@ -1,0 +1,141 @@
+"""CFG construction tests."""
+
+import pytest
+
+from repro.minilang.cfg import build_cfg
+from repro.minilang.parser import parse
+
+
+def cfg_of(body: str, extra: str = ""):
+    program = parse(f"func main() {{ {body} }} {extra}")
+    return build_cfg(program.functions["main"])
+
+
+def block_kinds(cfg):
+    return {b.kind for b in cfg.blocks.values()}
+
+
+class TestStraightLine:
+    def test_entry_reaches_exit(self):
+        cfg = cfg_of("var x = 1; x = x + 1;")
+        order = cfg.postorder()
+        assert cfg.entry in order and cfg.exit in order
+
+    def test_invocations_in_order(self):
+        cfg = cfg_of("a(); b(); c();")
+        names = [
+            inv.name
+            for bid in cfg.reverse_postorder()
+            for inv in cfg.blocks[bid].invocations
+        ]
+        assert names == ["a", "b", "c"]
+
+    def test_nested_call_evaluation_order(self):
+        cfg = cfg_of("x = outer(inner(1), 2);")
+        names = [
+            inv.name
+            for bid in cfg.reverse_postorder()
+            for inv in cfg.blocks[bid].invocations
+        ]
+        assert names == ["inner", "outer"]
+
+
+class TestBranches:
+    def test_if_produces_branch_block(self):
+        cfg = cfg_of("if (x) { a(); }")
+        branches = [b for b in cfg.blocks.values() if b.kind == "branch"]
+        assert len(branches) == 1
+        assert len(branches[0].succs) == 2
+
+    def test_branch_tagged_with_ast_node(self):
+        cfg = cfg_of("if (x) { a(); }")
+        (branch,) = [b for b in cfg.blocks.values() if b.kind == "branch"]
+        assert branch.ast_id is not None
+
+    def test_if_else_both_paths_reach_join(self):
+        cfg = cfg_of("if (x) { a(); } else { b(); } c();")
+        (branch,) = [b for b in cfg.blocks.values() if b.kind == "branch"]
+        joins = [b for b in cfg.blocks.values() if b.kind == "join"]
+        assert joins
+        # Both successors eventually reach a join with 2 preds.
+        join = [j for j in joins if len(j.preds) == 2]
+        assert join
+
+
+class TestLoops:
+    def test_for_loop_has_header_with_back_edge(self):
+        cfg = cfg_of("for (var i = 0; i < 3; i = i + 1) { a(); }")
+        headers = [b for b in cfg.blocks.values() if b.kind == "loop_header"]
+        assert len(headers) == 1
+        header = headers[0]
+        latches = [p for p in header.preds if cfg.blocks[p].kind == "latch"]
+        assert latches, "loop header must have a latch predecessor"
+
+    def test_while_loop(self):
+        cfg = cfg_of("while (x) { a(); }")
+        assert "loop_header" in block_kinds(cfg)
+
+    def test_for_step_in_latch(self):
+        cfg = cfg_of("for (var i = 0; i < 3; i = i + 1) { a(f()); }")
+        # step has no calls; the latch exists and targets the header
+        headers = [b for b in cfg.blocks.values() if b.kind == "loop_header"]
+        latch = [b for b in cfg.blocks.values() if b.kind == "latch"][0]
+        assert headers[0].bid in latch.succs
+
+    def test_condition_calls_live_in_header(self):
+        cfg = cfg_of("while (check()) { a(); }")
+        (header,) = [b for b in cfg.blocks.values() if b.kind == "loop_header"]
+        assert [i.name for i in header.invocations] == ["check"]
+
+    def test_nested_loops_two_headers(self):
+        cfg = cfg_of(
+            "for (var i = 0; i < 2; i = i + 1) { while (x) { a(); } }"
+        )
+        headers = [b for b in cfg.blocks.values() if b.kind == "loop_header"]
+        assert len(headers) == 2
+
+
+class TestEarlyExits:
+    def test_break_edges_to_loop_exit(self):
+        cfg = cfg_of("while (1) { if (x) { break; } a(); } b();")
+        assert "loop_header" in block_kinds(cfg)
+        # b() must be reachable
+        names = [
+            inv.name
+            for bid in cfg.postorder()
+            for inv in cfg.blocks[bid].invocations
+        ]
+        assert "b" in names
+
+    def test_continue_edges_to_latch(self):
+        cfg = cfg_of("for (var i = 0; i < 3; i = i + 1) { if (x) { continue; } a(); }")
+        assert "latch" in block_kinds(cfg)
+
+    def test_return_edges_to_exit(self):
+        cfg = cfg_of("if (x) { return; } a();")
+        exit_block = cfg.blocks[cfg.exit]
+        assert len(exit_block.preds) >= 2
+
+    def test_break_outside_loop_rejected(self):
+        with pytest.raises(ValueError):
+            cfg_of("break;")
+
+    def test_continue_outside_loop_rejected(self):
+        with pytest.raises(ValueError):
+            cfg_of("continue;")
+
+    def test_unreachable_code_after_return(self):
+        # no crash; trailing code is simply unreachable
+        cfg = cfg_of("return; a();")
+        assert cfg.exit in cfg.postorder()
+
+
+class TestPostorder:
+    def test_postorder_visits_reachable_once(self):
+        cfg = cfg_of("if (x) { a(); } else { b(); } for (;x;) { c(); }")
+        order = cfg.postorder()
+        assert len(order) == len(set(order))
+
+    def test_reverse_postorder_starts_at_entry(self):
+        cfg = cfg_of("a();")
+        assert cfg.reverse_postorder()[0] == cfg.entry

@@ -1,0 +1,112 @@
+"""Evaluation-order and fast-path (pure vs generator) interpreter tests."""
+
+from repro.driver import run_compiled
+from repro.minilang.interp import Interpreter
+from repro.mpisim.runtime import Runtime
+from repro.static.instrument import compile_minimpi
+
+
+def run_main(body: str, extra: str = ""):
+    source = f"func main() {{ {body} }} {extra}"
+    compiled = compile_minimpi(source, cypress=False)
+    output: list[str] = []
+    runtime = Runtime(1)
+
+    def rank_main(comm):
+        return Interpreter(
+            compiled.program, comm, output=output, max_steps=100_000
+        ).run()
+
+    runtime.run(rank_main)
+    return output
+
+
+class TestEvaluationOrder:
+    def test_call_args_left_to_right(self):
+        out = run_main(
+            "f(mark(1), mark(2), mark(3));",
+            extra="func mark(n) { print(n); return n; } func f(a, b, c) { }",
+        )
+        assert out == ["1", "2", "3"]
+
+    def test_binary_left_before_right(self):
+        out = run_main(
+            "var x = mark(1) + mark(2);",
+            extra="func mark(n) { print(n); return n; }",
+        )
+        assert out == ["1", "2"]
+
+    def test_nested_call_innermost_first(self):
+        out = run_main(
+            "var x = outer(inner());",
+            extra="func inner() { print(1); return 1; } "
+            "func outer(a) { print(2); return a; }",
+        )
+        assert out == ["1", "2"]
+
+    def test_call_in_array_index(self):
+        out = run_main(
+            "var a[3]; a[idx()] = 7; print(a[1]);",
+            extra="func idx() { return 1; }",
+        )
+        assert out == ["7"]
+
+    def test_call_in_index_read(self):
+        out = run_main(
+            "var a[3]; a[2] = 9; print(a[idx()]);",
+            extra="func idx() { return 2; }",
+        )
+        assert out == ["9"]
+
+    def test_assign_value_evaluated_before_index(self):
+        # value then index, per the interpreter's documented order
+        out = run_main(
+            "var a[3]; a[mark(1)] = mark(0) + 5;",
+            extra="func mark(n) { print(n); return n; }",
+        )
+        assert out == ["0", "1"]
+
+    def test_nonshortcircuit_and(self):
+        # Both operands evaluate even when the left is false.
+        out = run_main(
+            "var x = mark(0) && mark(1); print(x);",
+            extra="func mark(n) { print(n); return n; }",
+        )
+        assert out == ["0", "1", "0"]
+
+    def test_nonshortcircuit_or(self):
+        out = run_main(
+            "var x = mark(1) || mark(0); print(x);",
+            extra="func mark(n) { print(n); return n; }",
+        )
+        assert out == ["1", "0", "1"]
+
+
+class TestFastPathEquivalence:
+    def test_pure_and_call_mixed_expression(self):
+        # (pure) + (call) exercises both evaluation paths in one tree.
+        out = run_main(
+            "var y = 10; print(y * 2 + f());",
+            extra="func f() { return 5; }",
+        )
+        assert out == ["25"]
+
+    def test_pure_condition_in_loop_with_calls_in_body(self):
+        out = run_main(
+            "var s = 0; for (var i = 0; i < 3; i = i + 1) { s = s + f(i); } print(s);",
+            extra="func f(n) { return n * n; }",
+        )
+        assert out == ["5"]
+
+    def test_call_in_loop_condition_still_works(self):
+        # Legal when the program is compiled without CYPRESS.
+        out = run_main(
+            "var n = 0; while (n < limit()) { n = n + 1; } print(n);",
+            extra="func limit() { return 4; }",
+        )
+        assert out == ["4"]
+
+    def test_deeply_nested_pure_expression(self):
+        expr = "1" + " + 1" * 200
+        out = run_main(f"print({expr});")
+        assert out == ["201"]

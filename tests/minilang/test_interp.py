@@ -1,0 +1,208 @@
+"""Interpreter semantics tests (no MPI: single rank, compute/print only)."""
+
+import pytest
+
+from repro.driver import run_compiled
+from repro.minilang.interp import Interpreter, InterpError
+from repro.mpisim.runtime import Runtime
+from repro.static.instrument import compile_minimpi
+
+
+def run_main(body: str, extra: str = "", defines=None, nprocs: int = 1):
+    """Run a program and return its print() output lines."""
+    source = f"func main() {{ {body} }} {extra}"
+    compiled = compile_minimpi(source, cypress=False)
+    output: list[str] = []
+    runtime = Runtime(nprocs)
+
+    def rank_main(comm):
+        interp = Interpreter(
+            compiled.program, comm, defines=defines, output=output,
+            max_steps=200_000,
+        )
+        return interp.run()
+
+    runtime.run(rank_main)
+    return output
+
+
+class TestArithmetic:
+    def test_basic_ops(self):
+        assert run_main("print(2 + 3 * 4 - 1);") == ["13"]
+
+    def test_division_truncates_toward_zero(self):
+        assert run_main("print(7 / 2); print(-7 / 2);") == ["3", "-3"]
+
+    def test_modulo_c_semantics(self):
+        assert run_main("print(7 % 3); print(-7 % 3);") == ["1", "-1"]
+
+    def test_division_by_zero(self):
+        with pytest.raises(InterpError):
+            run_main("print(1 / 0);")
+
+    def test_modulo_by_zero(self):
+        with pytest.raises(InterpError):
+            run_main("print(1 % 0);")
+
+    def test_comparisons_yield_int(self):
+        assert run_main("print(3 < 5); print(5 < 3); print(3 == 3);") == ["1", "0", "1"]
+
+    def test_logical_ops(self):
+        assert run_main("print(1 && 0); print(1 || 0); print(!1); print(!0);") == [
+            "0", "1", "0", "1",
+        ]
+
+    def test_unary_minus(self):
+        assert run_main("var x = 5; print(-x);") == ["-5"]
+
+
+class TestVariables:
+    def test_default_zero(self):
+        assert run_main("var x; print(x);") == ["0"]
+
+    def test_undefined_variable(self):
+        with pytest.raises(InterpError):
+            run_main("print(nope);")
+
+    def test_defines_visible(self):
+        assert run_main("print(n * 2);", defines={"n": 21}) == ["42"]
+
+    def test_local_shadows_define(self):
+        assert run_main("var n = 1; print(n);", defines={"n": 9}) == ["1"]
+
+
+class TestArrays:
+    def test_array_init_zero(self):
+        assert run_main("var a[3]; print(a[0] + a[1] + a[2]);") == ["0"]
+
+    def test_array_store_load(self):
+        assert run_main("var a[4]; a[2] = 7; print(a[2]);") == ["7"]
+
+    def test_array_out_of_bounds_read(self):
+        with pytest.raises(InterpError):
+            run_main("var a[2]; print(a[2]);")
+
+    def test_array_out_of_bounds_write(self):
+        with pytest.raises(InterpError):
+            run_main("var a[2]; a[5] = 1;")
+
+    def test_negative_index(self):
+        with pytest.raises(InterpError):
+            run_main("var a[2]; print(a[0 - 1]);")
+
+    def test_array_passed_by_reference(self):
+        out = run_main(
+            "var a[2]; fill(a); print(a[0]);",
+            extra="func fill(arr) { arr[0] = 42; }",
+        )
+        assert out == ["42"]
+
+    def test_indexing_non_array(self):
+        with pytest.raises(InterpError):
+            run_main("var x = 1; print(x[0]);")
+
+
+class TestControlFlow:
+    def test_if_else(self):
+        assert run_main("if (1) { print(1); } else { print(2); }") == ["1"]
+        assert run_main("if (0) { print(1); } else { print(2); }") == ["2"]
+
+    def test_for_loop(self):
+        assert run_main(
+            "var s = 0; for (var i = 0; i < 5; i = i + 1) { s = s + i; } print(s);"
+        ) == ["10"]
+
+    def test_while_loop(self):
+        assert run_main(
+            "var x = 8; while (x > 1) { x = x / 2; } print(x);"
+        ) == ["1"]
+
+    def test_zero_iteration_loop(self):
+        assert run_main(
+            "for (var i = 0; i < 0; i = i + 1) { print(i); } print(99);"
+        ) == ["99"]
+
+    def test_break(self):
+        assert run_main(
+            "for (var i = 0; i < 10; i = i + 1) { if (i == 3) { break; } } print(1);"
+        ) == ["1"]
+
+    def test_continue(self):
+        assert run_main(
+            "var s = 0; for (var i = 0; i < 5; i = i + 1) "
+            "{ if (i % 2 == 0) { continue; } s = s + i; } print(s);"
+        ) == ["4"]
+
+    def test_nested_loop_totals(self):
+        assert run_main(
+            "var s = 0;"
+            "for (var i = 0; i < 3; i = i + 1) {"
+            "  for (var j = 0; j <= i; j = j + 1) { s = s + 1; }"
+            "} print(s);"
+        ) == ["6"]
+
+
+class TestFunctions:
+    def test_return_value(self):
+        assert run_main(
+            "print(add(2, 3));", extra="func add(a, b) { return a + b; }"
+        ) == ["5"]
+
+    def test_default_return_zero(self):
+        assert run_main("print(f());", extra="func f() { var x = 1; }") == ["0"]
+
+    def test_recursion(self):
+        assert run_main(
+            "print(fib(10));",
+            extra="func fib(n) { if (n < 2) { return n; } "
+            "return fib(n - 1) + fib(n - 2); }",
+        ) == ["55"]
+
+    def test_wrong_arity(self):
+        with pytest.raises(InterpError):
+            run_main("f(1);", extra="func f(a, b) { }")
+
+    def test_unknown_function(self):
+        with pytest.raises(InterpError):
+            run_main("mystery();")
+
+    def test_call_depth_limit(self):
+        with pytest.raises(InterpError):
+            run_main("f();", extra="func f() { f(); }")
+
+
+class TestBuiltins:
+    def test_min_max_abs(self):
+        assert run_main("print(min(3, 5), max(3, 5), abs(0 - 4));") == ["3 5 4"]
+
+    def test_ilog2_pow2(self):
+        assert run_main("print(ilog2(1), ilog2(8), ilog2(9), pow2(5));") == ["0 3 3 32"]
+
+    def test_isqrt(self):
+        assert run_main("print(isqrt(0), isqrt(16), isqrt(17));") == ["0 4 4"]
+
+    def test_ilog2_of_zero(self):
+        with pytest.raises(InterpError):
+            run_main("print(ilog2(0));")
+
+    def test_compute_advances_clock(self):
+        source = "func main() { compute(1000); }"
+        compiled = compile_minimpi(source, cypress=False)
+        runtime = Runtime(1)
+        result = run_compiled(compiled, 1)
+        assert result.elapsed >= 1000
+
+    def test_compute_negative_rejected(self):
+        with pytest.raises(InterpError):
+            run_main("compute(0 - 5);")
+
+    def test_mpi_queries(self):
+        assert run_main("print(mpi_comm_rank(), mpi_comm_size());", nprocs=1) == [
+            "0 1"
+        ]
+
+
+class TestStepLimit:
+    def test_runaway_loop_caught(self):
+        with pytest.raises(InterpError):
+            run_main("while (1) { var x = 1; }")

@@ -1,0 +1,114 @@
+"""Lexer unit tests."""
+
+import pytest
+
+from repro.minilang.lexer import LexError, tokenize
+from repro.minilang.tokens import TokenType as T
+
+
+def types(source):
+    return [t.type for t in tokenize(source)]
+
+
+def values(source):
+    return [t.value for t in tokenize(source)[:-1]]
+
+
+class TestBasicTokens:
+    def test_empty_source_yields_eof(self):
+        assert types("") == [T.EOF]
+
+    def test_integer_literal(self):
+        toks = tokenize("12345")
+        assert toks[0].type is T.INT
+        assert toks[0].value == "12345"
+
+    def test_identifier(self):
+        toks = tokenize("foo_bar9")
+        assert toks[0].type is T.IDENT
+        assert toks[0].value == "foo_bar9"
+
+    def test_identifier_with_leading_underscore(self):
+        assert tokenize("_x")[0].type is T.IDENT
+
+    def test_keywords_are_distinguished(self):
+        assert types("func var if else for while return break continue")[:-1] == [
+            T.FUNC, T.VAR, T.IF, T.ELSE, T.FOR, T.WHILE,
+            T.RETURN, T.BREAK, T.CONTINUE,
+        ]
+
+    def test_keyword_prefix_is_identifier(self):
+        # "iffy" must not lex as IF + "fy"
+        toks = tokenize("iffy formed")
+        assert toks[0].type is T.IDENT and toks[0].value == "iffy"
+        assert toks[1].type is T.IDENT and toks[1].value == "formed"
+
+    def test_string_literal(self):
+        toks = tokenize('"hello world"')
+        assert toks[0].type is T.STRING
+        assert toks[0].value == "hello world"
+
+
+class TestOperators:
+    @pytest.mark.parametrize(
+        "src,expected",
+        [
+            ("+", T.PLUS), ("-", T.MINUS), ("*", T.STAR), ("/", T.SLASH),
+            ("%", T.PERCENT), ("=", T.ASSIGN), ("<", T.LT), (">", T.GT),
+            ("!", T.NOT), ("==", T.EQ), ("!=", T.NE), ("<=", T.LE),
+            (">=", T.GE), ("&&", T.AND), ("||", T.OR),
+        ],
+    )
+    def test_single_operator(self, src, expected):
+        assert types(src)[0] is expected
+
+    def test_two_char_ops_win_over_one_char(self):
+        assert types("a<=b")[:-1] == [T.IDENT, T.LE, T.IDENT]
+        assert types("a==b")[:-1] == [T.IDENT, T.EQ, T.IDENT]
+
+    def test_adjacent_operators(self):
+        # `a<-b` is LT then MINUS (no <- token)
+        assert types("a<-b")[:-1] == [T.IDENT, T.LT, T.MINUS, T.IDENT]
+
+
+class TestCommentsAndWhitespace:
+    def test_line_comment_skipped(self):
+        assert types("a // comment here\n b")[:-1] == [T.IDENT, T.IDENT]
+
+    def test_block_comment_skipped(self):
+        assert types("a /* x\n y */ b")[:-1] == [T.IDENT, T.IDENT]
+
+    def test_unterminated_block_comment_raises(self):
+        with pytest.raises(LexError):
+            tokenize("a /* never closed")
+
+    def test_division_not_confused_with_comment(self):
+        assert types("a / b")[:-1] == [T.IDENT, T.SLASH, T.IDENT]
+
+
+class TestPositions:
+    def test_line_and_column_tracking(self):
+        toks = tokenize("a\n  bb\nccc")
+        assert (toks[0].line, toks[0].col) == (1, 1)
+        assert (toks[1].line, toks[1].col) == (2, 3)
+        assert (toks[2].line, toks[2].col) == (3, 1)
+
+    def test_error_position_reported(self):
+        with pytest.raises(LexError) as exc:
+            tokenize("ok\n  @")
+        assert exc.value.line == 2
+        assert exc.value.col == 3
+
+
+class TestErrors:
+    def test_unknown_character(self):
+        with pytest.raises(LexError):
+            tokenize("$")
+
+    def test_unterminated_string(self):
+        with pytest.raises(LexError):
+            tokenize('"abc')
+
+    def test_newline_in_string(self):
+        with pytest.raises(LexError):
+            tokenize('"ab\ncd"')

@@ -1,0 +1,181 @@
+"""Parser unit tests."""
+
+import pytest
+
+from repro.minilang import ast_nodes as A
+from repro.minilang.parser import ParseError, parse
+
+
+def parse_main_body(body_src: str):
+    return parse("func main() { " + body_src + " }").functions["main"].body
+
+
+class TestTopLevel:
+    def test_empty_program(self):
+        program = parse("")
+        assert program.functions == {}
+
+    def test_function_with_params(self):
+        program = parse("func f(a, b, c) { }")
+        assert program.functions["f"].params == ["a", "b", "c"]
+
+    def test_multiple_functions(self):
+        program = parse("func a() {} func b() {}")
+        assert list(program.functions) == ["a", "b"]
+
+    def test_duplicate_function_rejected(self):
+        with pytest.raises(ParseError):
+            parse("func a() {} func a() {}")
+
+    def test_program_function_lookup_error(self):
+        with pytest.raises(KeyError):
+            parse("func a() {}").function("missing")
+
+
+class TestStatements:
+    def test_var_decl_default(self):
+        (stmt,) = parse_main_body("var x;")
+        assert isinstance(stmt, A.VarDecl) and stmt.init is None and stmt.size is None
+
+    def test_var_decl_init(self):
+        (stmt,) = parse_main_body("var x = 1 + 2;")
+        assert isinstance(stmt.init, A.Binary)
+
+    def test_array_decl(self):
+        (stmt,) = parse_main_body("var a[10];")
+        assert isinstance(stmt.size, A.IntLit)
+
+    def test_assignment(self):
+        (stmt,) = parse_main_body("x = 3;")
+        assert isinstance(stmt, A.Assign) and stmt.index is None
+
+    def test_indexed_assignment(self):
+        (stmt,) = parse_main_body("a[i + 1] = 3;")
+        assert isinstance(stmt, A.Assign) and isinstance(stmt.index, A.Binary)
+
+    def test_index_read_is_not_assignment(self):
+        (stmt,) = parse_main_body("x = a[0] + 1;")
+        assert isinstance(stmt, A.Assign)
+        assert isinstance(stmt.value, A.Binary)
+
+    def test_expression_statement(self):
+        (stmt,) = parse_main_body("foo(1, 2);")
+        assert isinstance(stmt, A.ExprStmt) and isinstance(stmt.expr, A.Call)
+
+    def test_indexed_expression_statement(self):
+        # `a[0];` — an index expression used as a statement (not assignment)
+        (stmt,) = parse_main_body("a[0];")
+        assert isinstance(stmt, A.ExprStmt) and isinstance(stmt.expr, A.Index)
+
+    def test_return_with_and_without_value(self):
+        a, b = parse_main_body("return; return 5;")
+        assert a.value is None and isinstance(b.value, A.IntLit)
+
+    def test_break_continue(self):
+        a, b = parse_main_body("break; continue;")
+        assert isinstance(a, A.Break) and isinstance(b, A.Continue)
+
+
+class TestControlFlow:
+    def test_if_without_else(self):
+        (stmt,) = parse_main_body("if (x) { y = 1; }")
+        assert isinstance(stmt, A.If) and stmt.else_body == []
+
+    def test_if_else(self):
+        (stmt,) = parse_main_body("if (x) { y = 1; } else { y = 2; }")
+        assert len(stmt.else_body) == 1
+
+    def test_else_if_chain(self):
+        (stmt,) = parse_main_body(
+            "if (a) { x = 1; } else if (b) { x = 2; } else { x = 3; }"
+        )
+        assert isinstance(stmt.else_body[0], A.If)
+        assert len(stmt.else_body[0].else_body) == 1
+
+    def test_for_full(self):
+        (stmt,) = parse_main_body("for (var i = 0; i < 10; i = i + 1) { x = i; }")
+        assert isinstance(stmt, A.For)
+        assert isinstance(stmt.init, A.VarDecl)
+        assert isinstance(stmt.cond, A.Binary)
+        assert isinstance(stmt.step, A.Assign)
+
+    def test_for_empty_clauses(self):
+        (stmt,) = parse_main_body("for (;;) { break; }")
+        assert stmt.init is None and stmt.cond is None and stmt.step is None
+
+    def test_while(self):
+        (stmt,) = parse_main_body("while (x > 0) { x = x - 1; }")
+        assert isinstance(stmt, A.While)
+
+    def test_nested_loops(self):
+        (stmt,) = parse_main_body(
+            "for (var i = 0; i < 2; i = i + 1) { while (x) { x = 0; } }"
+        )
+        assert isinstance(stmt.body[0], A.While)
+
+
+class TestExpressions:
+    def test_precedence_mul_over_add(self):
+        (stmt,) = parse_main_body("x = 1 + 2 * 3;")
+        assert stmt.value.op == "+"
+        assert stmt.value.right.op == "*"
+
+    def test_precedence_cmp_over_and(self):
+        (stmt,) = parse_main_body("x = a < b && c > d;")
+        assert stmt.value.op == "&&"
+        assert stmt.value.left.op == "<"
+
+    def test_precedence_and_over_or(self):
+        (stmt,) = parse_main_body("x = a && b || c;")
+        assert stmt.value.op == "||"
+        assert stmt.value.left.op == "&&"
+
+    def test_parentheses_override(self):
+        (stmt,) = parse_main_body("x = (1 + 2) * 3;")
+        assert stmt.value.op == "*"
+        assert stmt.value.left.op == "+"
+
+    def test_unary_minus_and_not(self):
+        (stmt,) = parse_main_body("x = -a + !b;")
+        assert isinstance(stmt.value.left, A.Unary)
+        assert isinstance(stmt.value.right, A.Unary)
+
+    def test_left_associativity(self):
+        (stmt,) = parse_main_body("x = 10 - 3 - 2;")
+        # (10 - 3) - 2
+        assert stmt.value.left.op == "-"
+
+    def test_call_with_nested_call(self):
+        (stmt,) = parse_main_body("x = f(g(1), 2);")
+        assert isinstance(stmt.value.args[0], A.Call)
+
+    def test_string_argument(self):
+        (stmt,) = parse_main_body('print("hi");')
+        assert isinstance(stmt.expr.args[0], A.StrLit)
+
+
+class TestNodeIds:
+    def test_node_ids_unique(self):
+        program = parse(
+            "func main() { for (var i = 0; i < 3; i = i + 1) "
+            "{ if (i) { foo(i); } } } func foo(x) { return x; }"
+        )
+        ids = [n.node_id for n in A.walk(program)]
+        assert len(ids) == len(set(ids))
+
+
+class TestErrors:
+    @pytest.mark.parametrize(
+        "src",
+        [
+            "func main() {",  # unterminated block
+            "func main() { x = ; }",  # missing expression
+            "func main() { if x { } }",  # missing parens
+            "func main() { var ; }",  # missing name
+            "main() {}",  # missing func keyword
+            "func main() { x = 1 }",  # missing semicolon
+        ],
+    )
+    def test_malformed_programs(self, src):
+        with pytest.raises(ParseError):
+            parse(src)

@@ -1,0 +1,91 @@
+"""Collective synchronisation tests."""
+
+import pytest
+
+from repro.mpisim.collectives import CollectiveEngine
+from repro.mpisim.errors import CollectiveMismatchError
+from repro.mpisim.netmodel import NetworkModel
+from repro.mpisim.pmpi import RecordingSink
+from repro.mpisim.runtime import Runtime
+
+
+class TestEngine:
+    def setup_method(self):
+        self.engine = CollectiveEngine(3, NetworkModel())
+
+    def test_slot_completes_when_all_arrive(self):
+        k0 = self.engine.enter(0, 0, "MPI_Barrier", -1, 0, 1.0)
+        assert not self.engine.poll(k0).done
+        self.engine.enter(1, 0, "MPI_Barrier", -1, 0, 5.0)
+        self.engine.enter(2, 0, "MPI_Barrier", -1, 0, 3.0)
+        slot = self.engine.poll(k0)
+        assert slot.done
+        assert slot.completion_time > 5.0  # after the last arrival
+
+    def test_sequential_collectives_use_separate_slots(self):
+        k_first = self.engine.enter(0, 0, "MPI_Barrier", -1, 0, 1.0)
+        k_second = self.engine.enter(0, 0, "MPI_Bcast", 0, 8, 2.0)
+        assert k_first != k_second
+
+    def test_mismatch_raises(self):
+        self.engine.enter(0, 0, "MPI_Bcast", 0, 8, 1.0)
+        with pytest.raises(CollectiveMismatchError):
+            self.engine.enter(1, 0, "MPI_Reduce", 0, 8, 1.0)
+
+    def test_root_mismatch_raises(self):
+        self.engine.enter(0, 0, "MPI_Bcast", 0, 8, 1.0)
+        with pytest.raises(CollectiveMismatchError):
+            self.engine.enter(1, 0, "MPI_Bcast", 1, 8, 1.0)
+
+    def test_describe_waiting(self):
+        key = self.engine.enter(0, 0, "MPI_Barrier", -1, 0, 1.0)
+        text = self.engine.describe_waiting(key)
+        assert "MPI_Barrier" in text and "2 rank" in text
+
+
+class TestThroughRuntime:
+    @pytest.mark.parametrize(
+        "name,args",
+        [
+            ("mpi_barrier", []),
+            ("mpi_bcast", [0, 1024]),
+            ("mpi_reduce", [0, 1024]),
+            ("mpi_allreduce", [1024]),
+            ("mpi_gather", [0, 64]),
+            ("mpi_scatter", [0, 64]),
+            ("mpi_allgather", [64]),
+            ("mpi_alltoall", [64]),
+        ],
+    )
+    def test_each_collective_completes_and_traces(self, name, args):
+        sink = RecordingSink()
+
+        def main(comm):
+            yield from comm.call(name, list(args))
+
+        Runtime(4, tracer=sink).run(main)
+        assert len(sink.events) == 4
+        for rank in range(4):
+            (ev,) = sink.events[rank]
+            assert ev.op.lower() == "mpi_" + name[4:]
+
+    def test_all_ranks_get_same_completion_floor(self):
+        finish = {}
+
+        def main(comm):
+            if comm.rank == 0:
+                comm.clock = 1000.0  # straggler
+            yield from comm.call("mpi_barrier", [])
+            finish[comm.rank] = comm.clock
+
+        Runtime(4).run(main)
+        assert min(finish.values()) > 1000.0
+
+    def test_alltoall_scales_with_ranks(self):
+        model = NetworkModel()
+        assert model.collective_cost("MPI_Alltoall", 1024, 16) > \
+            model.collective_cost("MPI_Alltoall", 1024, 4)
+
+    def test_unknown_collective_cost_rejected(self):
+        with pytest.raises(ValueError):
+            NetworkModel().collective_cost("MPI_Nope", 8, 4)

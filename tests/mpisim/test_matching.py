@@ -1,0 +1,100 @@
+"""Message-matching engine tests."""
+
+from repro.mpisim.datatypes import ANY_SOURCE, ANY_TAG
+from repro.mpisim.matching import Mailbox, Message
+
+
+def msg(src, tag=0, arrival=1.0, seq=0, comm=0, nbytes=8):
+    return Message(
+        src=src, dst=0, tag=tag, nbytes=nbytes, comm=comm,
+        send_time=0.0, arrival_time=arrival, seq=seq,
+    )
+
+
+class TestExactMatch:
+    def test_match_consumes(self):
+        box = Mailbox(0)
+        box.deliver(msg(1))
+        assert box.match(1, 0, 0) is not None
+        assert box.match(1, 0, 0) is None
+
+    def test_no_match_wrong_source(self):
+        box = Mailbox(0)
+        box.deliver(msg(1))
+        assert box.match(2, 0, 0) is None
+
+    def test_no_match_wrong_tag(self):
+        box = Mailbox(0)
+        box.deliver(msg(1, tag=5))
+        assert box.match(1, 7, 0) is None
+
+    def test_fifo_per_source(self):
+        box = Mailbox(0)
+        box.deliver(msg(1, arrival=1.0, seq=1, nbytes=100))
+        box.deliver(msg(1, arrival=2.0, seq=2, nbytes=200))
+        assert box.match(1, 0, 0).nbytes == 100
+        assert box.match(1, 0, 0).nbytes == 200
+
+    def test_tag_skips_nonmatching_head(self):
+        # MPI: a recv for tag 7 matches the earliest tag-7 message even if
+        # a tag-5 message from the same source arrived first.
+        box = Mailbox(0)
+        box.deliver(msg(1, tag=5, seq=1))
+        box.deliver(msg(1, tag=7, seq=2))
+        got = box.match(1, 7, 0)
+        assert got.tag == 7
+        assert box.match(1, 5, 0).tag == 5
+
+
+class TestWildcards:
+    def test_any_source_picks_earliest_arrival(self):
+        box = Mailbox(0)
+        box.deliver(msg(3, arrival=5.0, seq=1))
+        box.deliver(msg(1, arrival=2.0, seq=2))
+        assert box.match(ANY_SOURCE, 0, 0).src == 1
+
+    def test_any_source_tie_broken_by_send_order(self):
+        box = Mailbox(0)
+        box.deliver(msg(3, arrival=2.0, seq=2))
+        box.deliver(msg(1, arrival=2.0, seq=1))
+        assert box.match(ANY_SOURCE, 0, 0).src == 1
+
+    def test_any_source_respects_tag(self):
+        box = Mailbox(0)
+        box.deliver(msg(1, tag=5))
+        assert box.match(ANY_SOURCE, 7, 0) is None
+        assert box.match(ANY_SOURCE, 5, 0).src == 1
+
+    def test_any_tag(self):
+        box = Mailbox(0)
+        box.deliver(msg(1, tag=42))
+        assert box.match(1, ANY_TAG, 0).tag == 42
+
+    def test_any_source_any_tag(self):
+        box = Mailbox(0)
+        box.deliver(msg(2, tag=9))
+        assert box.match(ANY_SOURCE, ANY_TAG, 0).src == 2
+
+    def test_any_source_preserves_per_source_order(self):
+        box = Mailbox(0)
+        box.deliver(msg(1, arrival=1.0, seq=1, nbytes=10))
+        box.deliver(msg(1, arrival=2.0, seq=2, nbytes=20))
+        assert box.match(ANY_SOURCE, 0, 0).nbytes == 10
+
+
+class TestBookkeeping:
+    def test_pending_count(self):
+        box = Mailbox(0)
+        assert box.pending_count() == 0
+        box.deliver(msg(1))
+        box.deliver(msg(2))
+        assert box.pending_count() == 2
+        box.match(1, 0, 0)
+        assert box.pending_count() == 1
+
+    def test_comm_isolation(self):
+        box = Mailbox(0)
+        box.deliver(msg(1, comm=0))
+        assert box.match(1, 0, comm=1) is None
+        assert box.match(ANY_SOURCE, 0, 1) is None
+        assert box.match(1, 0, comm=0) is not None

@@ -1,0 +1,103 @@
+"""Nested communicator splits and waitany through the full pipeline."""
+
+import sys
+
+sys.path.insert(0, "tests")
+from helpers import assert_replay_exact, run_traced  # noqa: E402
+
+
+class TestNestedSplit:
+    SRC = """
+    func main() {
+      var rank = mpi_comm_rank();
+      var size = mpi_comm_size();
+      // 2D process grid via two-level splits: rows, then pairs in a row.
+      var rowcomm = mpi_comm_split(0, rank / 4, rank);
+      var paircomm = mpi_comm_split(rowcomm, mpi_comm_rank_on(rowcomm) / 2, rank);
+      for (var it = 0; it < 4; it = it + 1) {
+        mpi_allreduce_on(rowcomm, 64);
+        mpi_allreduce_on(paircomm, 8);
+      }
+      mpi_barrier();
+    }
+    """
+
+    def test_split_of_split_replays_exactly(self):
+        _, rec, cyp, _ = run_traced(self.SRC, 8)
+        assert_replay_exact(rec, cyp, 8, merged=True)
+
+    def test_pair_comms_have_two_members(self):
+        from repro.mpisim.collectives import CommRegistry
+        from repro.mpisim.runtime import Runtime
+
+        got = {}
+
+        def main(comm):
+            row = yield from comm.call(
+                "mpi_comm_split", [0, comm.rank // 4, comm.rank]
+            )
+            row_rank = comm.runtime.collectives.comms.comm_rank(row, comm.rank)
+            pair = yield from comm.call(
+                "mpi_comm_split", [row, row_rank // 2, comm.rank]
+            )
+            got[comm.rank] = (row, pair)
+
+        rt = Runtime(8)
+        rt.run(main)
+        # 2 rows and 4 pairs, all distinct ids
+        rows = {v[0] for v in got.values()}
+        pairs = {v[1] for v in got.values()}
+        assert len(rows) == 2 and len(pairs) == 4
+        for pair in pairs:
+            assert rt.collectives.comms.size(pair) == 2
+
+    def test_simmpi_handles_nested_splits(self):
+        from repro.core.decompress import decompress_all
+        from repro.core.inter import merge_all
+        from repro.replay import predict
+
+        _, rec, cyp, result = run_traced(self.SRC, 8)
+        merged = merge_all([cyp.ctt(r) for r in range(8)])
+        sim = predict(decompress_all(merged))
+        assert sim.elapsed > 0
+
+
+class TestWaitanyPipeline:
+    SRC = """
+    func main() {
+      var rank = mpi_comm_rank();
+      if (rank == 0) {
+        var r[3];
+        for (var it = 0; it < 5; it = it + 1) {
+          r[0] = mpi_irecv(1, 8, 0);
+          r[1] = mpi_irecv(2, 8, 0);
+          r[2] = mpi_irecv(3, 8, 0);
+          var first = mpi_waitany(r, 3);
+          // consume the rest in order
+          for (var j = 0; j < 3; j = j + 1) {
+            if (j != first) { mpi_wait(r[j]); }
+          }
+        }
+      } else {
+        for (var it = 0; it < 5; it = it + 1) {
+          compute(20 * rank);
+          mpi_send(0, 8, 0);
+        }
+      }
+      mpi_barrier();
+    }
+    """
+
+    def test_waitany_replays_exactly(self):
+        _, rec, cyp, _ = run_traced(self.SRC, 4)
+        assert_replay_exact(rec, cyp, 4, merged=True)
+
+    def test_simmpi_replays_waitany(self):
+        from repro.core.decompress import decompress_all
+        from repro.core.inter import merge_all
+        from repro.replay import predict
+
+        _, rec, cyp, _ = run_traced(self.SRC, 4)
+        merged = merge_all([cyp.ctt(r) for r in range(4)])
+        sim = predict(decompress_all(merged))
+        assert sim.elapsed > 0

@@ -1,0 +1,49 @@
+"""Network model tests."""
+
+from repro.mpisim.netmodel import NetworkModel
+
+
+class TestTransferTime:
+    def test_monotone_in_size(self):
+        m = NetworkModel()
+        times = [m.transfer_time(n) for n in (0, 100, 10_000, 100_000, 10_000_000)]
+        assert times == sorted(times)
+
+    def test_rendezvous_adds_setup(self):
+        m = NetworkModel()
+        below = m.transfer_time(m.eager_threshold)
+        above = m.transfer_time(m.eager_threshold + 1)
+        assert above > below  # handshake discontinuity
+
+    def test_latency_floor(self):
+        m = NetworkModel()
+        assert m.transfer_time(0) >= m.latency
+
+
+class TestCosts:
+    def test_send_cost_bounded_for_large_messages(self):
+        m = NetworkModel()
+        # Eager copy cost saturates at the threshold (rendezvous = zero copy).
+        assert m.send_cost(10**9) == m.send_cost(m.eager_threshold)
+
+    def test_recv_cost_constant(self):
+        m = NetworkModel()
+        assert m.recv_cost(1) == m.recv_cost(10**6)
+
+
+class TestCollectiveCosts:
+    def test_log_scaling_barrier(self):
+        m = NetworkModel()
+        c4 = m.collective_cost("MPI_Barrier", 0, 4)
+        c256 = m.collective_cost("MPI_Barrier", 0, 256)
+        assert abs(c256 / c4 - 4.0) < 0.01  # log2 256 / log2 4
+
+    def test_allreduce_twice_reduce(self):
+        m = NetworkModel()
+        assert m.collective_cost("MPI_Allreduce", 1024, 16) == \
+            2 * m.collective_cost("MPI_Reduce", 1024, 16)
+
+    def test_bcast_grows_with_bytes(self):
+        m = NetworkModel()
+        assert m.collective_cost("MPI_Bcast", 1 << 20, 8) > \
+            m.collective_cost("MPI_Bcast", 8, 8)

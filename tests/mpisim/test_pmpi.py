@@ -1,0 +1,124 @@
+"""PMPI sink-layer tests: MultiSink fan-out, TimingSink accounting,
+marker plumbing."""
+
+from repro.mpisim.events import CommEvent
+from repro.mpisim.pmpi import MultiSink, NullSink, TimingSink, TraceSink
+
+
+class CountingSink(TraceSink):
+    wants_markers = True
+
+    def __init__(self):
+        self.counts = {}
+
+    def _bump(self, name):
+        self.counts[name] = self.counts.get(name, 0) + 1
+
+    def on_loop_push(self, rank, ast_id):
+        self._bump("push")
+
+    def on_loop_iter(self, rank, ast_id):
+        self._bump("iter")
+
+    def on_loop_pop(self, rank, ast_id):
+        self._bump("pop")
+
+    def on_branch_enter(self, rank, ast_id, path):
+        self._bump("benter")
+
+    def on_branch_exit(self, rank, ast_id):
+        self._bump("bexit")
+
+    def on_recurse_enter(self, rank, ast_id):
+        self._bump("renter")
+
+    def on_recurse_exit(self, rank, ast_id):
+        self._bump("rexit")
+
+    def on_event(self, rank, event):
+        self._bump("event")
+
+    def on_request_complete(self, rank, rid, source, nbytes, when):
+        self._bump("complete")
+
+    def on_finalize(self, rank):
+        self._bump("finalize")
+
+
+def drive(sink):
+    ev = CommEvent(op="MPI_Send", rank=0, seq=0)
+    sink.on_loop_push(0, 1)
+    sink.on_loop_iter(0, 1)
+    sink.on_branch_enter(0, 2, 0)
+    sink.on_event(0, ev)
+    sink.on_branch_exit(0, 2)
+    sink.on_loop_pop(0, 1)
+    sink.on_recurse_enter(0, 3)
+    sink.on_recurse_exit(0, 3)
+    sink.on_request_complete(0, 1, 1, 8, 1.0)
+    sink.on_finalize(0)
+
+
+class TestMultiSink:
+    def test_fans_out_every_callback(self):
+        a, b = CountingSink(), CountingSink()
+        multi = MultiSink([a, b])
+        drive(multi)
+        assert a.counts == b.counts
+        assert a.counts["event"] == 1 and a.counts["push"] == 1
+        assert sum(a.counts.values()) == 10
+
+    def test_wants_markers_any(self):
+        assert MultiSink([NullSink(), CountingSink()]).wants_markers
+        assert not MultiSink([NullSink(), NullSink()]).wants_markers
+
+
+class TestTimingSink:
+    def test_counts_and_time_accumulate(self):
+        inner = CountingSink()
+        timed = TimingSink(inner)
+        drive(timed)
+        assert timed.calls == 10
+        assert timed.elapsed >= 0
+        assert sum(inner.counts.values()) == 10
+
+    def test_wants_markers_forwarded(self):
+        assert TimingSink(CountingSink()).wants_markers
+        assert not TimingSink(NullSink()).wants_markers
+
+
+class TestMarkersFromInterpreter:
+    def test_marker_stream_matches_program_shape(self):
+        from repro.driver import run_compiled
+        from repro.static.instrument import compile_minimpi
+
+        compiled = compile_minimpi(
+            """
+            func main() {
+              for (var i = 0; i < 4; i = i + 1) {
+                if (i % 2 == 0) { mpi_send(0, 8, 0); mpi_recv(0, 8, 0); }
+              }
+            }
+            """
+        )
+        sink = CountingSink()
+        run_compiled(compiled, 1, tracer=sink)
+        assert sink.counts["push"] == 1
+        assert sink.counts["iter"] == 4
+        assert sink.counts["pop"] == 1
+        assert sink.counts["benter"] == 4  # taken or not, the if executes
+        assert sink.counts["bexit"] == 4
+        assert sink.counts["event"] == 4  # 2 sends + 2 recvs
+
+    def test_markers_suppressed_without_consumer(self):
+        from repro.driver import run_compiled
+        from repro.mpisim.pmpi import RecordingSink
+        from repro.static.instrument import compile_minimpi
+
+        compiled = compile_minimpi(
+            "func main() { for (var i = 0; i < 3; i = i + 1) "
+            "{ mpi_barrier(); } }"
+        )
+        sink = RecordingSink()  # wants_markers is False
+        run_compiled(compiled, 2, tracer=sink)
+        assert len(sink.events[0]) == 3  # events flow, markers skipped

@@ -1,0 +1,39 @@
+"""LogGP calibration tests."""
+
+from repro.mpisim.netmodel import NetworkModel
+from repro.replay.calibrate import fit_loggp, measure_pingpong
+
+
+class TestPingPong:
+    def test_half_rtt_positive_and_monotone(self):
+        t_small = measure_pingpong(64, reps=3)
+        t_big = measure_pingpong(1 << 20, reps=3)
+        assert 0 < t_small < t_big
+
+    def test_custom_network(self):
+        slow = NetworkModel(latency=50.0)
+        fast = NetworkModel(latency=0.5)
+        assert measure_pingpong(64, reps=2, network=slow) > measure_pingpong(
+            64, reps=2, network=fast
+        )
+
+
+class TestFit:
+    def test_fitted_params_sane(self):
+        params = fit_loggp(reps=2)
+        assert params.L > 0
+        assert params.o > 0
+        assert params.G > 0
+
+    def test_fit_tracks_bandwidth(self):
+        model = NetworkModel()
+        params = fit_loggp(reps=2)
+        # The fitted G should land between the machine's two per-byte rates.
+        assert model.gap_large * 0.5 < params.G < model.gap_small * 2
+
+    def test_fit_predicts_pingpong(self):
+        params = fit_loggp(reps=2)
+        for nbytes in (1024, 65536, 1 << 20):
+            measured = measure_pingpong(nbytes, reps=2)
+            predicted = params.p2p_time(nbytes)
+            assert abs(predicted - measured) / measured < 0.5

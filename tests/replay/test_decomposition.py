@@ -1,0 +1,84 @@
+"""Collective decomposition schedule tests."""
+
+import pytest
+
+from repro.replay.decomposition import (
+    binomial_bcast_schedule,
+    collective_cost,
+    pairwise_alltoall_schedule,
+    recursive_doubling_schedule,
+)
+from repro.replay.loggp import LogGPParams
+
+P = LogGPParams()
+
+
+class TestBcastSchedule:
+    @pytest.mark.parametrize("nprocs", [2, 3, 4, 7, 8, 16, 33])
+    def test_everyone_receives_exactly_once(self, nprocs):
+        schedule = binomial_bcast_schedule(nprocs, root=0)
+        received = {0}
+        for round_pairs in schedule:
+            for src, dst in round_pairs:
+                assert src in received, "sender must already hold the data"
+                assert dst not in received, "no duplicate delivery"
+                received.add(dst)
+        assert received == set(range(nprocs))
+
+    @pytest.mark.parametrize("nprocs", [4, 8, 16])
+    def test_log_rounds(self, nprocs):
+        import math
+
+        schedule = binomial_bcast_schedule(nprocs)
+        assert len(schedule) == math.ceil(math.log2(nprocs))
+
+    def test_nonzero_root_rotates(self):
+        schedule = binomial_bcast_schedule(4, root=2)
+        first_senders = {src for src, _ in schedule[0]}
+        assert first_senders == {2}
+
+
+class TestRecursiveDoubling:
+    @pytest.mark.parametrize("nprocs", [2, 4, 8, 16])
+    def test_each_round_perfect_matching(self, nprocs):
+        for round_pairs in recursive_doubling_schedule(nprocs):
+            seen = set()
+            for a, b in round_pairs:
+                assert a not in seen and b not in seen
+                seen.update((a, b))
+            assert seen == set(range(nprocs))
+
+
+class TestAlltoall:
+    @pytest.mark.parametrize("nprocs", [2, 3, 4, 8])
+    def test_every_ordered_pair_communicates(self, nprocs):
+        sent = set()
+        for round_pairs in pairwise_alltoall_schedule(nprocs):
+            for src, dst in round_pairs:
+                sent.add((src, dst))
+        expected = {
+            (a, b) for a in range(nprocs) for b in range(nprocs) if a != b
+        }
+        assert sent == expected
+
+
+class TestCosts:
+    def test_barrier_cheapest(self):
+        for op in ("MPI_Bcast", "MPI_Allreduce", "MPI_Alltoall"):
+            assert collective_cost(P, op, 4096, 16) > collective_cost(
+                P, "MPI_Barrier", 0, 16
+            )
+
+    def test_allreduce_double_reduce(self):
+        assert collective_cost(P, "MPI_Allreduce", 1024, 8) == pytest.approx(
+            2 * collective_cost(P, "MPI_Reduce", 1024, 8)
+        )
+
+    def test_alltoall_linear_in_ranks(self):
+        c8 = collective_cost(P, "MPI_Alltoall", 64, 8)
+        c64 = collective_cost(P, "MPI_Alltoall", 64, 64)
+        assert c64 / c8 == pytest.approx(63 / 7)
+
+    def test_unknown_op(self):
+        with pytest.raises(ValueError):
+            collective_cost(P, "MPI_Magic", 1, 4)

@@ -1,0 +1,77 @@
+"""Compile-driver tests (instrument.py)."""
+
+import pytest
+
+from repro.static.instrument import CompiledProgram, compile_minimpi
+
+SRC = """
+func main() {
+  for (var i = 0; i < 3; i = i + 1) {
+    if (i % 2 == 0) { mpi_barrier(); }
+  }
+}
+"""
+
+
+class TestCompileModes:
+    def test_with_cypress(self):
+        compiled = compile_minimpi(SRC)
+        assert compiled.static is not None
+        assert compiled.plan is not None
+        assert compiled.cst.size() >= 3
+        assert compiled.compile_seconds > 0
+
+    def test_without_cypress(self):
+        compiled = compile_minimpi(SRC, cypress=False)
+        assert compiled.static is None
+        assert compiled.plan is None
+        with pytest.raises(ValueError):
+            _ = compiled.cst
+
+    def test_cypress_costs_more(self):
+        import statistics
+
+        def best(f):
+            return min(f() for _ in range(10))
+
+        def t(cypress):
+            import time
+
+            t0 = time.perf_counter()
+            compile_minimpi(SRC, cypress=cypress)
+            return time.perf_counter() - t0
+
+        with_pass = best(lambda: t(True))
+        without = best(lambda: t(False))
+        assert with_pass >= without * 0.8  # never dramatically cheaper
+
+    def test_custom_entry(self):
+        src = "func start() { mpi_barrier(); } func main() { }"
+        compiled = compile_minimpi(src, entry="start")
+        ops = [n.name for n in compiled.cst.preorder() if n.kind == "call"]
+        assert ops == ["mpi_barrier"]
+
+    def test_source_name_carried(self):
+        compiled = compile_minimpi(SRC, source_name="myapp.mpi")
+        assert compiled.source_name == "myapp.mpi"
+
+    def test_plan_matches_static(self):
+        compiled = compile_minimpi(SRC)
+        assert (
+            compiled.plan.instrumented_ast_ids
+            == compiled.static.instrumented_ast_ids
+        )
+
+    def test_parse_errors_propagate(self):
+        from repro.minilang.parser import ParseError
+
+        with pytest.raises(ParseError):
+            compile_minimpi("func main() { oops")
+
+    def test_recursive_plan(self):
+        src = """
+        func main() { walk(3); }
+        func walk(n) { if (n == 0) { return; } else { mpi_bcast(0, 8); walk(n - 1); } }
+        """
+        compiled = compile_minimpi(src)
+        assert "walk" in compiled.plan.recursive_pseudo

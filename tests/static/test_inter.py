@@ -1,0 +1,168 @@
+"""Inter-procedural analysis tests (Algorithm 2, recursion conversion)."""
+
+from repro.minilang.builtins import make_classifier
+from repro.minilang.parser import parse
+from repro.static import cst as C
+from repro.static.inter import build_program_cst, pseudo_loop_id
+
+FIG5 = """
+func main() {
+  for (var i = 0; i < k; i = i + 1) {
+    if (myid % 2 == 0) {
+      mpi_send(myid + 1, size, 0);
+    } else {
+      mpi_recv(myid - 1, size, 0);
+    }
+    bar();
+  }
+  foo();
+  if (myid % 2 == 0) {
+    mpi_reduce(0, 4);
+  }
+}
+func bar() {
+  for (var kk = 0; kk < n; kk = kk + 1) {
+    mpi_bcast(0, 64);
+  }
+}
+func foo() {
+  var sum = 0;
+  for (var j = 0; j < m; j = j + 1) {
+    sum = sum + j;
+  }
+}
+"""
+
+
+def build(source: str):
+    program = parse(source)
+    return build_program_cst(program, make_classifier(program))
+
+
+def shape(node):
+    label = node.kind if node.kind != C.CALL else node.name
+    return (label, tuple(shape(c) for c in node.children))
+
+
+class TestFigure7:
+    def test_complete_cst_matches_paper(self):
+        """Paper Fig. 7: the fully inlined and pruned CST."""
+        result = build(FIG5)
+        assert shape(result.cst) == (
+            "root",
+            (
+                ("loop", (
+                    ("branch", (("mpi_send", ()),)),
+                    ("branch", (("mpi_recv", ()),)),
+                    ("loop", (("mpi_bcast", ()),)),   # bar() inlined
+                )),
+                # foo() vanished (no MPI); empty else path pruned
+                ("branch", (("mpi_reduce", ()),)),
+            ),
+        )
+
+    def test_gids_are_preorder(self):
+        result = build(FIG5)
+        gids = [n.gid for n in result.cst.preorder()]
+        assert gids == list(range(len(gids)))
+
+    def test_instrumented_ids_cover_all_control_vertices(self):
+        result = build(FIG5)
+        for node in result.cst.preorder():
+            if node.kind in (C.LOOP, C.BRANCH):
+                assert node.ast_id in result.instrumented_ast_ids
+
+
+class TestInlining:
+    def test_multi_site_inlining_duplicates_subtree(self):
+        result = build(
+            "func main() { halo(); mpi_barrier(); halo(); } "
+            "func halo() { mpi_send(1, 4, 0); mpi_recv(1, 4, 0); }"
+        )
+        labels = [shape(c)[0] for c in result.cst.children]
+        assert labels == ["mpi_send", "mpi_recv", "mpi_barrier",
+                          "mpi_send", "mpi_recv"]
+
+    def test_three_level_chain(self):
+        result = build(
+            "func main() { a(); } func a() { b(); } "
+            "func b() { mpi_barrier(); }"
+        )
+        assert shape(result.cst) == ("root", (("mpi_barrier", ()),))
+
+    def test_unknown_callee_dropped(self):
+        result = build("func main() { unknown_helper(); mpi_barrier(); }")
+        assert shape(result.cst) == ("root", (("mpi_barrier", ()),))
+
+    def test_function_without_mpi_disappears(self):
+        result = build(
+            "func main() { noop(); mpi_barrier(); } func noop() { var x = 1; }"
+        )
+        assert shape(result.cst) == ("root", (("mpi_barrier", ()),))
+
+    def test_missing_entry_rejected(self):
+        program = parse("func f() { }")
+        import pytest
+
+        with pytest.raises(ValueError):
+            build_program_cst(program, make_classifier(program), entry="main")
+
+
+class TestRecursionConversion:
+    REC = """
+    func main() { walk(4); }
+    func walk(n) {
+      if (n == 0) {
+        return;
+      } else {
+        mpi_bcast(0, 8);
+        walk(n - 1);
+        mpi_reduce(0, 8);
+      }
+    }
+    """
+
+    def test_pseudo_loop_wraps_recursive_body(self):
+        result = build(self.REC)
+        # main's CST: the inlined walk = pseudo loop containing the branches
+        (loop,) = result.cst.children
+        assert loop.kind == C.LOOP
+        assert loop.name == "~walk"
+        inner = [shape(c)[0] for c in loop.children]
+        assert inner == ["branch"]  # path-1 branch holds bcast/reduce
+        assert shape(loop.children[0])[1] == (("mpi_bcast", ()), ("mpi_reduce", ()))
+
+    def test_recursive_call_leaf_dropped(self):
+        result = build(self.REC)
+        names = [n.name for n in result.cst.preorder() if n.kind == C.CALL]
+        assert "walk" not in names
+
+    def test_pseudo_id_registered(self):
+        result = build(self.REC)
+        assert "walk" in result.recursive_pseudo
+        walk_def = parse(self.REC).functions["walk"]
+        assert result.recursive_pseudo["walk"] == pseudo_loop_id(walk_def.node_id)
+
+    def test_pseudo_ids_do_not_collide_with_ast_ids(self):
+        result = build(self.REC)
+        program = parse(self.REC)
+        from repro.minilang.ast_nodes import walk as walk_ast
+
+        ast_ids = {n.node_id for n in walk_ast(program)}
+        assert not set(result.recursive_pseudo.values()) & ast_ids
+
+    def test_mutual_recursion_converts(self):
+        result = build(
+            "func main() { ping(3); } "
+            "func ping(n) { if (n > 0) { mpi_bcast(0, 8); pong(n); } } "
+            "func pong(n) { if (n > 0) { mpi_reduce(0, 8); ping(n - 1); } }"
+        )
+        # One pseudo loop at the SCC entry; both functions' MPI present.
+        loops = [n for n in result.cst.preorder() if n.kind == C.LOOP]
+        assert len(loops) == 1
+        names = {n.name for n in result.cst.preorder() if n.kind == C.CALL}
+        assert names == {"mpi_bcast", "mpi_reduce"}
+
+    def test_nonrecursive_program_has_no_pseudo(self):
+        result = build(FIG5)
+        assert result.recursive_pseudo == {}

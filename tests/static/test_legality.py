@@ -1,0 +1,119 @@
+"""Trace-legality checks."""
+
+import pytest
+
+from repro.minilang.parser import parse
+from repro.static.legality import (
+    CompileError,
+    check_trace_legality,
+    functions_with_mpi,
+)
+
+
+def check(source: str):
+    check_trace_legality(parse(source))
+
+
+class TestMpiFunctionDetection:
+    def test_direct(self):
+        fns = functions_with_mpi(parse("func main() { mpi_barrier(); } func f() {}"))
+        assert fns == {"main"}
+
+    def test_transitive(self):
+        fns = functions_with_mpi(
+            parse(
+                "func main() { a(); } func a() { b(); } "
+                "func b() { mpi_barrier(); } func pure() { }"
+            )
+        )
+        assert fns == {"main", "a", "b"}
+
+    def test_transitive_through_recursion(self):
+        fns = functions_with_mpi(
+            parse("func main() { f(1); } func f(n) { if (n) { f(n-1); } mpi_barrier(); }")
+        )
+        assert "f" in fns and "main" in fns
+
+
+class TestBreakContinue:
+    def test_break_in_mpi_function_rejected(self):
+        with pytest.raises(CompileError, match="break"):
+            check("func main() { while (1) { break; } mpi_barrier(); }")
+
+    def test_continue_in_mpi_function_rejected(self):
+        with pytest.raises(CompileError, match="continue"):
+            check(
+                "func main() { for (var i = 0; i < 2; i = i + 1) "
+                "{ if (i) { continue; } } mpi_barrier(); }"
+            )
+
+    def test_break_in_pure_function_allowed(self):
+        check(
+            "func main() { helper(); mpi_barrier(); } "
+            "func helper() { while (1) { break; } }"
+        )
+
+
+class TestReturns:
+    def test_final_return_allowed(self):
+        check("func main() { mpi_barrier(); return; }")
+
+    def test_guard_clause_without_trailing_mpi_allowed(self):
+        # The paper's Fig. 8 pattern.
+        check(
+            "func main() { f(3); } "
+            "func f(n) { if (n == 0) { return; } else "
+            "{ mpi_bcast(0, 8); f(n - 1); } }"
+        )
+
+    def test_return_before_mpi_rejected(self):
+        with pytest.raises(CompileError, match="return"):
+            check("func main() { if (x) { return; } mpi_barrier(); }")
+
+    def test_return_inside_loop_with_trailing_mpi_rejected(self):
+        with pytest.raises(CompileError, match="return"):
+            check(
+                "func main() { for (var i = 0; i < 3; i = i + 1) "
+                "{ if (i) { return; } mpi_barrier(); } }"
+            )
+
+    def test_return_value_in_pure_helper_allowed(self):
+        check(
+            "func main() { var x = f(2); mpi_send(x, 4, 0); } "
+            "func f(n) { if (n) { return n * 2; } return 0; }"
+        )
+
+
+class TestLoopConditions:
+    def test_mpi_in_while_condition_rejected(self):
+        with pytest.raises(CompileError, match="loop condition"):
+            check("func main() { while (mpi_test(0) == 0) { compute(1); } }")
+
+    def test_mpi_function_in_for_condition_rejected(self):
+        with pytest.raises(CompileError, match="loop condition"):
+            check(
+                "func main() { for (var i = 0; i < probe(); i = i + 1) { } } "
+                "func probe() { mpi_barrier(); return 1; }"
+            )
+
+    def test_pure_call_in_condition_allowed(self):
+        check(
+            "func main() { while (f() > 0) { mpi_barrier(); } } "
+            "func f() { return 0; }"
+        )
+
+
+class TestCompileIntegration:
+    def test_compile_rejects_illegal(self):
+        from repro.static.instrument import compile_minimpi
+
+        with pytest.raises(CompileError):
+            compile_minimpi("func main() { while (1) { break; } mpi_barrier(); }")
+
+    def test_compile_without_cypress_skips_check(self):
+        from repro.static.instrument import compile_minimpi
+
+        compiled = compile_minimpi(
+            "func main() { while (1) { break; } mpi_barrier(); }", cypress=False
+        )
+        assert compiled.static is None

@@ -1,0 +1,92 @@
+"""Natural-loop detection tests."""
+
+from repro.minilang.cfg import build_cfg
+from repro.minilang.parser import parse
+from repro.static.loops import find_back_edges, loop_nesting, natural_loops
+
+
+def cfg_of(body: str):
+    return build_cfg(parse(f"func main() {{ {body} }}").functions["main"])
+
+
+class TestBackEdges:
+    def test_straight_line_has_none(self):
+        assert find_back_edges(cfg_of("a(); b();")) == []
+
+    def test_single_loop_one_back_edge(self):
+        cfg = cfg_of("while (x) { a(); }")
+        edges = find_back_edges(cfg)
+        assert len(edges) == 1
+        tail, header = edges[0]
+        assert cfg.blocks[header].kind == "loop_header"
+
+    def test_nested_loops_two_back_edges(self):
+        cfg = cfg_of("while (x) { while (y) { a(); } }")
+        assert len(find_back_edges(cfg)) == 2
+
+    def test_sequential_loops(self):
+        cfg = cfg_of("while (x) { a(); } while (y) { b(); }")
+        edges = find_back_edges(cfg)
+        assert len(edges) == 2
+        assert len({h for _, h in edges}) == 2
+
+
+class TestNaturalLoops:
+    def test_loop_body_contains_header_and_latch(self):
+        cfg = cfg_of("for (var i = 0; i < 3; i = i + 1) { a(); }")
+        loops = natural_loops(cfg)
+        (loop,) = loops.values()
+        assert loop.header in loop.body
+        latch = [b.bid for b in cfg.blocks.values() if b.kind == "latch"][0]
+        assert latch in loop.body
+
+    def test_loop_body_excludes_exit(self):
+        cfg = cfg_of("while (x) { a(); } b();")
+        (loop,) = natural_loops(cfg).values()
+        # blocks holding b() must be outside
+        for bid, block in cfg.blocks.items():
+            if any(i.name == "b" for i in block.invocations):
+                assert bid not in loop.body
+
+    def test_continue_merges_into_one_loop(self):
+        cfg = cfg_of("while (x) { if (y) { continue; } a(); }")
+        loops = natural_loops(cfg)
+        assert len(loops) == 1
+        (loop,) = loops.values()
+        assert len(loop.back_edges) >= 1
+
+    def test_loop_carries_ast_id(self):
+        cfg = cfg_of("while (x) { a(); }")
+        (loop,) = natural_loops(cfg).values()
+        assert loop.ast_id is not None
+
+
+class TestNesting:
+    def test_inner_loop_parent_is_outer(self):
+        cfg = cfg_of("while (x) { while (y) { a(); } }")
+        loops = natural_loops(cfg)
+        nesting = loop_nesting(loops)
+        parents = set(nesting.values())
+        assert None in parents  # the outer loop
+        inner = [h for h, p in nesting.items() if p is not None]
+        assert len(inner) == 1
+        # inner's parent's body strictly contains inner's body
+        outer = nesting[inner[0]]
+        assert loops[inner[0]].body < loops[outer].body
+
+    def test_triple_nesting_chain(self):
+        cfg = cfg_of(
+            "while (x) { while (y) { while (z) { a(); } } }"
+        )
+        nesting = loop_nesting(natural_loops(cfg))
+        depths = sorted(nesting.values(), key=lambda v: (v is not None, v))
+        assert list(nesting.values()).count(None) == 1
+
+    def test_siblings_share_parent(self):
+        cfg = cfg_of("while (x) { while (y) { a(); } while (z) { b(); } }")
+        loops = natural_loops(cfg)
+        nesting = loop_nesting(loops)
+        roots = [h for h, p in nesting.items() if p is None]
+        assert len(roots) == 1
+        children = [h for h, p in nesting.items() if p == roots[0]]
+        assert len(children) == 2

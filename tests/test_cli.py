@@ -1,0 +1,62 @@
+"""CLI smoke tests."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestCompare:
+    def test_compare_prints_table(self, capsys):
+        assert main(["compare", "ep", "-n", "4", "--scale", "0.5"]) == 0
+        out = capsys.readouterr().out
+        assert "cypress" in out and "scalatrace" in out
+
+
+class TestTraceReplayPredict:
+    def test_pipeline(self, tmp_path, capsys):
+        trace = str(tmp_path / "t.cyp")
+        assert main(
+            ["trace", "leslie3d", "-n", "8", "--scale", "0.2", "-o", trace]
+        ) == 0
+        assert main(["replay", trace, "-r", "0", "--limit", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "MPI_" in out
+        assert main(["predict", trace]) == 0
+        out = capsys.readouterr().out
+        assert "predicted time" in out
+
+    def test_gzip_output(self, tmp_path):
+        trace = str(tmp_path / "t.cyp.gz")
+        assert main(
+            ["trace", "ep", "-n", "4", "--scale", "0.5", "-o", trace, "--gzip"]
+        ) == 0
+        with open(trace, "rb") as fh:
+            assert fh.read(2) == b"\x1f\x8b"
+
+
+class TestCst:
+    def test_cst_from_file(self, tmp_path, capsys):
+        path = tmp_path / "prog.mpi"
+        path.write_text(
+            "func main() { for (var i = 0; i < 3; i = i + 1) { mpi_barrier(); } }"
+        )
+        assert main(["cst", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "loop" in out and "mpi_barrier" in out
+
+
+class TestPatterns:
+    def test_heatmap(self, capsys):
+        assert main(["patterns", "leslie3d", "-n", "8", "--scale", "0.2"]) == 0
+        out = capsys.readouterr().out
+        assert "message sizes" in out
+
+
+class TestValidation:
+    def test_bad_proc_count(self):
+        with pytest.raises(ValueError):
+            main(["trace", "bt", "-n", "7"])
+
+    def test_unknown_workload(self):
+        with pytest.raises(SystemExit):
+            main(["trace", "nope", "-n", "4"])

@@ -1,0 +1,90 @@
+"""Driver facade tests."""
+
+import pytest
+
+from repro.driver import compile_minimpi, run_compiled, run_source
+from repro.mpisim import NetworkModel, RecordingSink
+
+
+class TestRunSource:
+    def test_one_call_pipeline(self):
+        compiled, result = run_source(
+            "func main() { mpi_barrier(); compute(10); }", nprocs=4
+        )
+        assert compiled.static is not None
+        assert result.total_events == 4
+        assert result.elapsed >= 10
+
+    def test_without_cypress(self):
+        compiled, result = run_source(
+            "func main() { mpi_barrier(); }", nprocs=2, cypress=False
+        )
+        assert compiled.static is None
+
+    def test_defines_passed_through(self):
+        sink = RecordingSink()
+        compiled = compile_minimpi(
+            "func main() { for (var i = 0; i < n; i = i + 1) "
+            "{ mpi_allreduce(8); } }"
+        )
+        run_compiled(compiled, 2, defines={"n": 7}, tracer=sink)
+        assert len(sink.events[0]) == 7
+
+    def test_custom_network_changes_timing(self):
+        slow = NetworkModel(latency=100.0)
+        fast = NetworkModel(latency=0.1)
+        src = (
+            "func main() { var p = 1 - mpi_comm_rank(); "
+            "if (mpi_comm_rank() == 0) { mpi_send(1, 8, 0); } "
+            "else { mpi_recv(0, 8, 0); } }"
+        )
+        _, r_slow = run_source(src, 2, network=slow)
+        _, r_fast = run_source(src, 2, network=fast)
+        assert r_slow.elapsed > r_fast.elapsed
+
+    def test_max_steps_enforced(self):
+        from repro.minilang.interp import InterpError
+
+        with pytest.raises(InterpError):
+            run_source(
+                "func main() { for (var i = 0; i < 100000; i = i + 1) "
+                "{ var x = i; } }",
+                nprocs=1,
+                max_steps=100,
+            )
+
+
+class TestCypressRunFacade:
+    def test_requires_cypress_compile(self):
+        from repro.core import run_cypress
+
+        compiled = compile_minimpi("func main() { mpi_barrier(); }",
+                                   cypress=False)
+        with pytest.raises(ValueError):
+            run_cypress(compiled, 2)
+
+    def test_extra_sinks_receive_events(self):
+        from repro.core import run_cypress
+
+        sink = RecordingSink()
+        run = run_cypress(
+            "func main() { mpi_barrier(); }", 3, extra_sinks=[sink]
+        )
+        assert len(sink.events) == 3
+        assert run.trace_bytes() > 0
+
+    def test_merge_is_cached(self):
+        from repro.core import run_cypress
+
+        run = run_cypress("func main() { mpi_barrier(); }", 2)
+        assert run.merge() is run.merge()
+
+    def test_replay_unmerged_matches_merged(self):
+        from repro.core import run_cypress
+
+        run = run_cypress(
+            "func main() { mpi_allreduce(64); mpi_barrier(); }", 2
+        )
+        merged = [e.call_tuple() for e in run.replay(0, merged=True)]
+        single = [e.call_tuple() for e in run.replay(0, merged=False)]
+        assert merged == single

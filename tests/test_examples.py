@@ -1,0 +1,44 @@
+"""Smoke-run the example scripts (they are part of the public surface)."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str, *args: str) -> str:
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    return result.stdout
+
+
+class TestExamples:
+    def test_quickstart(self):
+        out = run_example("quickstart.py")
+        assert "CST extracted" in out
+        assert "exact original order" in out
+
+    def test_compare_compressors_small(self):
+        out = run_example("compare_compressors.py", "ft", "8")
+        assert "cypress" in out and "scalatrace" in out
+
+    def test_pattern_analysis_small(self):
+        out = run_example("pattern_analysis.py", "bt", "9")
+        assert "communicates with" in out
+
+    def test_python_frontend(self):
+        out = run_example("python_frontend.py")
+        assert "replay check" in out
+
+    @pytest.mark.slow
+    def test_performance_prediction(self):
+        out = run_example("performance_prediction.py")
+        assert "average prediction error" in out

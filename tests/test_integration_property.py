@@ -1,0 +1,112 @@
+"""Whole-pipeline property tests on richer random programs (functions,
+guarded recursion, sub-communicators) — the flagship invariant plus
+baseline losslessness, end to end."""
+
+import sys
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+sys.path.insert(0, "tests")
+from generators import program  # noqa: E402
+from helpers import assert_replay_exact, run_traced, truth_signatures  # noqa: E402
+
+SETTINGS = dict(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+
+
+class TestCypressProperty:
+    @settings(**SETTINGS)
+    @given(program(allow_functions=True), st.sampled_from([2, 4]))
+    def test_programs_with_functions_replay_exactly(self, source, nprocs):
+        _, rec, cyp, _ = run_traced(source, nprocs)
+        assert_replay_exact(rec, cyp, nprocs)
+
+    @settings(**SETTINGS)
+    @given(program(allow_functions=True, allow_subcomms=True))
+    def test_programs_with_subcomms_replay_exactly(self, source):
+        nprocs = 4
+        _, rec, cyp, _ = run_traced(source, nprocs)
+        assert_replay_exact(rec, cyp, nprocs, merged=True)
+
+    @settings(**SETTINGS)
+    @given(program(allow_functions=True))
+    def test_trace_file_roundtrip(self, source):
+        from repro.core import serialize
+        from repro.core.decompress import decompress_merged_rank
+        from repro.core.inter import merge_all
+
+        nprocs = 2
+        _, rec, cyp, _ = run_traced(source, nprocs)
+        merged = merge_all([cyp.ctt(r) for r in range(nprocs)])
+        back = serialize.loads(serialize.dumps(merged))
+        for rank in range(nprocs):
+            truth = [e.replay_tuple() for e in rec.events.get(rank, [])]
+            got = [e.call_tuple() for e in decompress_merged_rank(back, rank)]
+            assert got == truth
+
+
+class TestBaselineLosslessnessProperty:
+    @settings(**SETTINGS)
+    @given(program(allow_functions=True))
+    def test_scalatrace_lossless_on_random_programs(self, source):
+        from repro.baselines.rsd import expand
+        from repro.baselines.scalatrace import (
+            ScalaTraceCompressor,
+            expand_rank,
+            merge_all_queues,
+        )
+        from repro.driver import run_compiled
+        from repro.mpisim.pmpi import MultiSink, RecordingSink
+        from repro.static.instrument import compile_minimpi
+
+        nprocs = 4
+        compiled = compile_minimpi(source, cypress=False)
+        rec = RecordingSink()
+        stc = ScalaTraceCompressor()
+        run_compiled(compiled, nprocs, tracer=MultiSink([rec, stc]),
+                     max_steps=2_000_000)
+        for rank in range(nprocs):
+            assert expand(stc.queue(rank)) == truth_signatures(rec, rank)
+        merged = merge_all_queues({r: stc.queue(r) for r in range(nprocs)})
+        for rank in range(nprocs):
+            assert expand_rank(merged, rank) == truth_signatures(rec, rank)
+
+    @settings(**SETTINGS)
+    @given(program(allow_functions=False))
+    def test_scalatrace2_intra_lossless_on_random_programs(self, source):
+        from repro.baselines.scalatrace2 import (
+            ScalaTrace2Compressor,
+            expand_intra,
+        )
+        from repro.driver import run_compiled
+        from repro.mpisim.pmpi import MultiSink, RecordingSink
+        from repro.static.instrument import compile_minimpi
+
+        nprocs = 2
+        compiled = compile_minimpi(source, cypress=False)
+        rec = RecordingSink()
+        st2 = ScalaTrace2Compressor()
+        run_compiled(compiled, nprocs, tracer=MultiSink([rec, st2]),
+                     max_steps=2_000_000)
+        for rank in range(nprocs):
+            assert expand_intra(st2.queue(rank)) == truth_signatures(rec, rank)
+
+
+class TestSimMpiProperty:
+    @settings(max_examples=10, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(program(allow_functions=True))
+    def test_simmpi_replays_random_traces_without_deadlock(self, source):
+        from repro.core.decompress import decompress_all
+        from repro.core.inter import merge_all
+        from repro.replay import predict
+
+        nprocs = 4
+        _, rec, cyp, result = run_traced(source, nprocs)
+        merged = merge_all([cyp.ctt(r) for r in range(nprocs)])
+        sim = predict(decompress_all(merged))
+        assert sim.elapsed >= 0
