@@ -1,0 +1,223 @@
+"""Merge-scaling sweep: serial vs parallel inter-process merge, P up to 1024.
+
+The inter-process merge is the one CYPRESS stage whose input grows with
+the job size (P per-rank CTTs), so its asymptotics decide whether the
+top-down design survives at scale.  This bench builds synthetic rank
+populations by cloning the CTTs of a real traced run of a FIG5-style
+even/odd halo kernel — relative peer encoding means clones of the same
+template carry identical payloads and group together, exactly the
+regular-application regime of the paper — then times
+
+* ``fold``  — left fold, the O(P) chain of pairwise absorbs;
+* ``tree``  — serial binary reduction tree (O(log P) depth);
+* ``parallel`` — the multiprocessing tree schedule (``workers="auto"``).
+
+All three must produce byte-identical serialized traces (deferred
+canonical-order stats materialization makes the merge association-free).
+Results go to ``results/merge_scaling.json`` including a log-log scaling
+exponent for the serial tree; the acceptance bar is sub-quadratic
+(exponent < 2) at P = 1024.
+
+Run directly (``python -m benchmarks.bench_merge_scaling``) for the full
+sweep, or with ``--smoke`` (CI) for the two smallest points.  Under
+pytest the quick grid is used unless ``REPRO_FULL=1``.
+"""
+
+from __future__ import annotations
+
+import copy
+import json
+import math
+import sys
+import time
+
+from repro.core import serialize
+from repro.core.inter import merge_all
+from repro.core.intra import IntraProcessCompressor
+from repro.driver import run_compiled
+from repro.static.instrument import compile_minimpi
+
+from .common import FULL, RESULTS_DIR
+
+SMOKE_GRID = (16, 64)
+FULL_GRID = (16, 32, 64, 128, 256, 512, 1024)
+
+TEMPLATE_RANKS = 8
+
+# Even/odd halo exchange (the paper's Fig. 5 shape): every rank swaps a
+# face with both neighbours each step, evens send first.  Peers are
+# rank-relative, so interior ranks compress to identical CTT payloads.
+_SOURCE = """
+func main() {
+  mpi_init();
+  var rank = mpi_comm_rank();
+  var size = mpi_comm_size();
+  for (var step = 0; step < steps; step = step + 1) {
+    if (rank % 2 == 0) {
+      if (rank + 1 < size) {
+        mpi_send(rank + 1, nbytes, 10);
+        mpi_recv(rank + 1, nbytes, 11);
+      }
+      if (rank - 1 >= 0) {
+        mpi_send(rank - 1, nbytes, 12);
+        mpi_recv(rank - 1, nbytes, 13);
+      }
+    } else {
+      mpi_recv(rank - 1, nbytes, 10);
+      mpi_send(rank - 1, nbytes, 11);
+      if (rank + 1 < size) {
+        mpi_recv(rank + 1, nbytes, 12);
+        mpi_send(rank + 1, nbytes, 13);
+      }
+    }
+    compute(50);
+  }
+  mpi_finalize();
+}
+"""
+
+
+def _template_ctts():
+    """Trace the halo kernel once on TEMPLATE_RANKS real ranks."""
+    compiled = compile_minimpi(_SOURCE, source_name="<merge-scaling>")
+    comp = IntraProcessCompressor(compiled.cst)
+    run_compiled(
+        compiled, TEMPLATE_RANKS, defines={"steps": 12, "nbytes": 4096},
+        tracer=comp,
+    )
+    return [comp.ctt(r) for r in range(TEMPLATE_RANKS)]
+
+
+def synthesize_ranks(templates, nranks: int):
+    """Clone templates out to ``nranks`` synthetic CTTs.
+
+    Interior templates carry purely rank-relative payloads, so clones at
+    the same position mod TEMPLATE_RANKS merge into stride-compressed
+    rank groups — the regular-pattern regime the merge is built for.
+    """
+    ctts = []
+    for r in range(nranks):
+        # Keep boundary templates (absolute-edge behaviour) only at the
+        # real boundaries; fill the interior with interior templates.
+        if r == 0:
+            t = templates[0]
+        elif r == nranks - 1:
+            t = templates[TEMPLATE_RANKS - 1]
+        else:
+            t = templates[2 + (r - 2) % (TEMPLATE_RANKS - 4)] if nranks > 4 \
+                else templates[r % TEMPLATE_RANKS]
+        clone = copy.deepcopy(t)
+        clone.rank = r
+        ctts.append(clone)
+    return ctts
+
+
+def _timed(fn):
+    t0 = time.perf_counter()
+    out = fn()
+    return out, time.perf_counter() - t0
+
+
+def run_point(templates, nranks: int, workers="auto") -> dict:
+    ctts = synthesize_ranks(templates, nranks)
+    merged_fold, fold_s = _timed(lambda: merge_all(ctts, schedule="fold"))
+    merged_tree, tree_s = _timed(lambda: merge_all(ctts, schedule="tree"))
+    merged_par, par_s = _timed(
+        lambda: merge_all(
+            ctts, schedule="tree", workers=workers, parallel_threshold=16
+        )
+    )
+    blob_fold = serialize.dumps(merged_fold)
+    blob_tree = serialize.dumps(merged_tree)
+    blob_par = serialize.dumps(merged_par)
+    assert blob_tree == blob_fold, f"tree != fold bytes at P={nranks}"
+    assert blob_par == blob_tree, f"parallel != serial bytes at P={nranks}"
+    groups = sum(len(v.groups) for v in merged_tree.vertices())
+    return {
+        "nranks": nranks,
+        "fold_s": round(fold_s, 6),
+        "tree_s": round(tree_s, 6),
+        "parallel_s": round(par_s, 6),
+        "trace_bytes": len(blob_tree),
+        "groups": groups,
+    }
+
+
+def scaling_exponent(points: list[dict], key: str = "tree_s") -> float:
+    """Least-squares slope of log(time) vs log(P)."""
+    xs = [math.log(p["nranks"]) for p in points]
+    ys = [math.log(max(p[key], 1e-9)) for p in points]
+    n = len(xs)
+    mx = sum(xs) / n
+    my = sum(ys) / n
+    denom = sum((x - mx) ** 2 for x in xs)
+    if denom == 0:
+        return 0.0
+    return sum((x - mx) * (y - my) for x, y in zip(xs, ys)) / denom
+
+
+def run_sweep(grid, workers="auto") -> dict:
+    templates = _template_ctts()
+    points = [run_point(templates, p, workers=workers) for p in grid]
+    result = {
+        "bench": "merge_scaling",
+        "grid": list(grid),
+        "workers": workers,
+        "points": points,
+        "tree_scaling_exponent": round(scaling_exponent(points), 3),
+        "fold_scaling_exponent": round(
+            scaling_exponent(points, "fold_s"), 3
+        ),
+    }
+    return result
+
+
+def emit_json(result: dict) -> None:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / "merge_scaling.json"
+    path.write_text(json.dumps(result, indent=2) + "\n")
+    print(f"wrote {path}")
+
+
+# ---------------------------------------------------------------------------
+# pytest entry points
+
+
+def test_merge_scaling_sweep():
+    grid = FULL_GRID if FULL else SMOKE_GRID
+    result = run_sweep(grid)
+    for p in result["points"]:
+        print(
+            f"  P={p['nranks']:5d}  fold {p['fold_s']:.4f}s  "
+            f"tree {p['tree_s']:.4f}s  parallel {p['parallel_s']:.4f}s  "
+            f"{p['trace_bytes']} bytes"
+        )
+    if FULL:
+        emit_json(result)
+    # Sub-quadratic: a P^2 merge would show exponent ~2 on this sweep.
+    assert result["tree_scaling_exponent"] < 1.8, result
+
+
+def main(argv: list[str] | None = None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    smoke = "--smoke" in argv
+    grid = SMOKE_GRID if smoke else FULL_GRID
+    result = run_sweep(grid)
+    print(f"merge scaling sweep (workers={result['workers']}):")
+    print(f"  {'P':>6s} {'fold (s)':>10s} {'tree (s)':>10s} "
+          f"{'parallel (s)':>13s} {'bytes':>10s} {'groups':>7s}")
+    for p in result["points"]:
+        print(
+            f"  {p['nranks']:6d} {p['fold_s']:10.4f} {p['tree_s']:10.4f} "
+            f"{p['parallel_s']:13.4f} {p['trace_bytes']:10d} "
+            f"{p['groups']:7d}"
+        )
+    print(f"  tree scaling exponent: {result['tree_scaling_exponent']}"
+          f" (fold: {result['fold_scaling_exponent']})")
+    if not smoke:
+        emit_json(result)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

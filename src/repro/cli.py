@@ -31,6 +31,21 @@ def _add_workload_args(p: argparse.ArgumentParser) -> None:
                    help="iteration-count scale factor (1.0 = repo default)")
 
 
+def _add_merge_args(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--merge-schedule", choices=("tree", "fold"), default="tree",
+                   help="inter-process merge schedule (default: tree)")
+    p.add_argument("--merge-workers", default=None,
+                   help="worker processes for the tree merge: an integer "
+                        "or 'auto' (default: serial)")
+
+
+def _merge_workers(args: argparse.Namespace) -> int | str | None:
+    w = getattr(args, "merge_workers", None)
+    if w is None or w == "auto":
+        return w
+    return int(w)
+
+
 def cmd_trace(args: argparse.Namespace) -> int:
     from repro.core import run_cypress
 
@@ -39,6 +54,7 @@ def cmd_trace(args: argparse.Namespace) -> int:
     run = run_cypress(
         w.source, args.nprocs, defines=w.defines(args.nprocs, args.scale)
     )
+    run.merge(schedule=args.merge_schedule, workers=_merge_workers(args))
     nbytes = run.save(args.output, gzip=args.gzip)
     print(f"{args.workload} on {args.nprocs} ranks:")
     print(f"  events traced    : {run.run_result.total_events}")
@@ -188,7 +204,11 @@ def cmd_verify(args: argparse.Namespace) -> int:
         compiled, args.nprocs, defines=w.defines(args.nprocs, args.scale),
         tracer=MultiSink([recorder, compressor]),
     )
-    merged = merge_all([compressor.ctt(r) for r in range(args.nprocs)])
+    merged = merge_all(
+        [compressor.ctt(r) for r in range(args.nprocs)],
+        schedule=args.merge_schedule,
+        workers=_merge_workers(args),
+    )
     bad = 0
     total = 0
     for rank in range(args.nprocs):
@@ -223,6 +243,7 @@ def main(argv: list[str] | None = None) -> int:
 
     p = sub.add_parser("trace", help="trace a workload with CYPRESS")
     _add_workload_args(p)
+    _add_merge_args(p)
     p.add_argument("-o", "--output", default="trace.cyp")
     p.add_argument("--gzip", action="store_true")
     p.set_defaults(func=cmd_trace)
@@ -260,6 +281,7 @@ def main(argv: list[str] | None = None) -> int:
 
     p = sub.add_parser("verify", help="end-to-end sequence-preservation check")
     _add_workload_args(p)
+    _add_merge_args(p)
     p.set_defaults(func=cmd_verify)
 
     p = sub.add_parser("diff", help="compare two trace files")

@@ -35,10 +35,14 @@ class CypressRun:
     intra_seconds: float | None = None  # compression CPU time (if measured)
     _merged: MergedCTT | None = field(default=None, repr=False)
 
-    def merge(self, schedule: str = "tree") -> MergedCTT:
+    def merge(
+        self, schedule: str = "tree", workers: int | str | None = None
+    ) -> MergedCTT:
+        """Inter-process merge (cached).  ``workers`` > 1 (or ``"auto"``)
+        runs the reduction tree on a process pool for large rank counts."""
         if self._merged is None:
             ctts = [self.compressor.ctt(r) for r in range(self.nprocs)]
-            self._merged = merge_all(ctts, schedule=schedule)
+            self._merged = merge_all(ctts, schedule=schedule, workers=workers)
         return self._merged
 
     def trace_bytes(self, gzip: bool = False) -> int:

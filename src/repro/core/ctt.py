@@ -155,11 +155,20 @@ class CTT:
         self.rank = rank
         self.root = CTTVertex(cst)
         self._by_gid: dict[int, CTTVertex] | None = None
+        self._vertices: list[CTTVertex] | None = None
 
     def vertex(self, gid: int) -> CTTVertex:
         if self._by_gid is None:
             self._by_gid = {v.gid: v for v in self.root.preorder()}
         return self._by_gid[gid]
+
+    def vertices(self) -> list[CTTVertex]:
+        """Pre-order vertex list, cached (topology is fixed after
+        construction; only payloads mutate).  The inter-process merge
+        walks this once per rank — caching avoids P re-traversals."""
+        if self._vertices is None:
+            self._vertices = list(self.root.preorder())
+        return self._vertices
 
     def preorder(self):
         return self.root.preorder()

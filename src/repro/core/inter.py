@@ -8,20 +8,34 @@ into one *group* holding the payload once plus the set of ranks; timing
 statistics merge across the group (paper Fig. 13: ``<p0, p1: k>`` when
 both ranks agree, ``<p0: ..., p1: null>`` when they differ).
 
-Rank sets are kept as sorted lists during merging (cheap union of disjoint
-sets) and stride-compressed on serialization — even/odd rank groups like
-the paper's Fig. 13 example become single ``<0, P-2, 2>`` tuples.
+Scale machinery (the O(n log P) critical path the paper claims):
+
+* payload signatures are *interned* per merge session — group lookup
+  compares pointers with a cached hash, never re-hashing nested tuples;
+* rank sets are sorted disjoint lists unified by a linear merge (with a
+  concat fast path for the contiguous chunks a reduction tree produces)
+  and stride-compressed lazily, cached until the group next changes;
+* per-rank timing contributions are *deferred*: groups collect references
+  into the source CTTs and materialize merged statistics once, in
+  ascending rank order — so every schedule (fold, tree, parallel tree)
+  produces bit-identical merged statistics, and absorb itself does no
+  floating-point work;
+* ``rank → group`` lookups use a lazily built per-vertex map (O(1) per
+  query during replay instead of a scan over all groups).
 
 ``merge_all`` supports two schedules:
 
 * ``tree`` (default) — binary reduction, O(n log P) critical-path work,
-  the parallel algorithm the paper describes;
+  the parallel algorithm the paper describes.  With ``workers > 1`` and
+  at least ``parallel_threshold`` ranks the reduction actually runs on a
+  ``multiprocessing`` pool: contiguous power-of-two chunks of pickled
+  CTTs reduce concurrently and the parent folds the resulting shards.
 * ``fold`` — sequential left fold, O(n·P) critical path (ablation).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import os
 
 from repro.static.cst import BRANCH, CALL, LOOP
 
@@ -35,49 +49,214 @@ class MergeError(Exception):
     from the same CST — indicates a bug or mixed programs)."""
 
 
-def _loop_signature(counts: IntSequence):
+# ---------------------------------------------------------------------------
+# Interned payload signatures.
+
+
+class Signature:
+    """An interned payload signature: hashes once, compares by pointer
+    within a merge session (falling back to tuple equality across
+    sessions, e.g. when comparing trees merged independently)."""
+
+    __slots__ = ("key", "_hash")
+
+    def __init__(self, key: tuple) -> None:
+        self.key = key
+        self._hash = hash(key)
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __eq__(self, other: object) -> bool:
+        if self is other:
+            return True
+        if isinstance(other, Signature):
+            return self.key == other.key
+        return NotImplemented
+
+    def __reduce__(self):
+        # Re-hash on unpickle: tuple hashes of strings are salted per
+        # process, so a worker's cached hash is stale in the parent.
+        return (Signature, (self.key,))
+
+    def __repr__(self) -> str:
+        return f"Signature({self.key!r})"
+
+
+class InternTable:
+    """Signature intern pool for one merge session."""
+
+    __slots__ = ("_table",)
+
+    def __init__(self) -> None:
+        self._table: dict[tuple, Signature] = {}
+
+    def intern(self, key: tuple) -> Signature:
+        sig = self._table.get(key)
+        if sig is None:
+            sig = Signature(key)
+            self._table[key] = sig
+        return sig
+
+    def canon(self, sig: Signature) -> Signature:
+        """Canonical representative for a foreign Signature (absorbing a
+        shard merged in another process/session)."""
+        return self._table.setdefault(sig.key, sig)
+
+
+def _loop_signature(counts: IntSequence) -> tuple:
     return ("L", counts.length, tuple(counts.terms))
 
 
-def _visits_signature(visits: IntSequence):
+def _visits_signature(visits: IntSequence) -> tuple:
     return ("B", visits.length, tuple(visits.terms))
 
 
-def _records_signature(records: list[CompressedRecord]):
+def _records_signature(records: list[CompressedRecord]) -> tuple:
     return ("R", tuple((r.key, r.occurrences.length, tuple(r.occurrences.terms)) for r in records))
 
 
-@dataclass
+# ---------------------------------------------------------------------------
+# Groups.
+
+
 class Group:
-    """One payload shared by a set of ranks at one merged vertex."""
+    """One payload shared by a set of ranks at one merged vertex.
 
-    signature: tuple
-    ranks: list[int]  # sorted
-    rank_set: set[int]
-    # exactly one of these is used, per vertex kind:
-    counts: IntSequence | None = None
-    visits: IntSequence | None = None
-    records: list[CompressedRecord] | None = None
-    # Records start as references into the source CTT; they are copied
-    # lazily on the first stats merge so per-rank CTTs stay immutable.
-    owns_records: bool = False
+    ``ranks`` is a sorted list; member sets of distinct groups at one
+    vertex are disjoint.  For leaf (CALL) groups the per-rank timing
+    contributions are kept as ``(rank, records)`` references into the
+    source CTTs, aligned with ``ranks``; merged records materialize
+    lazily, folding statistics in ascending rank order, so the result is
+    independent of the merge schedule.
+    """
 
-    def absorb_ranks(self, other: "Group") -> None:
-        self.ranks = sorted(self.ranks + other.ranks)
-        self.rank_set |= other.rank_set
-        if self.records is not None and other.records is not None:
-            if not self.owns_records:
-                self.records = [r.copy() for r in self.records]
-                self.owns_records = True
-            for mine, theirs in zip(self.records, other.records):
+    __slots__ = (
+        "signature", "ranks", "counts", "visits",
+        "_records", "_sources", "_owns_records", "_rank_seq", "_bytes",
+    )
+
+    def __init__(
+        self,
+        signature,
+        ranks: list[int],
+        counts: IntSequence | None = None,
+        visits: IntSequence | None = None,
+        records: list[CompressedRecord] | None = None,
+        sources: list[tuple[int, list[CompressedRecord]]] | None = None,
+    ) -> None:
+        self.signature = signature
+        self.ranks = ranks
+        self.counts = counts
+        self.visits = visits
+        self._records = records
+        self._sources = sources
+        self._owns_records = False
+        self._rank_seq: IntSequence | None = None
+        self._bytes: int | None = None
+
+    # -- merged records (deferred, canonical rank order) -----------------
+
+    @property
+    def records(self) -> list[CompressedRecord] | None:
+        rec = self._records
+        if rec is None and self._sources is not None:
+            rec = self._records = self._materialize()
+        return rec
+
+    def _materialize(self) -> list[CompressedRecord]:
+        sources = self._sources
+        if len(sources) == 1:
+            # Borrow the single rank's record list — per-rank CTTs stay
+            # immutable; a copy happens only if another rank ever joins.
+            return sources[0][1]
+        merged = [r.copy() for r in sources[0][1]]
+        self._owns_records = True
+        for _, recs in sources[1:]:
+            for mine, theirs in zip(merged, recs):
                 mine.duration.merge(theirs.duration)
                 mine.pre_gap.merge(theirs.pre_gap)
+        return merged
+
+    def finalize(self) -> None:
+        """Materialize merged records and drop per-rank source refs."""
+        if self._sources is not None:
+            if self._records is None:
+                self._records = self._materialize()
+            self._sources = None
+
+    # -- absorption ------------------------------------------------------
+
+    def absorb_ranks(self, other: "Group") -> None:
+        """Take over ``other``'s (disjoint) member ranks — a linear merge
+        of sorted lists, with concat fast paths for the contiguous rank
+        chunks a reduction tree produces."""
+        a, b = self.ranks, other.ranks
+        sa, sb = self._sources, other._sources
+        deferred = sa is not None and sb is not None
+        if a[-1] < b[0]:
+            a.extend(b)
+            if deferred:
+                sa.extend(sb)
+        elif b[-1] < a[0]:
+            self.ranks = b + a
+            if deferred:
+                self._sources = sb + sa
+        else:
+            self.ranks = sorted(a + b)  # disjoint, rarely interleaved
+            if deferred:
+                merged_sources = sa + sb
+                merged_sources.sort(key=lambda s: s[0])
+                self._sources = merged_sources
+        if deferred:
+            self._records = None
+            self._owns_records = False
+        else:
+            self._absorb_records_eager(other)
+        self._rank_seq = None
+        self._bytes = None
+
+    def _absorb_records_eager(self, other: "Group") -> None:
+        """Fallback stats merge for groups without per-rank sources
+        (deserialized traces): copy-on-write, merge in absorb order."""
+        mine, theirs = self.records, other.records
+        if mine is None or theirs is None:
+            return
+        if not self._owns_records:
+            mine = self._records = [r.copy() for r in mine]
+            self._owns_records = True
+        for m, t in zip(mine, theirs):
+            m.duration.merge(t.duration)
+            m.pre_gap.merge(t.pre_gap)
+
+    # -- cached size accounting ------------------------------------------
+
+    def rank_sequence(self) -> IntSequence:
+        """Stride-compressed rank set (cached until the group changes)."""
+        seq = self._rank_seq
+        if seq is None:
+            seq = self._rank_seq = IntSequence.from_values(self.ranks)
+        return seq
+
+    def approx_bytes(self) -> int:
+        total = self._bytes
+        if total is None:
+            total = self.rank_sequence().approx_bytes()
+            if self.counts is not None:
+                total += self.counts.approx_bytes()
+            if self.visits is not None:
+                total += self.visits.approx_bytes()
+            records = self.records
+            if records is not None:
+                total += 2 + sum(r.approx_bytes() for r in records)
+            self._bytes = total
+        return total
 
 
 class MergedVertex:
     __slots__ = (
         "gid", "kind", "ast_id", "name", "op", "branch_path",
-        "children", "groups",
+        "children", "groups", "_by_rank",
     )
 
     def __init__(self, template: CTTVertex) -> None:
@@ -88,7 +267,8 @@ class MergedVertex:
         self.op = template.op
         self.branch_path = template.branch_path
         self.children = [MergedVertex(c) for c in template.children]
-        self.groups: dict[tuple, Group] = {}
+        self.groups: dict[Signature, Group] = {}
+        self._by_rank: dict[int, Group] | None = None
 
     def preorder(self):
         stack = [self]
@@ -98,10 +278,15 @@ class MergedVertex:
             stack.extend(reversed(node.children))
 
     def group_of(self, rank: int) -> Group | None:
-        for group in self.groups.values():
-            if rank in group.rank_set:
-                return group
-        return None
+        """O(1) rank → group lookup (lazily built map, rebuilt after the
+        vertex next changes)."""
+        by_rank = self._by_rank
+        if by_rank is None:
+            by_rank = self._by_rank = {}
+            for group in self.groups.values():
+                for r in group.ranks:
+                    by_rank[r] = group
+        return by_rank.get(rank)
 
     def add_group(self, group: Group) -> None:
         existing = self.groups.get(group.signature)
@@ -109,26 +294,30 @@ class MergedVertex:
             self.groups[group.signature] = group
         else:
             existing.absorb_ranks(group)
+        self._by_rank = None
+
+    def sorted_groups(self) -> list[Group]:
+        """Groups in canonical order (by lowest member rank) — member
+        sets are disjoint, so this is a schedule-independent total
+        order."""
+        return sorted(self.groups.values(), key=lambda g: g.ranks[0])
 
     def approx_bytes(self) -> int:
-        total = 6
-        for group in self.groups.values():
-            total += IntSequence.from_values(group.ranks).approx_bytes()
-            if group.counts is not None:
-                total += group.counts.approx_bytes()
-            if group.visits is not None:
-                total += group.visits.approx_bytes()
-            if group.records is not None:
-                total += 2 + sum(r.approx_bytes() for r in group.records)
-        return total
+        return 6 + sum(g.approx_bytes() for g in self.groups.values())
 
 
 class MergedCTT:
     """The job-wide compressed trace."""
 
-    def __init__(self, root: MergedVertex, nranks_merged: int) -> None:
+    def __init__(
+        self,
+        root: MergedVertex,
+        nranks_merged: int,
+        interns: InternTable | None = None,
+    ) -> None:
         self.root = root
         self.nranks_merged = nranks_merged
+        self.interns = interns if interns is not None else InternTable()
         self._vertices: list[MergedVertex] | None = None
 
     def vertices(self) -> list[MergedVertex]:
@@ -139,33 +328,36 @@ class MergedCTT:
     # -- construction -----------------------------------------------------
 
     @classmethod
-    def from_rank(cls, ctt: CTT) -> "MergedCTT":
+    def from_rank(cls, ctt: CTT, interns: InternTable | None = None) -> "MergedCTT":
+        interns = interns if interns is not None else InternTable()
+        intern = interns.intern
         root = MergedVertex(ctt.root)
         rank = ctt.rank
-        for src, dst in zip(ctt.preorder(), root.preorder()):
+        merged = cls(root, 1, interns)
+        for src, dst in zip(ctt.vertices(), merged.vertices()):
             group = None
             if src.kind == LOOP:
                 if len(src.loop_counts):
                     group = Group(
-                        signature=_loop_signature(src.loop_counts),
-                        ranks=[rank], rank_set={rank}, counts=src.loop_counts,
+                        signature=intern(_loop_signature(src.loop_counts)),
+                        ranks=[rank], counts=src.loop_counts,
                     )
             elif src.kind == BRANCH:
                 if len(src.visits):
                     group = Group(
-                        signature=_visits_signature(src.visits),
-                        ranks=[rank], rank_set={rank}, visits=src.visits,
+                        signature=intern(_visits_signature(src.visits)),
+                        ranks=[rank], visits=src.visits,
                     )
             elif src.kind == CALL:
                 if src.records:
                     group = Group(
-                        signature=_records_signature(src.records),
-                        ranks=[rank], rank_set={rank},
-                        records=src.records,  # copied lazily on first merge
+                        signature=intern(_records_signature(src.records)),
+                        ranks=[rank],
+                        sources=[(rank, src.records)],  # stats merge deferred
                     )
             if group is not None:
                 dst.add_group(group)
-        return cls(root, 1)
+        return merged
 
     # -- merging ------------------------------------------------------------
 
@@ -178,6 +370,8 @@ class MergedCTT:
                 f"structural mismatch: {len(mine_vertices)} vs "
                 f"{len(their_vertices)} vertices (different programs?)"
             )
+        canon = self.interns.canon
+        foreign = other.interns is not self.interns
         for mine, theirs in zip(mine_vertices, their_vertices):
             if mine.gid != theirs.gid or mine.kind != theirs.kind:
                 raise MergeError(
@@ -185,44 +379,129 @@ class MergedCTT:
                 )
             if theirs.groups:
                 for group in theirs.groups.values():
+                    if foreign:
+                        group.signature = canon(group.signature)
                     mine.add_group(group)
         self.nranks_merged += other.nranks_merged
+        return self
+
+    def finalize(self) -> "MergedCTT":
+        """Materialize every group's merged records in canonical rank
+        order.  Idempotent; called by :func:`merge_all` so the result is
+        bit-identical across schedules."""
+        for vertex in self.vertices():
+            for group in vertex.groups.values():
+                group.finalize()
         return self
 
     # -- inspection -----------------------------------------------------------
 
     def vertex_count(self) -> int:
-        return sum(1 for _ in self.root.preorder())
+        return len(self.vertices())
 
     def group_count(self) -> int:
-        return sum(len(v.groups) for v in self.root.preorder())
+        return sum(len(v.groups) for v in self.vertices())
 
     def approx_bytes(self) -> int:
-        return sum(v.approx_bytes() for v in self.root.preorder())
+        return sum(v.approx_bytes() for v in self.vertices())
 
 
-def merge_all(ctts: list[CTT], schedule: str = "tree") -> MergedCTT:
+# ---------------------------------------------------------------------------
+# Schedules.
+
+
+def _tree_reduce(merged: list[MergedCTT]) -> MergedCTT:
+    """Binary reduction: level-by-level adjacent pairing."""
+    while len(merged) > 1:
+        nxt = []
+        for i in range(0, len(merged) - 1, 2):
+            nxt.append(merged[i].absorb(merged[i + 1]))
+        if len(merged) % 2:
+            nxt.append(merged[-1])
+        merged = nxt
+    return merged[0]
+
+
+def _merge_shard(ctts: list[CTT]) -> MergedCTT:
+    """Worker entry point: tree-reduce one contiguous chunk of rank CTTs.
+
+    Must stay a module-level function (pickled by ``multiprocessing``).
+    The shard is *not* finalized — statistics materialize once, in the
+    parent, in global rank order.
+    """
+    interns = InternTable()
+    return _tree_reduce([MergedCTT.from_rank(c, interns) for c in ctts])
+
+
+def _resolve_workers(workers) -> int:
+    if workers in (None, 0, 1):
+        return 1
+    if workers == "auto":
+        return os.cpu_count() or 1
+    n = int(workers)
+    return n if n > 1 else 1
+
+
+def _next_pow2(n: int) -> int:
+    return 1 << max(0, (n - 1).bit_length())
+
+
+def _parallel_tree_merge(ctts: list[CTT], nworkers: int) -> MergedCTT | None:
+    """Run the reduction tree on a process pool; ``None`` means "fall
+    back to serial" (pool unavailable, or too few chunks to win).
+
+    Chunks are contiguous, power-of-two-sized and aligned, so the work
+    partitions exactly along subtree boundaries of the serial reduction
+    tree — each worker computes a subtree, the parent folds the shard
+    roots level by level.
+    """
+    import multiprocessing
+
+    chunk = _next_pow2(-(-len(ctts) // nworkers))
+    chunks = [ctts[i : i + chunk] for i in range(0, len(ctts), chunk)]
+    if len(chunks) < 2:
+        return None
+    try:
+        methods = multiprocessing.get_all_start_methods()
+        ctx = multiprocessing.get_context("fork" if "fork" in methods else None)
+        with ctx.Pool(processes=min(nworkers, len(chunks))) as pool:
+            shards = pool.map(_merge_shard, chunks)
+    except (OSError, ValueError, ImportError):  # no /dev/shm, sandboxing, …
+        return None
+    return _tree_reduce(shards)
+
+
+def merge_all(
+    ctts: list[CTT],
+    schedule: str = "tree",
+    workers: int | str | None = None,
+    parallel_threshold: int = 64,
+) -> MergedCTT:
     """Merge every rank's CTT into the job-wide compressed trace.
 
     ``schedule='tree'`` is the paper's parallel binary-reduction order
-    (O(n log P) critical path when the log P levels run in parallel);
-    ``schedule='fold'`` is the sequential baseline (ablation).
+    (O(n log P) critical path); pass ``workers=N`` (or ``"auto"``) to run
+    the reduction on a ``multiprocessing`` pool once at least
+    ``parallel_threshold`` ranks are being merged.  ``schedule='fold'``
+    is the sequential baseline (ablation).  Every schedule produces a
+    bit-identical merged trace: group statistics always materialize in
+    ascending rank order.
     """
     if not ctts:
         raise ValueError("no CTTs to merge")
-    merged = [MergedCTT.from_rank(c) for c in ctts]
+    if schedule not in ("tree", "fold"):
+        raise ValueError(f"unknown merge schedule {schedule!r}")
+    if schedule == "tree":
+        nworkers = _resolve_workers(workers)
+        if nworkers > 1 and len(ctts) >= parallel_threshold:
+            merged = _parallel_tree_merge(ctts, nworkers)
+            if merged is not None:
+                return merged.finalize()
+    interns = InternTable()
+    merged = [MergedCTT.from_rank(c, interns) for c in ctts]
     if schedule == "fold":
         acc = merged[0]
         for m in merged[1:]:
             acc.absorb(m)
-        return acc
-    if schedule == "tree":
-        while len(merged) > 1:
-            nxt = []
-            for i in range(0, len(merged) - 1, 2):
-                nxt.append(merged[i].absorb(merged[i + 1]))
-            if len(merged) % 2:
-                nxt.append(merged[-1])
-            merged = nxt
-        return merged[0]
-    raise ValueError(f"unknown merge schedule {schedule!r}")
+        return acc.finalize()
+    return _tree_reduce(merged).finalize()

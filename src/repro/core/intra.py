@@ -255,6 +255,12 @@ class IntraProcessCompressor(TraceSink):
         req_gids: tuple[int, ...] = ()
         if ev.reqs:
             req_gids = tuple(st.req_gid.get(r, -1) for r in ev.reqs)
+            # An event listing request ids consumes them (Wait*/successful
+            # Test) — evict so the table stays bounded by the number of
+            # in-flight requests and a runtime that reuses a request id
+            # never resolves it to the stale creator GID.
+            for r in ev.reqs:
+                st.req_gid.pop(r, None)
 
         gap = max(0.0, ev.time_start - st.last_event_end)
         st.last_event_end = max(st.last_event_end, ev.time_start + ev.duration)
@@ -270,15 +276,27 @@ class IntraProcessCompressor(TraceSink):
         key = self._event_key(ev, rank, req_gids)
         self._add_record(leaf, key, visit, ev.duration, gap)
 
-    def _event_key(self, ev: CommEvent, rank: int, req_gids: tuple[int, ...]):
+    def _event_key(
+        self,
+        ev: CommEvent,
+        rank: int,
+        req_gids: tuple[int, ...],
+        peer: int | None = None,
+        nbytes: int | None = None,
+    ):
+        """The single source of truth for record keys.  ``peer``/``nbytes``
+        override the event's values when a wildcard receive resolves — the
+        resolved path must produce exactly the key shape of the eager path
+        (including ``result_comm``), or completed wildcards would merge
+        under keys that can never match non-deferred records."""
         relative = self.config.relative_ranks
         return make_key(
             op=ev.op,
-            peer_enc=encode_peer(ev.peer, rank, relative),
+            peer_enc=encode_peer(ev.peer if peer is None else peer, rank, relative),
             peer2_enc=encode_peer(ev.peer2, rank, relative),
             tag=ev.tag,
             tag2=ev.tag2,
-            nbytes=ev.nbytes,
+            nbytes=ev.nbytes if nbytes is None else nbytes,
             nbytes2=ev.nbytes2,
             comm=ev.comm,
             root=ev.root,
@@ -328,7 +346,7 @@ class IntraProcessCompressor(TraceSink):
         if entry is None:
             return
         leaf, record, ev = entry
-        record.key = self._event_key_resolved(ev, rank, source, nbytes)
+        record.key = self._event_key(ev, rank, req_gids=(), peer=source, nbytes=nbytes)
         record.pending = False
         pos = None
         for i in range(len(leaf.records) - 1, -1, -1):
@@ -356,22 +374,6 @@ class IntraProcessCompressor(TraceSink):
                 other.merge_from(record)
                 del leaf.records[pos]
                 return
-
-    def _event_key_resolved(self, ev: CommEvent, rank: int, source: int, nbytes: int):
-        relative = self.config.relative_ranks
-        return make_key(
-            op=ev.op,
-            peer_enc=encode_peer(source, rank, relative),
-            peer2_enc=encode_peer(ev.peer2, rank, relative),
-            tag=ev.tag,
-            tag2=ev.tag2,
-            nbytes=nbytes,
-            nbytes2=ev.nbytes2,
-            comm=ev.comm,
-            root=ev.root,
-            wildcard=True,
-            req_gids=(),
-        )
 
     def on_finalize(self, rank: int) -> None:
         st = self.state(rank)

@@ -28,21 +28,43 @@ class IntSequence:
 
     def append(self, value: int) -> None:
         self.length += 1
-        if not self.terms:
-            self.terms.append((value, 1, 0))
+        terms = self.terms
+        if not terms:
+            terms.append((value, 1, 0))
             return
-        start, count, stride = self.terms[-1]
+        start, count, stride = terms[-1]
         if count == 1:
             # A singleton can absorb any second value by fixing its stride.
-            self.terms[-1] = (start, 2, value - start)
+            terms[-1] = (start, 2, value - start)
             return
         if value == start + count * stride:
-            self.terms[-1] = (start, count + 1, stride)
+            terms[-1] = (start, count + 1, stride)
             return
-        # A two-element term whose continuation fails can donate its second
-        # element to pair with the new value when that compresses better
-        # (e.g. 0,0,1,1,2,2 -> pairs).  Keep it simple: just open a new term.
-        self.terms.append((value, 1, 0))
+        if count == 2:
+            # A two-element term whose continuation fails donates its second
+            # element to pair with the new value: the greedy singleton-absorb
+            # above may have captured the head of an arithmetic run under the
+            # wrong stride (`0,5,6,7,8` must become `0 | <5,8,1>`, not
+            # `<0,5,5> | <6,8,1>`).  The leftover first element folds into
+            # the previous term when it continues it, so repair chains stay
+            # term-count-neutral on alternating patterns like 0,0,1,1,2,2.
+            second = start + stride
+            new_stride = value - second
+            if new_stride != stride:
+                if len(terms) >= 2:
+                    p_start, p_count, p_stride = terms[-2]
+                    if p_count == 1:
+                        terms[-2] = (p_start, 2, start - p_start)
+                        terms[-1] = (second, 2, new_stride)
+                        return
+                    if start == p_start + p_count * p_stride:
+                        terms[-2] = (p_start, p_count + 1, p_stride)
+                        terms[-1] = (second, 2, new_stride)
+                        return
+                terms[-1] = (start, 1, 0)
+                terms.append((second, 2, new_stride))
+                return
+        terms.append((value, 1, 0))
 
     def extend(self, values: Iterable[int]) -> None:
         for v in values:

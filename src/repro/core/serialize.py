@@ -24,7 +24,7 @@ import struct
 
 from repro.static.cst import BRANCH, CALL, LOOP, ROOT
 
-from .inter import Group, MergedCTT, MergedVertex
+from .inter import Group, InternTable, MergedCTT, MergedVertex
 from .records import CompressedRecord
 from .sequences import IntSequence
 from .timing import HIST, MEANSTD, TimeStats
@@ -241,11 +241,14 @@ def dumps(merged: MergedCTT, gzip: bool = False) -> bytes:
         elif v.kind == BRANCH:
             w.u(v.branch_path if v.branch_path is not None else 0)
         w.u(len(v.children))
-    # Payload, pre-order.
+    # Payload, pre-order.  Groups are written in canonical order (by
+    # lowest member rank — member sets are disjoint) so the bytes do not
+    # depend on the merge schedule that produced the tree.
     for v in vertices:
-        w.u(len(v.groups))
-        for group in v.groups.values():
-            _write_seq(w, IntSequence.from_values(group.ranks))
+        groups = v.sorted_groups()
+        w.u(len(groups))
+        for group in groups:
+            _write_seq(w, group.rank_sequence())
             if v.kind == LOOP:
                 _write_seq(w, group.counts)
             elif v.kind == BRANCH:
@@ -285,6 +288,7 @@ def _loads(data: bytes) -> MergedCTT:
         raise ValueError(f"unsupported trace version {version}")
     nranks = r.u()
     strings = [r.s() for _ in range(r.u())]
+    interns = InternTable()
 
     def read_vertex() -> MergedVertex:
         v = MergedVertex.__new__(MergedVertex)
@@ -296,6 +300,7 @@ def _loads(data: bytes) -> MergedCTT:
         v.op = None
         v.branch_path = None
         v.groups = {}
+        v._by_rank = None
         if kind == CALL:
             op_idx = r.u()
             name_idx = r.u()
@@ -315,26 +320,30 @@ def _loads(data: bytes) -> MergedCTT:
         ngroups = r.u()
         for _ in range(ngroups):
             ranks = _read_seq(r).to_list()
-            group = Group(
-                signature=(), ranks=ranks, rank_set=set(ranks)
-            )
+            counts = visits = records = None
             if v.kind == LOOP:
-                group.counts = _read_seq(r)
-                group.signature = ("L", group.counts.length, tuple(group.counts.terms))
+                counts = _read_seq(r)
+                key = ("L", counts.length, tuple(counts.terms))
             elif v.kind == BRANCH:
-                group.visits = _read_seq(r)
-                group.signature = ("B", group.visits.length, tuple(group.visits.terms))
+                visits = _read_seq(r)
+                key = ("B", visits.length, tuple(visits.terms))
             elif v.kind == CALL:
-                group.records = [_read_record(r, strings) for _ in range(r.u())]
-                group.signature = (
+                records = [_read_record(r, strings) for _ in range(r.u())]
+                key = (
                     "R",
                     tuple(
                         (rec.key, rec.occurrences.length, tuple(rec.occurrences.terms))
-                        for rec in group.records
+                        for rec in records
                     ),
                 )
+            else:
+                key = ()
+            group = Group(
+                signature=interns.intern(key), ranks=ranks,
+                counts=counts, visits=visits, records=records,
+            )
             v.groups[group.signature] = group
-    return MergedCTT(root, nranks)
+    return MergedCTT(root, nranks, interns)
 
 
 def save(merged: MergedCTT, path: str, gzip: bool = False) -> int:

@@ -29,10 +29,12 @@ class PythonRun:
     run_result: RunResult
     _merged: MergedCTT | None = field(default=None, repr=False)
 
-    def merge(self, schedule: str = "tree") -> MergedCTT:
+    def merge(
+        self, schedule: str = "tree", workers: int | str | None = None
+    ) -> MergedCTT:
         if self._merged is None:
             ctts = [self.compressor.ctt(r) for r in range(self.nprocs)]
-            self._merged = merge_all(ctts, schedule=schedule)
+            self._merged = merge_all(ctts, schedule=schedule, workers=workers)
         return self._merged
 
     def trace_bytes(self, gzip: bool = False) -> int:

@@ -85,6 +85,58 @@ class TestCursor:
             cur.next()
 
 
+def _greedy_reference_terms(values):
+    """The pre-repair appender: singleton-absorb + continuation only.
+    Used as the baseline the donation repair must never lose to."""
+    terms: list[tuple[int, int, int]] = []
+    for v in values:
+        if terms:
+            s, c, d = terms[-1]
+            if c == 1:
+                terms[-1] = (s, 2, v - s)
+                continue
+            if v == s + c * d:
+                terms[-1] = (s, c + 1, d)
+                continue
+        terms.append((v, 1, 0))
+    return terms
+
+
+class TestDonationRepair:
+    def test_alternating_pairs_compress_to_one_term_per_pair(self):
+        # 0,0,1,1,2,2 — each repeated value is a stride-0 pair.  Without
+        # the repair, the greedy singleton-absorb mis-pairs across value
+        # boundaries and the encoding degrades.
+        seq = IntSequence.from_values([0, 0, 1, 1, 2, 2])
+        assert seq.to_list() == [0, 0, 1, 1, 2, 2]
+        assert seq.terms == [(0, 2, 0), (1, 2, 0), (2, 2, 0)]
+
+    def test_pair_pattern_bounded_by_half_length(self):
+        values = [i // 2 for i in range(40)]
+        seq = IntSequence.from_values(values)
+        assert seq.to_list() == values
+        assert seq.term_count() <= len(values) // 2
+
+    def test_mistaken_stride_head_released_to_run(self):
+        # The singleton absorbs 5 under stride 5; when 6 arrives the pair
+        # donates its second element so the 5,6,7,8 run is captured whole.
+        seq = IntSequence.from_values([0, 5, 6, 7, 8])
+        assert seq.to_list() == [0, 5, 6, 7, 8]
+        assert seq.terms == [(0, 1, 0), (5, 4, 1)]
+
+    def test_repair_chain_stays_exact(self):
+        values = [0, 0, 1, 1, 2, 2, 3, 3, 10, 20, 21, 22]
+        seq = IntSequence.from_values(values)
+        assert seq.to_list() == values
+
+    @settings(max_examples=300, deadline=None)
+    @given(st.lists(st.integers(-64, 64)))
+    def test_never_worse_than_greedy_and_exact(self, values):
+        seq = IntSequence.from_values(values)
+        assert seq.to_list() == values
+        assert seq.term_count() <= max(1, len(_greedy_reference_terms(values)))
+
+
 class TestSizeAccounting:
     def test_compressible_cheaper_than_random(self):
         regular = IntSequence.from_values(range(1000))
