@@ -4,15 +4,75 @@ Feeds identical synthetic event/marker streams straight into each
 compressor, measuring pure compression throughput — the cleanest view of
 the paper's O(1)-per-event claim (CYPRESS compares an event only against
 records at its own CTT vertex; ScalaTrace searches its queue tail).
+
+This module doubles as the **intra-process ingestion regression
+harness**: it sweeps four workload shapes
+
+* ``fig11``          — loop over a branch pair + collective (paper Fig. 11)
+* ``collectives``    — flat loop of collectives (pure key-interning)
+* ``nested``         — doubly nested point-to-point loop (marker heavy)
+* ``irecv_waitall``  — nonblocking pairs + waitall (request-GID path)
+
+through four ingestion modes
+
+* ``reference``  — ``CypressConfig(fastpath=False)``: generic child scan,
+  fresh key per event (the pre-optimization code path);
+* ``callbacks``  — fast path, one ``on_*`` call per marker/event;
+* ``stream``     — fast path, batched :meth:`ingest_stream` over a
+  captured opcode stream (what the parallel workers run);
+* ``parallel``   — :func:`compress_streams` sharding rank copies over a
+  process pool (reported, environment permitting).
+
+All modes must produce byte-identical serialized traces; the harness
+asserts this on every run.  ``python -m benchmarks.bench_micro_compressor``
+rewrites ``results/BENCH_intra.json`` including conservative regression
+floors (25% of measured); ``--smoke`` (CI) re-measures the fig11 shape
+and fails if throughput drops below the committed floor or the fast path
+stops beating the reference path.
 """
+
+from __future__ import annotations
+
+import json
+import sys
+import time
 
 from repro.baselines.scalatrace import ScalaTraceCompressor
 from repro.baselines.scalatrace2 import ScalaTrace2Compressor
-from repro.core.intra import IntraProcessCompressor
-from repro.mpisim.events import CommEvent
+from repro.core import serialize
+from repro.core.inter import merge_all
+from repro.core.intra import (
+    CypressConfig,
+    IntraProcessCompressor,
+    compress_streams,
+)
+from repro.mpisim.events import NO_PEER, CommEvent
+from repro.mpisim.pmpi import (
+    OP_BRANCH_ENTER,
+    OP_BRANCH_EXIT,
+    OP_EVENT,
+    OP_LOOP_ITER,
+    OP_LOOP_POP,
+    OP_LOOP_PUSH,
+)
 from repro.static.instrument import compile_minimpi
 
-from .common import emit
+from .common import RESULTS_DIR, emit
+
+BENCH_JSON = RESULTS_DIR / "BENCH_intra.json"
+
+# Per-event-callback throughput of the fig11 shape measured on the commit
+# preceding this optimization pass (best of 5, events/s) — the "3x"
+# acceptance ratio in BENCH_intra.json is relative to this.
+BASELINE_PRE_PR = 247_272
+
+# Whole-machine throughput drifts ±30% between runs, so a ratio of two
+# measurements taken at different times is unreliable.  This is the
+# *paired* speedup: pre-PR tree and this tree run in alternating
+# adjacent subprocesses (best-of-5 in each), ratio per round, median of
+# 5 rounds.  Committed at measurement time; the live single-run ratio is
+# also written to the JSON for comparison.
+PAIRED_SPEEDUP_VS_PRE_PR = 3.16
 
 # A loop over a branch pair — the paper's Fig. 11 shape.
 PROGRAM = """
@@ -24,7 +84,310 @@ func main() {
 }
 """
 
+PROGRAM_COLLECTIVES = """
+func main() {
+  for (var i = 0; i < n; i = i + 1) {
+    mpi_allreduce(8);
+    mpi_barrier();
+    mpi_bcast(0, 1024);
+  }
+}
+"""
+
+PROGRAM_NESTED = """
+func main() {
+  for (var i = 0; i < n; i = i + 1) {
+    for (var j = 0; j < m; j = j + 1) {
+      mpi_send(1, 2048, 5);
+      mpi_recv(1, 2048, 5);
+    }
+  }
+}
+"""
+
+PROGRAM_IRECV = """
+func main() {
+  for (var i = 0; i < n; i = i + 1) {
+    var r[2];
+    r[0] = mpi_irecv(1, 4096, 9);
+    r[1] = mpi_isend(1, 4096, 9);
+    mpi_waitall(r, 2);
+  }
+}
+"""
+
 N_EVENTS = 4000
+
+
+def _structure_ids(program: str = PROGRAM):
+    compiled = compile_minimpi(program)
+    loop_ids = []
+    branch_id = None
+    for node in compiled.cst.preorder():
+        if node.kind == "loop":
+            loop_ids.append(node.ast_id)
+        if node.kind == "branch" and branch_id is None:
+            branch_id = node.ast_id
+    return compiled.cst, loop_ids, branch_id
+
+
+# ---------------------------------------------------------------------------
+# Stream builders: one captured opcode stream per shape (rank 0).
+
+
+def _stream_fig11(iters: int):
+    cst, (loop_id,), branch_id = _structure_ids(PROGRAM)
+    stream = [(OP_LOOP_PUSH, loop_id)]
+    t = 0.0
+    seq = 0
+    for i in range(iters):
+        stream.append((OP_LOOP_ITER, loop_id))
+        path = i % 2
+        stream.append((OP_BRANCH_ENTER, branch_id, path))
+        op = "MPI_Send" if path == 0 else "MPI_Recv"
+        stream.append((OP_EVENT, CommEvent(
+            op=op, rank=0, seq=seq, peer=1, tag=7, nbytes=4096,
+            time_start=t, duration=1.0)))
+        t += 2.0
+        seq += 1
+        stream.append((OP_BRANCH_EXIT, branch_id))
+        stream.append((OP_EVENT, CommEvent(
+            op="MPI_Allreduce", rank=0, seq=seq, nbytes=8,
+            time_start=t, duration=1.5)))
+        t += 2.5
+        seq += 1
+    stream.append((OP_LOOP_POP, loop_id))
+    return cst, stream, 2 * iters
+
+
+def _stream_collectives(iters: int):
+    cst, (loop_id,), _ = _structure_ids(PROGRAM_COLLECTIVES)
+    stream = [(OP_LOOP_PUSH, loop_id)]
+    t = 0.0
+    seq = 0
+    for _i in range(iters):
+        stream.append((OP_LOOP_ITER, loop_id))
+        for op, nbytes, root in (
+            ("MPI_Allreduce", 8, -1),
+            ("MPI_Barrier", 0, -1),
+            ("MPI_Bcast", 1024, 0),
+        ):
+            stream.append((OP_EVENT, CommEvent(
+                op=op, rank=0, seq=seq, peer=NO_PEER, nbytes=nbytes,
+                root=root, time_start=t, duration=1.0)))
+            t += 1.5
+            seq += 1
+    stream.append((OP_LOOP_POP, loop_id))
+    return cst, stream, 3 * iters
+
+
+def _stream_nested(outer: int, inner: int):
+    cst, (outer_id, inner_id), _ = _structure_ids(PROGRAM_NESTED)
+    stream = [(OP_LOOP_PUSH, outer_id)]
+    t = 0.0
+    seq = 0
+    for _i in range(outer):
+        stream.append((OP_LOOP_ITER, outer_id))
+        stream.append((OP_LOOP_PUSH, inner_id))
+        for _j in range(inner):
+            stream.append((OP_LOOP_ITER, inner_id))
+            for op in ("MPI_Send", "MPI_Recv"):
+                stream.append((OP_EVENT, CommEvent(
+                    op=op, rank=0, seq=seq, peer=1, tag=5, nbytes=2048,
+                    time_start=t, duration=1.0)))
+                t += 1.5
+                seq += 1
+        stream.append((OP_LOOP_POP, inner_id))
+    stream.append((OP_LOOP_POP, outer_id))
+    return cst, stream, 2 * outer * inner
+
+
+def _stream_irecv(iters: int):
+    cst, (loop_id,), _ = _structure_ids(PROGRAM_IRECV)
+    stream = [(OP_LOOP_PUSH, loop_id)]
+    t = 0.0
+    seq = 0
+    rid = 0
+    for _i in range(iters):
+        stream.append((OP_LOOP_ITER, loop_id))
+        stream.append((OP_EVENT, CommEvent(
+            op="MPI_Irecv", rank=0, seq=seq, peer=1, tag=9, nbytes=4096,
+            req=rid, time_start=t, duration=0.2)))
+        t += 0.5
+        seq += 1
+        stream.append((OP_EVENT, CommEvent(
+            op="MPI_Isend", rank=0, seq=seq, peer=1, tag=9, nbytes=4096,
+            req=rid + 1, time_start=t, duration=0.2)))
+        t += 0.5
+        seq += 1
+        stream.append((OP_EVENT, CommEvent(
+            op="MPI_Waitall", rank=0, seq=seq, reqs=(rid, rid + 1),
+            time_start=t, duration=1.0)))
+        t += 1.5
+        seq += 1
+        rid += 2
+    stream.append((OP_LOOP_POP, loop_id))
+    return cst, stream, 3 * iters
+
+
+def _shape(name: str, scale: int = 1):
+    if name == "fig11":
+        return _stream_fig11(10_000 * scale)
+    if name == "collectives":
+        return _stream_collectives(6_000 * scale)
+    if name == "nested":
+        return _stream_nested(200 * scale, 50)
+    if name == "irecv_waitall":
+        return _stream_irecv(6_000 * scale)
+    raise ValueError(name)
+
+
+SHAPE_NAMES = ("fig11", "collectives", "nested", "irecv_waitall")
+
+
+# ---------------------------------------------------------------------------
+# Ingestion modes.
+
+
+def _drive_callbacks(comp: IntraProcessCompressor, rank: int, stream) -> None:
+    """Replay a captured stream as individual per-callback calls — the
+    live-tracing (non-batched) ingestion mode."""
+    for item in stream:
+        code = item[0]
+        if code == OP_EVENT:
+            comp.on_event(rank, item[1])
+        elif code == OP_BRANCH_ENTER:
+            comp.on_branch_enter(rank, item[1], item[2])
+        elif code == OP_BRANCH_EXIT:
+            comp.on_branch_exit(rank, item[1])
+        elif code == OP_LOOP_ITER:
+            comp.on_loop_iter(rank, item[1])
+        elif code == OP_LOOP_PUSH:
+            comp.on_loop_push(rank, item[1])
+        elif code == OP_LOOP_POP:
+            comp.on_loop_pop(rank, item[1])
+        else:  # pragma: no cover - shapes use only the opcodes above
+            raise ValueError(f"unexpected opcode {code}")
+
+
+def _merged_blob(comp: IntraProcessCompressor) -> bytes:
+    ranks = comp.ranks()
+    return serialize.dumps(merge_all([comp.ctt(r) for r in ranks]))
+
+
+def measure_shape(name: str, scale: int = 1, rounds: int = 3,
+                  parallel_ranks: int = 8) -> dict:
+    """Measure one shape through every ingestion mode; assert all modes
+    produce byte-identical traces.  Rates are best-of-``rounds``."""
+    cst, stream, nevents = _shape(name, scale)
+
+    def best(run) -> float:
+        b = None
+        for _ in range(rounds):
+            t0 = time.perf_counter()
+            run()
+            dt = time.perf_counter() - t0
+            b = dt if b is None else min(b, dt)
+        return b
+
+    comps: dict[str, IntraProcessCompressor] = {}
+
+    def run_reference():
+        comps["reference"] = c = IntraProcessCompressor(
+            cst, CypressConfig(fastpath=False))
+        _drive_callbacks(c, 0, stream)
+
+    def run_callbacks():
+        comps["callbacks"] = c = IntraProcessCompressor(cst)
+        _drive_callbacks(c, 0, stream)
+
+    def run_stream():
+        comps["stream"] = c = IntraProcessCompressor(cst)
+        c.ingest_stream(0, stream)
+
+    rates = {
+        "reference": nevents / best(run_reference),
+        "callbacks": nevents / best(run_callbacks),
+        "stream": nevents / best(run_stream),
+    }
+
+    # Parallel executor over rank copies (per-rank independence).  The
+    # pool may be unavailable in sandboxes — compress_streams then falls
+    # back to serial, which is still a valid (if unflattering) number.
+    streams = {r: stream for r in range(parallel_ranks)}
+    t0 = time.perf_counter()
+    par = compress_streams(cst, streams, workers=parallel_ranks)
+    rates["parallel"] = parallel_ranks * nevents / (time.perf_counter() - t0)
+    t0 = time.perf_counter()
+    ser = compress_streams(cst, streams, workers=None)
+    rates["parallel_serial_equiv"] = (
+        parallel_ranks * nevents / (time.perf_counter() - t0)
+    )
+
+    # Byte-identity across every mode.
+    blob = _merged_blob(comps["reference"])
+    for mode in ("callbacks", "stream"):
+        assert _merged_blob(comps[mode]) == blob, (
+            f"{name}: {mode} trace differs from reference")
+    assert _merged_blob(ser) == _merged_blob(par), (
+        f"{name}: parallel trace differs from serial")
+    return {"events": nevents, "rates": {k: round(v) for k, v in rates.items()}}
+
+
+def run_harness(scale: int = 1) -> dict:
+    shapes = {name: measure_shape(name, scale) for name in SHAPE_NAMES}
+    fig11 = shapes["fig11"]["rates"]
+    return {
+        "bench": "intra_ingestion",
+        "baseline_pre_pr_events_per_s": BASELINE_PRE_PR,
+        "shapes": shapes,
+        "speedup_stream_vs_pre_pr_live": round(
+            fig11["stream"] / BASELINE_PRE_PR, 2),
+        "speedup_stream_vs_pre_pr_paired": PAIRED_SPEEDUP_VS_PRE_PR,
+        "speedup_stream_vs_reference": round(
+            fig11["stream"] / fig11["reference"], 2),
+        # Conservative regression floors: 25% of measured, absorbing
+        # machine variance while still catching order-of-magnitude
+        # regressions (a lost fast path, an accidental O(n) scan).
+        "floors": {
+            name: {
+                mode: int(shapes[name]["rates"][mode] * 0.25)
+                for mode in ("reference", "callbacks", "stream")
+            }
+            for name in SHAPE_NAMES
+        },
+    }
+
+
+def check_smoke() -> int:
+    """CI gate: re-measure fig11, compare against the committed floors."""
+    committed = json.loads(BENCH_JSON.read_text())
+    floors = committed["floors"]["fig11"]
+    m = measure_shape("fig11", scale=1, rounds=3)
+    rates = m["rates"]
+    print(f"fig11 smoke: reference {rates['reference']:,} ev/s, "
+          f"callbacks {rates['callbacks']:,} ev/s, "
+          f"stream {rates['stream']:,} ev/s "
+          f"(floors: {floors})")
+    failed = 0
+    for mode in ("reference", "callbacks", "stream"):
+        if rates[mode] < floors[mode]:
+            print(f"FAIL: {mode} {rates[mode]:,} ev/s below committed "
+                  f"floor {floors[mode]:,}")
+            failed = 1
+    # Machine-independent check: the fast path must beat the reference
+    # path measured on the same machine in the same process.
+    if rates["stream"] < 1.5 * rates["reference"]:
+        print(f"FAIL: stream ({rates['stream']:,}) < 1.5x reference "
+              f"({rates['reference']:,}) — fast path regressed")
+        failed = 1
+    if not failed:
+        print("OK: ingestion throughput above committed floors")
+    return failed
+
+
+# ---------------------------------------------------------------------------
+# pytest-benchmark entry points (quick comparisons vs the baselines).
 
 
 def _drive_cypress(comp, loop_id, branch_id, iters):
@@ -57,19 +420,8 @@ def _drive_flat(comp, iters):
         seq += 1
 
 
-def _structure_ids():
-    compiled = compile_minimpi(PROGRAM)
-    loop_id = branch_id = None
-    for node in compiled.cst.preorder():
-        if node.kind == "loop":
-            loop_id = node.ast_id
-        if node.kind == "branch" and branch_id is None:
-            branch_id = node.ast_id
-    return compiled.cst, loop_id, branch_id
-
-
 def test_micro_cypress_throughput(benchmark):
-    cst, loop_id, branch_id = _structure_ids()
+    cst, (loop_id,), branch_id = _structure_ids()
 
     def run():
         comp = IntraProcessCompressor(cst)
@@ -103,9 +455,7 @@ def test_micro_scalatrace2_throughput(benchmark):
 
 def test_micro_summary(benchmark):
     """Events/second for each compressor, printed side by side."""
-    import time
-
-    cst, loop_id, branch_id = _structure_ids()
+    cst, (loop_id,), branch_id = _structure_ids()
 
     def measure():
         out = {}
@@ -129,3 +479,35 @@ def test_micro_summary(benchmark):
         + [f"  {k:12s} {v:12.0f}" for k, v in rates.items()],
     )
     assert rates["cypress"] > 0
+
+
+# ---------------------------------------------------------------------------
+# CLI: full harness (rewrites results/BENCH_intra.json) or --smoke gate.
+
+
+def main(argv: list[str] | None = None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    if "--smoke" in argv:
+        return check_smoke()
+    result = run_harness()
+    print("intra-process ingestion throughput (events/s, best of 3):")
+    header = f"  {'shape':16s}" + "".join(
+        f"{m:>12s}" for m in ("reference", "callbacks", "stream", "parallel"))
+    print(header)
+    for name, shape in result["shapes"].items():
+        r = shape["rates"]
+        print(f"  {name:16s}" + "".join(
+            f"{r[m]:12,d}" for m in
+            ("reference", "callbacks", "stream", "parallel")))
+    print(f"  fig11 stream vs pre-PR baseline "
+          f"({BASELINE_PRE_PR:,} ev/s): "
+          f"{result['speedup_stream_vs_pre_pr_live']:.2f}x live, "
+          f"{PAIRED_SPEEDUP_VS_PRE_PR:.2f}x paired (committed)")
+    RESULTS_DIR.mkdir(exist_ok=True)
+    BENCH_JSON.write_text(json.dumps(result, indent=2) + "\n")
+    print(f"wrote {BENCH_JSON}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -39,11 +39,25 @@ def _add_merge_args(p: argparse.ArgumentParser) -> None:
                         "or 'auto' (default: serial)")
 
 
+def _add_compress_args(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--compress-workers", default=None,
+                   help="defer compression and shard ranks over this many "
+                        "worker processes: an integer or 'auto' "
+                        "(default: compress inline while tracing)")
+
+
+def _workers_arg(value) -> int | str | None:
+    if value is None or value == "auto":
+        return value
+    return int(value)
+
+
 def _merge_workers(args: argparse.Namespace) -> int | str | None:
-    w = getattr(args, "merge_workers", None)
-    if w is None or w == "auto":
-        return w
-    return int(w)
+    return _workers_arg(getattr(args, "merge_workers", None))
+
+
+def _compress_workers(args: argparse.Namespace) -> int | str | None:
+    return _workers_arg(getattr(args, "compress_workers", None))
 
 
 def cmd_trace(args: argparse.Namespace) -> int:
@@ -52,7 +66,8 @@ def cmd_trace(args: argparse.Namespace) -> int:
     w = WORKLOADS[args.workload]
     w.check_procs(args.nprocs)
     run = run_cypress(
-        w.source, args.nprocs, defines=w.defines(args.nprocs, args.scale)
+        w.source, args.nprocs, defines=w.defines(args.nprocs, args.scale),
+        compress_workers=_compress_workers(args),
     )
     run.merge(schedule=args.merge_schedule, workers=_merge_workers(args))
     nbytes = run.save(args.output, gzip=args.gzip)
@@ -190,20 +205,31 @@ def cmd_hotspots(args: argparse.Namespace) -> int:
 def cmd_verify(args: argparse.Namespace) -> int:
     from repro.core.decompress import decompress_merged_rank
     from repro.core.inter import merge_all
-    from repro.core.intra import IntraProcessCompressor
+    from repro.core.intra import IntraProcessCompressor, compress_streams
     from repro.driver import run_compiled
-    from repro.mpisim.pmpi import MultiSink, RecordingSink
+    from repro.mpisim.pmpi import MultiSink, RecordingSink, StreamCaptureSink
     from repro.static.instrument import compile_minimpi
 
     w = WORKLOADS[args.workload]
     w.check_procs(args.nprocs)
     compiled = compile_minimpi(w.source)
     recorder = RecordingSink()
-    compressor = IntraProcessCompressor(compiled.cst)
-    run_compiled(
-        compiled, args.nprocs, defines=w.defines(args.nprocs, args.scale),
-        tracer=MultiSink([recorder, compressor]),
-    )
+    workers = _compress_workers(args)
+    if workers is not None:
+        capture = StreamCaptureSink()
+        run_compiled(
+            compiled, args.nprocs, defines=w.defines(args.nprocs, args.scale),
+            tracer=MultiSink([recorder, capture]),
+        )
+        compressor = compress_streams(
+            compiled.cst, capture.streams, workers=workers
+        )
+    else:
+        compressor = IntraProcessCompressor(compiled.cst)
+        run_compiled(
+            compiled, args.nprocs, defines=w.defines(args.nprocs, args.scale),
+            tracer=MultiSink([recorder, compressor]),
+        )
     merged = merge_all(
         [compressor.ctt(r) for r in range(args.nprocs)],
         schedule=args.merge_schedule,
@@ -244,6 +270,7 @@ def main(argv: list[str] | None = None) -> int:
     p = sub.add_parser("trace", help="trace a workload with CYPRESS")
     _add_workload_args(p)
     _add_merge_args(p)
+    _add_compress_args(p)
     p.add_argument("-o", "--output", default="trace.cyp")
     p.add_argument("--gzip", action="store_true")
     p.set_defaults(func=cmd_trace)
@@ -282,6 +309,7 @@ def main(argv: list[str] | None = None) -> int:
     p = sub.add_parser("verify", help="end-to-end sequence-preservation check")
     _add_workload_args(p)
     _add_merge_args(p)
+    _add_compress_args(p)
     p.set_defaults(func=cmd_verify)
 
     p = sub.add_parser("diff", help="compare two trace files")

@@ -12,16 +12,18 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+import time
+
 from repro.driver import run_compiled
 from repro.mpisim.netmodel import NetworkModel
-from repro.mpisim.pmpi import MultiSink, TimingSink, TraceSink
+from repro.mpisim.pmpi import MultiSink, StreamCaptureSink, TimingSink, TraceSink
 from repro.mpisim.runtime import RunResult
 from repro.static.instrument import CompiledProgram, compile_minimpi
 
 from . import serialize
 from .decompress import ReplayEvent, decompress_merged_rank, decompress_rank
 from .inter import MergedCTT, merge_all
-from .intra import CypressConfig, IntraProcessCompressor
+from .intra import CypressConfig, IntraProcessCompressor, compress_streams
 
 
 @dataclass
@@ -33,7 +35,31 @@ class CypressRun:
     compressor: IntraProcessCompressor
     run_result: RunResult
     intra_seconds: float | None = None  # compression CPU time (if measured)
+    # Captured marker/event streams when the run used deferred
+    # compression (``compress_workers=``); lets ``compress()`` redo the
+    # compression with a different worker count.
+    capture: StreamCaptureSink | None = field(default=None, repr=False)
     _merged: MergedCTT | None = field(default=None, repr=False)
+
+    def compress(self, workers: int | str | None = None) -> IntraProcessCompressor:
+        """(Re-)compress the captured streams, optionally sharding ranks
+        over ``workers`` processes — byte-identical to serial.  Only
+        available when the run traced with ``compress_workers=`` (the
+        capture is kept); replaces ``compressor`` and drops any cached
+        merge."""
+        if self.capture is None:
+            raise ValueError(
+                "no captured streams: run with compress_workers= to defer "
+                "compression"
+            )
+        self.compressor = compress_streams(
+            self.compiled.cst,
+            self.capture.streams,
+            config=self.compressor.config,
+            workers=workers,
+        )
+        self._merged = None
+        return self.compressor
 
     def merge(
         self, schedule: str = "tree", workers: int | str | None = None
@@ -65,6 +91,7 @@ def run_cypress(
     measure_overhead: bool = False,
     extra_sinks: list[TraceSink] | None = None,
     network: NetworkModel | None = None,
+    compress_workers: int | str | None = None,
 ) -> CypressRun:
     """Compile (if needed) and execute a MiniMPI program with the CYPRESS
     tracer attached; returns the per-rank compressed traces.
@@ -72,27 +99,48 @@ def run_cypress(
     ``measure_overhead=True`` wraps the compressor in a
     :class:`~repro.mpisim.pmpi.TimingSink` so ``intra_seconds`` reports the
     CPU time spent compressing (Fig. 16's numerator).
+
+    ``compress_workers`` switches to *deferred* compression: the run is
+    traced into a :class:`~repro.mpisim.pmpi.StreamCaptureSink` and the
+    captured per-rank streams are compressed afterwards, sharded over
+    that many worker processes (``"auto"`` = all cores).  The result is
+    byte-identical to inline compression; with ``measure_overhead`` the
+    deferred compression wall time is reported as ``intra_seconds``.
     """
     compiled = (
         source if isinstance(source, CompiledProgram) else compile_minimpi(source)
     )
     if compiled.static is None:
         raise ValueError("program must be compiled with cypress=True")
-    compressor = IntraProcessCompressor(compiled.cst, config=config)
-    sink: TraceSink = compressor
+    capture: StreamCaptureSink | None = None
     timing: TimingSink | None = None
-    if measure_overhead:
-        timing = TimingSink(compressor)
-        sink = timing
+    if compress_workers is not None:
+        capture = StreamCaptureSink()
+        sink: TraceSink = capture
+    else:
+        compressor = IntraProcessCompressor(compiled.cst, config=config)
+        sink = compressor
+        if measure_overhead:
+            timing = TimingSink(compressor)
+            sink = timing
     if extra_sinks:
         sink = MultiSink([sink, *extra_sinks])
     result = run_compiled(
         compiled, nprocs, defines=defines, tracer=sink, network=network
     )
+    intra_seconds = timing.elapsed if timing is not None else None
+    if capture is not None:
+        t0 = time.perf_counter()
+        compressor = compress_streams(
+            compiled.cst, capture.streams, config=config, workers=compress_workers
+        )
+        if measure_overhead:
+            intra_seconds = time.perf_counter() - t0
     return CypressRun(
         compiled=compiled,
         nprocs=nprocs,
         compressor=compressor,
         run_result=result,
-        intra_seconds=timing.elapsed if timing is not None else None,
+        intra_seconds=intra_seconds,
+        capture=capture,
     )

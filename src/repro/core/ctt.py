@@ -14,6 +14,27 @@ Vertices also hold the transient cursor state used during on-the-fly
 compression (ordered child matching position, visit counters).  Branch
 *groups* — the sibling path-vertices of one source-level ``if`` — share a
 visit counter, precomputed per parent.
+
+Hot-path dispatch tables
+------------------------
+
+Cursor moves are the per-marker/per-event cost the paper budgets at O(1),
+so child lookup must not scan the generic child list with a predicate.
+At construction every vertex precomputes *monomorphic* dispatch tables —
+``loop_child_by_ast_id``, ``call_children_by_op`` and ``group_by_ast_id``
+— mapping the marker/event identity straight to the (few) candidate
+children, as ``(child_index, child)`` pairs in ascending child order.
+The ordered wrap-around semantics ("first candidate at or after
+``search_pos``, else the first candidate overall") is thereby a scan over
+a list that is almost always length 1, instead of a closure applied to
+every sibling.
+
+Leaf vertices additionally carry the key-interning cache slots the
+intra-process compressor uses (``last_params``/``last_key``/
+``last_record``, see :mod:`repro.core.intra`), plus a single-slot
+monomorphic dispatch cache (``mono_op``/``mono_pair``) that shortcuts
+the dict lookup when a vertex dispatches the same single-candidate op
+repeatedly — the steady state inside any loop body.
 """
 
 from __future__ import annotations
@@ -21,6 +42,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.minilang.builtins import MPI_INTRINSICS
+from repro.mpisim.events import NONBLOCKING_OPS
 from repro.static.cst import BRANCH, CALL, LOOP, ROOT, CSTNode
 
 from .records import CompressedRecord
@@ -55,6 +77,20 @@ class CTTVertex:
         "search_pos",
         "leaf_visits",
         "_iters_active",
+        # monomorphic dispatch tables (fixed after construction)
+        "loop_child_by_ast_id",
+        "call_children_by_op",
+        "group_by_ast_id",
+        "op_nonblocking",
+        # single-slot monomorphic dispatch cache: the last op dispatched
+        # from this vertex, valid only when it has exactly one candidate
+        # child (wrap-around over one candidate always yields it)
+        "mono_op",
+        "mono_pair",
+        # key-interning cache (leaf vertices; transient compression state)
+        "last_params",
+        "last_key",
+        "last_record",
     )
 
     def __init__(self, cst_node: CSTNode) -> None:
@@ -66,6 +102,9 @@ class CTTVertex:
         self.op: str | None = None
         if cst_node.kind == CALL and cst_node.name in MPI_INTRINSICS:
             self.op = MPI_INTRINSICS[cst_node.name][1]
+        # Precomputed per-leaf: does this op create a request?  (Spares
+        # the per-event frozenset membership test on the hot path.)
+        self.op_nonblocking = self.op in NONBLOCKING_OPS
         self.children: list[CTTVertex] = [CTTVertex(c) for c in cst_node.children]
         # payload
         self.loop_counts: IntSequence | None = IntSequence() if cst_node.kind == LOOP else None
@@ -78,6 +117,28 @@ class CTTVertex:
         self.search_pos = 0
         self.leaf_visits = 0
         self._iters_active = 0
+        # dispatch tables: marker/event identity -> ascending (idx, child)
+        loops: dict[int, list[tuple[int, CTTVertex]]] = {}
+        calls: dict[str, list[tuple[int, CTTVertex]]] = {}
+        for idx, child in enumerate(self.children):
+            if child.kind == LOOP:
+                loops.setdefault(child.ast_id, []).append((idx, child))
+            elif child.kind == CALL and child.op is not None:
+                calls.setdefault(child.op, []).append((idx, child))
+        self.loop_child_by_ast_id = loops
+        self.call_children_by_op = calls
+        groups: dict[int, list[BranchGroup]] = {}
+        for g in self.branch_groups:
+            groups.setdefault(g.ast_id, []).append(g)
+        self.group_by_ast_id = groups
+        self.mono_op: str | None = None
+        self.mono_pair: tuple[int, CTTVertex] | None = None
+        # key-interning cache (meaningful on leaves only): the last
+        # event's key-relevant parameters as one tuple, compared with a
+        # single C-level tuple equality on the hot path.
+        self.last_params: tuple | None = None
+        self.last_key = None
+        self.last_record: CompressedRecord | None = None
 
     def _build_groups(self) -> list[BranchGroup]:
         groups: list[BranchGroup] = []
@@ -114,7 +175,8 @@ class CTTVertex:
             stack.extend(reversed(node.children))
 
     def find_child(self, predicate, start: int) -> tuple["CTTVertex", int] | None:
-        """Ordered wrap-around search among children."""
+        """Ordered wrap-around search among children (generic reference
+        path — the dispatch tables below are the fast equivalents)."""
         n = len(self.children)
         for k in range(n):
             idx = (start + k) % n
@@ -123,16 +185,41 @@ class CTTVertex:
                 return child, idx
         return None
 
+    def find_loop_child(self, ast_id: int, start: int) -> tuple[int, "CTTVertex"] | None:
+        """Monomorphic ordered wrap-around lookup of a loop child:
+        first candidate at child index >= ``start``, else wrap to the
+        first candidate.  Equivalent to ``find_child`` with a
+        kind/ast_id predicate, without the closure or the sibling scan."""
+        lst = self.loop_child_by_ast_id.get(ast_id)
+        if lst is None:
+            return None
+        for pair in lst:
+            if pair[0] >= start:
+                return pair
+        return lst[0]
+
+    def find_call_child(self, op: str, start: int) -> tuple[int, "CTTVertex"] | None:
+        """Monomorphic ordered wrap-around lookup of an MPI-call leaf."""
+        lst = self.call_children_by_op.get(op)
+        if lst is None:
+            return None
+        for pair in lst:
+            if pair[0] >= start:
+                return pair
+        return lst[0]
+
     def find_group(self, ast_id: int, start: int) -> BranchGroup | None:
         """Ordered wrap-around search among branch groups (by the child
-        index of the group's first vertex)."""
-        candidates = [g for g in self.branch_groups if g.ast_id == ast_id]
-        if not candidates:
+        index of the group's first vertex).  Scans the precomputed
+        per-``ast_id`` group list in place — no candidate list is
+        allocated per marker."""
+        lst = self.group_by_ast_id.get(ast_id)
+        if lst is None:
             return None
-        for group in candidates:
+        for group in lst:
             if group.first_index >= start:
                 return group
-        return candidates[0]  # wrap around
+        return lst[0]  # wrap around
 
     # ------------------------------------------------------------------
 
@@ -174,12 +261,12 @@ class CTT:
         return self.root.preorder()
 
     def vertex_count(self) -> int:
-        return sum(1 for _ in self.preorder())
+        return len(self.vertices())
 
     def record_count(self) -> int:
         return sum(
-            len(v.records) for v in self.preorder() if v.records is not None
+            len(v.records) for v in self.vertices() if v.records is not None
         )
 
     def approx_bytes(self) -> int:
-        return sum(v.approx_bytes() for v in self.preorder())
+        return sum(v.approx_bytes() for v in self.vertices())

@@ -29,15 +29,58 @@ the recursion tree into the approximate loop the paper describes.
 Wildcard receives (paper §IV-A "Non-Deterministic Events"): a nonblocking
 ``MPI_Irecv(ANY_SOURCE)`` is cached as a *pending* record; compression is
 delayed until the request completes and the actual source is known.
+
+The fast path
+-------------
+
+The per-event budget is O(1), and the implementation spends it carefully
+(docs/INTERNALS.md §5):
+
+* cursor moves use the CTT's precomputed monomorphic dispatch tables
+  (:meth:`CTTVertex.find_loop_child` / ``find_call_child`` /
+  ``find_group``) — no closure allocation, no generic sibling scan;
+* record keys are *interned* per leaf: the leaf caches the last event's
+  parameter fields together with the key (and, for the default unbounded
+  window, the record) they produced, so a repeated event — the
+  overwhelmingly common case inside a loop — skips ``make_key``, both
+  ``encode_peer`` calls and the ``record_index`` hash of a 12-tuple
+  entirely and lands directly in ``CompressedRecord.add_occurrence``;
+* batched entry points (:meth:`IntraProcessCompressor.on_events`,
+  :meth:`IntraProcessCompressor.ingest_stream`) hoist the per-rank state
+  and bound methods out of the event loop.
+
+``CypressConfig(fastpath=False)`` disables the dispatch tables and the
+key-interning cache, forcing the pre-optimization reference path (generic
+predicate scan + fresh key per event); tests assert both paths produce
+byte-identical serialized traces.
+
+Parallel compression: per-rank states are fully independent, so captured
+marker/event streams (:class:`~repro.mpisim.pmpi.StreamCaptureSink`) can
+be compressed by :func:`compress_streams` on a multiprocessing pool —
+rank shards compress concurrently, mirroring the inter-process merge
+workers, with output guaranteed byte-identical to serial compression.
 """
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
 
-from repro.mpisim.events import NONBLOCKING_OPS, CommEvent
-from repro.mpisim.pmpi import TraceSink
-from repro.static.cst import BRANCH, CALL, LOOP, CSTNode
+from repro.mpisim.events import CommEvent
+from repro.mpisim.pmpi import (
+    OP_BRANCH_ENTER,
+    OP_BRANCH_EXIT,
+    OP_EVENT,
+    OP_FINALIZE,
+    OP_LOOP_ITER,
+    OP_LOOP_POP,
+    OP_LOOP_PUSH,
+    OP_RECURSE_ENTER,
+    OP_RECURSE_EXIT,
+    OP_REQ_COMPLETE,
+    TraceSink,
+)
+from repro.static.cst import CALL, LOOP, CSTNode
 
 from .ctt import CTT, CTTVertex
 from .ranks import encode_peer
@@ -62,27 +105,40 @@ class CypressConfig:
     own implementation compares only against the last record
     (``window=1``, §IV-A) and mentions larger sliding windows as the
     cost/effectiveness trade-off — the ablation bench sweeps this.
+
+    ``fastpath=False`` disables the monomorphic dispatch tables and the
+    per-leaf key-interning cache, running the generic reference path
+    instead (same output bytes, used by the equivalence tests and the
+    ingestion benchmarks).
     """
 
     window: int | None = None  # None = unbounded keyed merge
     timing_mode: str = MEANSTD  # 'meanstd' or 'hist'
     relative_ranks: bool = True  # relative peer encoding (paper §IV-B)
+    fastpath: bool = True  # monomorphic dispatch + key interning
 
 
-@dataclass
-class _Frame:
-    kind: str  # 'loop' or 'branch'
-    vertex: CTTVertex | None  # None = null frame (structure pruned here)
-    iters: int = 0
+# Cursor frames are plain three-slot lists ``[kind, vertex, iters]`` —
+# one is allocated per loop/branch entry on the hot path, and a list
+# literal costs a fraction of a dataclass ``__init__`` call.  ``vertex``
+# is None for null frames (structure pruned from this inlined copy).
+_LOOP = 0
+_BRANCH = 1
+_F_KIND, _F_VERTEX, _F_ITERS = range(3)
 
 
-@dataclass
+@dataclass(slots=True)
 class _RankState:
     ctt: CTT
-    stack: list[_Frame] = field(default_factory=list)
-    recursion_saved: list[list[_Frame] | None] = field(default_factory=list)
+    rank: int = 0
+    stack: list[list] = field(default_factory=list)
+    recursion_saved: list[list[list] | None] = field(default_factory=list)
     req_gid: dict[int, int] = field(default_factory=dict)
-    pending: dict[int, tuple[CTTVertex, CompressedRecord, CommEvent]] = field(
+    # rid -> (leaf, record, event, index of record in leaf.records); the
+    # stored index lets resolution find the record in O(1) instead of a
+    # backward identity scan, and is kept current when a resolved record
+    # merges away (see _request_complete).
+    pending: dict[int, tuple[CTTVertex, CompressedRecord, CommEvent, int]] = field(
         default_factory=dict
     )
     last_event_end: float = 0.0
@@ -90,7 +146,7 @@ class _RankState:
     def top_vertex(self) -> CTTVertex | None:
         if not self.stack:
             return self.ctt.root
-        return self.stack[-1].vertex
+        return self.stack[-1][_F_VERTEX]
 
 
 class IntraProcessCompressor(TraceSink):
@@ -102,13 +158,23 @@ class IntraProcessCompressor(TraceSink):
         self.cst = cst
         self.config = config or CypressConfig()
         self._states: dict[int, _RankState] = {}
+        # Hoisted config fields (the config is frozen) — one attribute
+        # load instead of two on every event.
+        self._window = self.config.window
+        self._window_unbounded = self.config.window is None
+        self._relative = self.config.relative_ranks
+        self._timing_mode = self.config.timing_mode
+        self._fastpath = self.config.fastpath
+        # Monomorphic event ingestion: pick the variant once, so the hot
+        # path carries no per-event mode branch.
+        self._ingest = self._ingest_fast if self._fastpath else self._ingest_ref
 
     # ------------------------------------------------------------------
 
     def state(self, rank: int) -> _RankState:
         st = self._states.get(rank)
         if st is None:
-            st = _RankState(ctt=CTT(self.cst, rank))
+            st = _RankState(ctt=CTT(self.cst, rank), rank=rank)
             self._states[rank] = st
         return st
 
@@ -126,104 +192,147 @@ class IntraProcessCompressor(TraceSink):
         return sum(self.approx_bytes(r) for r in self._states)
 
     # ------------------------------------------------------------------
-    # Structural markers.
+    # Structural markers.  Public callbacks resolve the rank state once
+    # and delegate to the _-prefixed internals the batched entry points
+    # drive directly.
 
     def on_loop_push(self, rank: int, ast_id: int) -> None:
-        st = self.state(rank)
-        self._push_loop(st, ast_id)
+        self._loop_push(self.state(rank), ast_id)
 
-    def _push_loop(self, st: _RankState, ast_id: int) -> _Frame:
-        cur = st.top_vertex()
-        frame = _Frame(kind="loop", vertex=None)
+    def _loop_push(self, st: _RankState, ast_id: int) -> list:
+        stack = st.stack
+        cur = stack[-1][_F_VERTEX] if stack else st.ctt.root
+        frame = [_LOOP, None, 0]
         if cur is not None:
-            found = cur.find_child(
-                lambda c: c.kind == LOOP and c.ast_id == ast_id, cur.search_pos
-            )
+            if self._fastpath:
+                found = cur.find_loop_child(ast_id, cur.search_pos)
+            else:
+                hit = cur.find_child(
+                    lambda c: c.kind == LOOP and c.ast_id == ast_id, cur.search_pos
+                )
+                found = (hit[1], hit[0]) if hit is not None else None
             if found is not None:
-                child, idx = found
+                idx, child = found
                 cur.search_pos = idx + 1
                 child.search_pos = 0
-                frame.vertex = child
-        st.stack.append(frame)
+                frame[_F_VERTEX] = child
+        stack.append(frame)
         return frame
 
     def on_loop_iter(self, rank: int, ast_id: int) -> None:
-        st = self.state(rank)
-        if not st.stack or st.stack[-1].kind != "loop":
+        self._loop_iter(self.state(rank), ast_id)
+
+    def _loop_iter(self, st: _RankState, ast_id: int) -> None:
+        stack = st.stack
+        if not stack or stack[-1][_F_KIND] != _LOOP:
             raise CompressionError(
-                f"rank {rank}: loop iteration marker {ast_id} with no open loop"
+                f"rank {st.rank}: loop iteration marker {ast_id} "
+                "with no open loop"
             )
-        frame = st.stack[-1]
-        frame.iters += 1
-        if frame.vertex is not None:
-            frame.vertex.search_pos = 0
+        frame = stack[-1]
+        frame[_F_ITERS] += 1
+        vertex = frame[_F_VERTEX]
+        if vertex is not None:
+            vertex.search_pos = 0
 
     def on_loop_pop(self, rank: int, ast_id: int) -> None:
-        st = self.state(rank)
-        if not st.stack or st.stack[-1].kind != "loop":
+        self._loop_pop(self.state(rank), ast_id)
+
+    def _loop_pop(self, st: _RankState, ast_id: int) -> None:
+        stack = st.stack
+        if not stack or stack[-1][_F_KIND] != _LOOP:
             raise CompressionError(
-                f"rank {rank}: loop exit marker {ast_id} with no open loop"
+                f"rank {st.rank}: loop exit marker {ast_id} with no open loop"
             )
-        frame = st.stack.pop()
-        if frame.vertex is not None:
-            frame.vertex.loop_counts.append(frame.iters)
+        frame = stack.pop()
+        vertex = frame[_F_VERTEX]
+        if vertex is not None:
+            vertex.loop_counts.append(frame[_F_ITERS])
 
     def on_branch_enter(self, rank: int, ast_id: int, path: int) -> None:
-        st = self.state(rank)
-        cur = st.top_vertex()
-        frame = _Frame(kind="branch", vertex=None)
+        self._branch_enter(self.state(rank), ast_id, path)
+
+    def _branch_enter(self, st: _RankState, ast_id: int, path: int) -> None:
+        stack = st.stack
+        cur = stack[-1][_F_VERTEX] if stack else st.ctt.root
+        frame = [_BRANCH, None, 0]
         if cur is not None:
             group = cur.find_group(ast_id, cur.search_pos)
             if group is not None:
                 cur.search_pos = group.last_index + 1
                 visit = group.visit_counter
-                group.visit_counter += 1
+                group.visit_counter = visit + 1
                 path_vertex = group.paths.get(path)
                 if path_vertex is not None:
-                    path_vertex.visits.append(visit)
+                    # Inlined IntSequence.append fast cases (extend /
+                    # absorb the last stride term) — identical semantics,
+                    # the repair path falls back to append().
+                    seq = path_vertex.visits
+                    terms = seq.terms
+                    if terms:
+                        s0, c0, d0 = terms[-1]
+                        if c0 == 1:
+                            terms[-1] = (s0, 2, visit - s0)
+                            seq.length += 1
+                        elif visit == s0 + c0 * d0:
+                            terms[-1] = (s0, c0 + 1, d0)
+                            seq.length += 1
+                        else:
+                            seq.append(visit)
+                    else:
+                        seq.append(visit)
                     path_vertex.search_pos = 0
-                    frame.vertex = path_vertex
-        st.stack.append(frame)
+                    frame[_F_VERTEX] = path_vertex
+        stack.append(frame)
 
     def on_branch_exit(self, rank: int, ast_id: int) -> None:
-        st = self.state(rank)
-        if not st.stack or st.stack[-1].kind != "branch":
+        self._branch_exit(self.state(rank), ast_id)
+
+    def _branch_exit(self, st: _RankState, ast_id: int) -> None:
+        stack = st.stack
+        if not stack or stack[-1][_F_KIND] != _BRANCH:
             raise CompressionError(
-                f"rank {rank}: branch exit marker {ast_id} with no open branch"
+                f"rank {st.rank}: branch exit marker {ast_id} "
+                "with no open branch"
             )
-        st.stack.pop()
+        stack.pop()
 
     def on_recurse_enter(self, rank: int, ast_id: int) -> None:
-        st = self.state(rank)
+        self._recurse_enter(self.state(rank), ast_id)
+
+    def _recurse_enter(self, st: _RankState, ast_id: int) -> None:
         # Find an active pseudo-loop frame for this function.
         for i in range(len(st.stack) - 1, -1, -1):
             frame = st.stack[i]
+            vertex = frame[_F_VERTEX]
             if (
-                frame.kind == "loop"
-                and frame.vertex is not None
-                and frame.vertex.ast_id == ast_id
+                frame[_F_KIND] == _LOOP
+                and vertex is not None
+                and vertex.ast_id == ast_id
             ):
                 # New iteration of the approximate loop: set aside the
                 # frames opened since, restore them when this call returns.
                 st.recursion_saved.append(st.stack[i + 1 :])
                 del st.stack[i + 1 :]
-                frame.iters += 1
-                frame.vertex.search_pos = 0
+                frame[_F_ITERS] += 1
+                vertex.search_pos = 0
                 return
         # Outermost entry: behaves like loop push + first iteration.
-        frame = self._push_loop(st, ast_id)
-        frame.iters = 1
+        frame = self._loop_push(st, ast_id)
+        frame[_F_ITERS] = 1
         st.recursion_saved.append(None)
 
     def on_recurse_exit(self, rank: int, ast_id: int) -> None:
-        st = self.state(rank)
+        self._recurse_exit(self.state(rank), ast_id)
+
+    def _recurse_exit(self, st: _RankState, ast_id: int) -> None:
         if not st.recursion_saved:
             raise CompressionError(
-                f"rank {rank}: recursion exit marker {ast_id} without entry"
+                f"rank {st.rank}: recursion exit marker {ast_id} without entry"
             )
         saved = st.recursion_saved.pop()
         if saved is None:
-            self.on_loop_pop(rank, ast_id)
+            self._loop_pop(st, ast_id)
         else:
             st.stack.extend(saved)
 
@@ -231,50 +340,181 @@ class IntraProcessCompressor(TraceSink):
     # Communication events.
 
     def on_event(self, rank: int, ev: CommEvent) -> None:
+        self._ingest(self.state(rank), ev)
+
+    def on_events(self, rank: int, events) -> None:
+        """Batched ingestion: resolve the rank state and the ingest
+        binding once for a run of consecutive events."""
         st = self.state(rank)
-        cur = st.top_vertex()
+        ingest = self._ingest
+        for ev in events:
+            ingest(st, ev)
+
+    def _ingest_fast(self, st: _RankState, ev: CommEvent) -> None:
+        """Fast-path event ingestion: monomorphic leaf dispatch plus the
+        per-leaf key-interning cache.  ``self._ingest`` binds to this
+        variant when ``config.fastpath`` (the default)."""
+        stack = st.stack
+        cur = stack[-1][_F_VERTEX] if stack else st.ctt.root
+        if cur is None:
+            raise CompressionError(
+                f"rank {st.rank}: event {ev.op} inside a pruned structure"
+            )
+        op = ev.op
+        if cur.mono_op is op:
+            # Single-candidate dispatch cache hit: wrap-around over one
+            # candidate always yields it, independent of search_pos.
+            idx, leaf = cur.mono_pair
+        else:
+            lst = cur.call_children_by_op.get(op)
+            if lst is None:
+                raise CompressionError(
+                    f"rank {st.rank}: no CST leaf for {op} under vertex "
+                    f"gid={cur.gid} ({cur.kind})"
+                )
+            if len(lst) == 1:
+                found = lst[0]
+                cur.mono_op = op
+                cur.mono_pair = found
+            else:
+                found = cur.find_call_child(op, cur.search_pos)
+            idx, leaf = found
+        cur.search_pos = idx + 1
+        visit = leaf.leaf_visits
+        leaf.leaf_visits = visit + 1
+
+        if leaf.op_nonblocking:
+            st.req_gid[ev.req] = leaf.gid
+        reqs = ev.reqs
+        if reqs:
+            req_gids = self._consume_reqs(st, reqs)
+        else:
+            req_gids = ()
+
+        start = ev.time_start
+        last_end = st.last_event_end
+        gap = start - last_end
+        if gap < 0.0:
+            gap = 0.0
+        duration = ev.duration
+        end = start + duration
+        if end > last_end:
+            st.last_event_end = end
+
+        if ev.wildcard and op == "MPI_Irecv":
+            self._ingest_pending(st, leaf, ev, visit, duration, gap)
+            return
+
+        # Key interning: if every key-relevant parameter matches the
+        # leaf's last event, reuse the cached key — and for the
+        # unbounded window, the cached record, skipping make_key, both
+        # encode_peer calls and the record_index hash of a 12-tuple
+        # entirely.  One tuple build plus one C-level tuple equality.
+        # (``op`` needs no comparison: the leaf was dispatched by op.)
+        params = (
+            ev.peer,
+            ev.nbytes,
+            ev.tag,
+            req_gids,
+            ev.peer2,
+            ev.tag2,
+            ev.nbytes2,
+            ev.comm,
+            ev.root,
+            ev.wildcard,
+            ev.result_comm,
+        )
+        if params == leaf.last_params:
+            record = leaf.last_record
+            if record is not None:
+                record.add_occurrence(visit, duration, gap)
+                return
+            key = leaf.last_key
+        else:
+            key = self._event_key(ev, st.rank, req_gids)
+            leaf.last_params = params
+            leaf.last_key = key
+            leaf.last_record = None
+        record = self._add_record(leaf, key, visit, duration, gap)
+        if self._window_unbounded:
+            # Valid only for the unbounded keyed merge: record_index
+            # maps this key to this record permanently (entries are
+            # never replaced), so the cache can shortcut to it.
+            leaf.last_record = record
+
+    def _ingest_ref(self, st: _RankState, ev: CommEvent) -> None:
+        """Pre-optimization reference path (``config.fastpath=False``):
+        generic predicate scan over the children, fresh key per event.
+        Kept as the byte-identity oracle for the fast path."""
+        stack = st.stack
+        cur = stack[-1][_F_VERTEX] if stack else st.ctt.root
+        rank = st.rank
         if cur is None:
             raise CompressionError(
                 f"rank {rank}: event {ev.op} inside a pruned structure"
             )
-        found = cur.find_child(
-            lambda c: c.kind == CALL and c.op == ev.op, cur.search_pos
+        op = ev.op
+        hit = cur.find_child(
+            lambda c: c.kind == CALL and c.op == op, cur.search_pos
         )
-        if found is None:
+        if hit is None:
             raise CompressionError(
-                f"rank {rank}: no CST leaf for {ev.op} under vertex "
+                f"rank {rank}: no CST leaf for {op} under vertex "
                 f"gid={cur.gid} ({cur.kind})"
             )
-        leaf, idx = found
+        leaf, idx = hit
         cur.search_pos = idx + 1
         visit = leaf.leaf_visits
-        leaf.leaf_visits += 1
+        leaf.leaf_visits = visit + 1
 
-        if ev.op in NONBLOCKING_OPS:
+        if leaf.op_nonblocking:
             st.req_gid[ev.req] = leaf.gid
-        req_gids: tuple[int, ...] = ()
-        if ev.reqs:
-            req_gids = tuple(st.req_gid.get(r, -1) for r in ev.reqs)
-            # An event listing request ids consumes them (Wait*/successful
-            # Test) — evict so the table stays bounded by the number of
-            # in-flight requests and a runtime that reuses a request id
-            # never resolves it to the stale creator GID.
-            for r in ev.reqs:
-                st.req_gid.pop(r, None)
+        reqs = ev.reqs
+        req_gids = self._consume_reqs(st, reqs) if reqs else ()
 
-        gap = max(0.0, ev.time_start - st.last_event_end)
-        st.last_event_end = max(st.last_event_end, ev.time_start + ev.duration)
+        start = ev.time_start
+        gap = start - st.last_event_end
+        if gap < 0.0:
+            gap = 0.0
+        duration = ev.duration
+        end = start + duration
+        if end > st.last_event_end:
+            st.last_event_end = end
 
-        if ev.op == "MPI_Irecv" and ev.wildcard:
-            # Delay compression until the source is known (paper §IV-A).
-            record = CompressedRecord(key=None, pending=True)
-            record.add_occurrence(visit, ev.duration, gap)
-            leaf.records.append(record)
-            st.pending[ev.req] = (leaf, record, ev)
+        if ev.wildcard and op == "MPI_Irecv":
+            self._ingest_pending(st, leaf, ev, visit, duration, gap)
             return
 
         key = self._event_key(ev, rank, req_gids)
-        self._add_record(leaf, key, visit, ev.duration, gap)
+        self._add_record(leaf, key, visit, duration, gap)
+
+    @staticmethod
+    def _consume_reqs(st: _RankState, reqs) -> tuple[int, ...]:
+        """Resolve consumed request ids to creator GIDs and evict them —
+        the table stays bounded by the number of in-flight requests, and
+        a runtime that reuses a request id never resolves it to the
+        stale creator GID."""
+        table = st.req_gid
+        req_gids = tuple(table.get(r, -1) for r in reqs)
+        for r in reqs:
+            table.pop(r, None)
+        return req_gids
+
+    def _ingest_pending(
+        self,
+        st: _RankState,
+        leaf: CTTVertex,
+        ev: CommEvent,
+        visit: int,
+        duration: float,
+        gap: float,
+    ) -> None:
+        """Wildcard receive: delay compression until the source is known
+        (paper §IV-A)."""
+        record = CompressedRecord(key=None, pending=True)
+        record.add_occurrence(visit, duration, gap)
+        st.pending[ev.req] = (leaf, record, ev, len(leaf.records))
+        leaf.records.append(record)
 
     def _event_key(
         self,
@@ -289,7 +529,7 @@ class IntraProcessCompressor(TraceSink):
         resolved path must produce exactly the key shape of the eager path
         (including ``result_comm``), or completed wildcards would merge
         under keys that can never match non-deferred records."""
-        relative = self.config.relative_ranks
+        relative = self._relative
         return make_key(
             op=ev.op,
             peer_enc=encode_peer(ev.peer if peer is None else peer, rank, relative),
@@ -312,14 +552,14 @@ class IntraProcessCompressor(TraceSink):
         visit: int,
         duration: float,
         gap: float,
-    ) -> None:
+    ) -> CompressedRecord:
         records = leaf.records
-        window = self.config.window
+        window = self._window
         if window is None:
             candidate = leaf.record_index.get(key)
             if candidate is not None:
                 candidate.add_occurrence(visit, duration, gap)
-                return
+                return candidate
         else:
             for back in range(1, min(window, len(records)) + 1):
                 candidate = records[-back]
@@ -327,40 +567,41 @@ class IntraProcessCompressor(TraceSink):
                     continue
                 if candidate.key == key:
                     candidate.add_occurrence(visit, duration, gap)
-                    return
+                    return candidate
         record = CompressedRecord(
             key=key,
-            duration=TimeStats(mode=self.config.timing_mode),
-            pre_gap=TimeStats(mode=self.config.timing_mode),
+            duration=TimeStats(mode=self._timing_mode),
+            pre_gap=TimeStats(mode=self._timing_mode),
         )
         record.add_occurrence(visit, duration, gap)
         records.append(record)
         if window is None:
             leaf.record_index[key] = record
+        return record
 
     def on_request_complete(
         self, rank: int, rid: int, source: int, nbytes: int, when: float
     ) -> None:
-        st = self.state(rank)
+        self._request_complete(self.state(rank), rid, source, nbytes, when)
+
+    def _request_complete(
+        self, st: _RankState, rid: int, source: int, nbytes: int, when: float
+    ) -> None:
         entry = st.pending.pop(rid, None)
         if entry is None:
             return
-        leaf, record, ev = entry
-        record.key = self._event_key(ev, rank, req_gids=(), peer=source, nbytes=nbytes)
+        leaf, record, ev, pos = entry
+        record.key = self._event_key(
+            ev, st.rank, req_gids=(), peer=source, nbytes=nbytes
+        )
         record.pending = False
-        pos = None
-        for i in range(len(leaf.records) - 1, -1, -1):
-            if leaf.records[i] is record:
-                pos = i
-                break
-        if pos is None:  # pragma: no cover - record must be present
-            return
-        window = self.config.window
+        window = self._window
         if window is None:
             other = leaf.record_index.get(record.key)
             if other is not None and other is not record:
                 other.merge_from(record)
                 del leaf.records[pos]
+                self._shift_pending(st, leaf, pos)
             else:
                 leaf.record_index[record.key] = record
             return
@@ -373,7 +614,21 @@ class IntraProcessCompressor(TraceSink):
             if other.key == record.key:
                 other.merge_from(record)
                 del leaf.records[pos]
+                self._shift_pending(st, leaf, pos)
                 return
+
+    @staticmethod
+    def _shift_pending(st: _RankState, leaf: CTTVertex, removed_pos: int) -> None:
+        """A resolved record merged away and was deleted from
+        ``leaf.records[removed_pos]`` — keep the stored indices of the
+        remaining pending records at that leaf accurate.  O(#pending),
+        bounded by the number of in-flight wildcard receives."""
+        pending = st.pending
+        if not pending:
+            return
+        for key_rid, entry in pending.items():
+            if entry[0] is leaf and entry[3] > removed_pos:
+                pending[key_rid] = (entry[0], entry[1], entry[2], entry[3] - 1)
 
     def on_finalize(self, rank: int) -> None:
         st = self.state(rank)
@@ -381,3 +636,301 @@ class IntraProcessCompressor(TraceSink):
             raise CompressionError(
                 f"rank {rank}: {len(st.pending)} wildcard receive(s) never completed"
             )
+
+    # ------------------------------------------------------------------
+    # Batched stream ingestion (capture/replay and the parallel executor).
+
+    def ingest_stream(self, rank: int, stream) -> None:
+        """Compress one rank's captured marker/event stream (the opcode
+        tuples :class:`~repro.mpisim.pmpi.StreamCaptureSink` records) in
+        one call.  Equivalent to replaying the individual callbacks, with
+        the rank state and all handler bindings hoisted out of the loop —
+        this is the entry point the parallel compression workers and the
+        ingestion benchmarks use."""
+        st = self.state(rank)
+        ingest = self._ingest
+        loop_push = self._loop_push
+        loop_iter = self._loop_iter
+        loop_pop = self._loop_pop
+        branch_enter = self._branch_enter
+        branch_exit = self._branch_exit
+        recurse_enter = self._recurse_enter
+        recurse_exit = self._recurse_exit
+        request_complete = self._request_complete
+        if self._fastpath:
+            # The dominant opcodes (event, branch enter/exit, loop iter)
+            # are handled inline: the common case of each runs without a
+            # method call, and anything unusual falls back to the shared
+            # handler *before* any state has been mutated — so inline and
+            # fallback compose to exactly the handler's semantics.
+            # ``stack`` and ``root`` can be hoisted: both are mutated only
+            # in place, never rebound.
+            stack = st.stack
+            root = st.ctt.root
+            for item in stream:
+                code = item[0]
+                if code == OP_EVENT:
+                    ev = item[1]
+                    cur = stack[-1][1] if stack else root
+                    if cur is not None and cur.mono_op is ev.op:
+                        # Single-candidate dispatch cache (see
+                        # _ingest_fast): wrap-around over one candidate
+                        # always yields it, independent of search_pos.
+                        found = cur.mono_pair
+                    elif cur is not None:
+                        lst = cur.call_children_by_op.get(ev.op)
+                        if lst is None:
+                            found = None
+                        elif len(lst) == 1:
+                            found = lst[0]
+                            cur.mono_op = ev.op
+                            cur.mono_pair = found
+                        else:
+                            found = cur.find_call_child(ev.op, cur.search_pos)
+                    else:
+                        found = None
+                    if found is not None:
+                        idx, leaf = found
+                        record = leaf.last_record
+                        if (
+                            record is not None
+                            and not leaf.op_nonblocking
+                            and not ev.reqs
+                            and (
+                                ev.peer,
+                                ev.nbytes,
+                                ev.tag,
+                                (),
+                                ev.peer2,
+                                ev.tag2,
+                                ev.nbytes2,
+                                ev.comm,
+                                ev.root,
+                                ev.wildcard,
+                                ev.result_comm,
+                            )
+                            == leaf.last_params
+                        ):
+                            # Cache hit on a plain event: commit the
+                            # cursor move and the occurrence inline
+                            # (same float ops as add_occurrence).
+                            cur.search_pos = idx + 1
+                            visit = leaf.leaf_visits
+                            leaf.leaf_visits = visit + 1
+                            start = ev.time_start
+                            last_end = st.last_event_end
+                            gap = start - last_end
+                            if gap < 0.0:
+                                gap = 0.0
+                            duration = ev.duration
+                            end = start + duration
+                            if end > last_end:
+                                st.last_event_end = end
+                            occ = record.occurrences
+                            terms = occ.terms
+                            if terms:
+                                s0, c0, d0 = terms[-1]
+                                if c0 == 1:
+                                    terms[-1] = (s0, 2, visit - s0)
+                                    occ.length += 1
+                                elif visit == s0 + c0 * d0:
+                                    terms[-1] = (s0, c0 + 1, d0)
+                                    occ.length += 1
+                                else:
+                                    occ.append(visit)
+                            else:
+                                occ.append(visit)
+                            stats = record.duration
+                            if stats.bins is None:
+                                stats.count = n = stats.count + 1
+                                delta = duration - stats.mean
+                                stats.mean += delta / n
+                                stats.m2 += delta * (duration - stats.mean)
+                                if duration < stats.minimum:
+                                    stats.minimum = duration
+                                if duration > stats.maximum:
+                                    stats.maximum = duration
+                            else:
+                                stats.add(duration)
+                            stats = record.pre_gap
+                            if stats.bins is None:
+                                stats.count = n = stats.count + 1
+                                delta = gap - stats.mean
+                                stats.mean += delta / n
+                                stats.m2 += delta * (gap - stats.mean)
+                                if gap < stats.minimum:
+                                    stats.minimum = gap
+                                if gap > stats.maximum:
+                                    stats.maximum = gap
+                            else:
+                                stats.add(gap)
+                            continue
+                    ingest(st, ev)
+                elif code == OP_BRANCH_ENTER:
+                    # Inlined _branch_enter (identical semantics; the
+                    # shared handler stays the reference).
+                    cur = stack[-1][1] if stack else root
+                    if cur is None:
+                        stack.append([_BRANCH, None, 0])
+                        continue
+                    lst = cur.group_by_ast_id.get(item[1])
+                    if lst is None:
+                        stack.append([_BRANCH, None, 0])
+                        continue
+                    group = None
+                    sp = cur.search_pos
+                    for g in lst:
+                        if g.first_index >= sp:
+                            group = g
+                            break
+                    if group is None:
+                        group = lst[0]
+                    cur.search_pos = group.last_index + 1
+                    visit = group.visit_counter
+                    group.visit_counter = visit + 1
+                    path_vertex = group.paths.get(item[2])
+                    if path_vertex is None:
+                        stack.append([_BRANCH, None, 0])
+                        continue
+                    seq = path_vertex.visits
+                    terms = seq.terms
+                    if terms:
+                        s0, c0, d0 = terms[-1]
+                        if c0 == 1:
+                            terms[-1] = (s0, 2, visit - s0)
+                            seq.length += 1
+                        elif visit == s0 + c0 * d0:
+                            terms[-1] = (s0, c0 + 1, d0)
+                            seq.length += 1
+                        else:
+                            seq.append(visit)
+                    else:
+                        seq.append(visit)
+                    path_vertex.search_pos = 0
+                    stack.append([_BRANCH, path_vertex, 0])
+                elif code == OP_BRANCH_EXIT:
+                    if stack and stack[-1][0] == _BRANCH:
+                        stack.pop()
+                    else:
+                        branch_exit(st, item[1])
+                elif code == OP_LOOP_ITER:
+                    if stack:
+                        frame = stack[-1]
+                        if frame[0] == _LOOP:
+                            frame[2] += 1
+                            vertex = frame[1]
+                            if vertex is not None:
+                                vertex.search_pos = 0
+                            continue
+                    loop_iter(st, item[1])
+                elif code == OP_LOOP_PUSH:
+                    loop_push(st, item[1])
+                elif code == OP_LOOP_POP:
+                    loop_pop(st, item[1])
+                elif code == OP_REQ_COMPLETE:
+                    request_complete(st, item[1], item[2], item[3], item[4])
+                elif code == OP_RECURSE_ENTER:
+                    recurse_enter(st, item[1])
+                elif code == OP_RECURSE_EXIT:
+                    recurse_exit(st, item[1])
+                elif code == OP_FINALIZE:
+                    self.on_finalize(rank)
+                else:  # pragma: no cover - capture writes only known opcodes
+                    raise CompressionError(f"unknown stream opcode {code!r}")
+            return
+        for item in stream:
+            code = item[0]
+            if code == OP_EVENT:
+                ingest(st, item[1])
+            elif code == OP_BRANCH_ENTER:
+                branch_enter(st, item[1], item[2])
+            elif code == OP_BRANCH_EXIT:
+                branch_exit(st, item[1])
+            elif code == OP_LOOP_ITER:
+                loop_iter(st, item[1])
+            elif code == OP_LOOP_PUSH:
+                loop_push(st, item[1])
+            elif code == OP_LOOP_POP:
+                loop_pop(st, item[1])
+            elif code == OP_REQ_COMPLETE:
+                request_complete(st, item[1], item[2], item[3], item[4])
+            elif code == OP_RECURSE_ENTER:
+                recurse_enter(st, item[1])
+            elif code == OP_RECURSE_EXIT:
+                recurse_exit(st, item[1])
+            elif code == OP_FINALIZE:
+                self.on_finalize(rank)
+            else:  # pragma: no cover - capture writes only known opcodes
+                raise CompressionError(f"unknown stream opcode {code!r}")
+
+
+# ---------------------------------------------------------------------------
+# Sharded parallel compression executor.
+
+
+def _compress_shard(payload) -> list:
+    """Worker entry point: compress one contiguous shard of rank streams.
+
+    Must stay a module-level function (pickled by ``multiprocessing``).
+    Per-rank compression is deterministic and rank states never interact,
+    so shard results are exactly what serial compression would produce.
+    """
+    cst, config, items = payload
+    comp = IntraProcessCompressor(cst, config=config)
+    for rank, stream in items:
+        comp.ingest_stream(rank, stream)
+    return [(rank, comp.ctt(rank)) for rank, _stream in items]
+
+
+def _resolve_workers(workers) -> int:
+    if workers in (None, 0, 1):
+        return 1
+    if workers == "auto":
+        return os.cpu_count() or 1
+    n = int(workers)
+    return n if n > 1 else 1
+
+
+def compress_streams(
+    cst: CSTNode,
+    streams: dict[int, list],
+    config: CypressConfig | None = None,
+    workers: int | str | None = None,
+    parallel_threshold: int = 2,
+) -> IntraProcessCompressor:
+    """Compress captured per-rank streams into an
+    :class:`IntraProcessCompressor`, optionally sharding ranks over a
+    ``multiprocessing`` pool (``workers`` as an int or ``"auto"``).
+
+    Rank states are fully independent, so the parallel result is
+    **byte-identical** to serial in-line compression; the pool falls back
+    to the serial path when unavailable (sandboxes without /dev/shm) or
+    when fewer than ``parallel_threshold`` ranks are being compressed.
+    """
+    comp = IntraProcessCompressor(cst, config=config)
+    items = sorted(streams.items())
+    nworkers = _resolve_workers(workers)
+    if nworkers > 1 and len(items) >= max(2, parallel_threshold):
+        import multiprocessing
+
+        nworkers = min(nworkers, len(items))
+        chunk = -(-len(items) // nworkers)
+        shards = [
+            (cst, comp.config, items[i : i + chunk])
+            for i in range(0, len(items), chunk)
+        ]
+        try:
+            methods = multiprocessing.get_all_start_methods()
+            ctx = multiprocessing.get_context("fork" if "fork" in methods else None)
+            with ctx.Pool(processes=len(shards)) as pool:
+                results = pool.map(_compress_shard, shards)
+        except (OSError, ValueError, ImportError):  # no /dev/shm, sandboxing, …
+            results = None
+        if results is not None:
+            for shard_result in results:
+                for rank, ctt in shard_result:
+                    comp._states[rank] = _RankState(ctt=ctt, rank=rank)
+            return comp
+    for rank, stream in items:
+        comp.ingest_stream(rank, stream)
+    return comp

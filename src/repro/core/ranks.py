@@ -19,6 +19,14 @@ ABS = "abs"
 
 EncodedPeer = tuple[str, int]
 
+# Interned encodings for the values that occur on virtually every event
+# (sentinels like NO_PEER, and the small deltas of stencil codes).  The
+# tracer calls encode_peer twice per event; returning a cached tuple
+# instead of allocating one keeps the per-event key cost flat.
+_INTERN_LO, _INTERN_HI = -136, 136
+_ABS_CACHE = {p: (ABS, p) for p in range(_INTERN_LO, _INTERN_HI + 1)}
+_REL_CACHE = {d: (REL, d) for d in range(_INTERN_LO, _INTERN_HI + 1)}
+
 
 def encode_peer(peer: int, rank: int, relative: bool = True) -> EncodedPeer:
     """Encode ``peer`` as seen from ``rank``.
@@ -27,10 +35,13 @@ def encode_peer(peer: int, rank: int, relative: bool = True) -> EncodedPeer:
     (records from different ranks then rarely merge).
     """
     if peer in (NO_PEER, ANY_SOURCE) or peer < 0:
-        return (ABS, peer)
+        cached = _ABS_CACHE.get(peer)
+        return cached if cached is not None else (ABS, peer)
     if relative:
-        return (REL, peer - rank)
-    return (ABS, peer)
+        cached = _REL_CACHE.get(peer - rank)
+        return cached if cached is not None else (REL, peer - rank)
+    cached = _ABS_CACHE.get(peer)
+    return cached if cached is not None else (ABS, peer)
 
 
 def decode_peer(encoded: EncodedPeer, rank: int) -> int:

@@ -14,6 +14,12 @@ leaf, together with
 The record key contains every parameter except time (paper §IV-A), with
 peers in relative encoding and raw request handles replaced by the GIDs of
 the vertices that created them (paper Fig. 12).
+
+Records are ``__slots__`` classes: one is touched per MPI event on the
+tracer's hot path, and ``add_occurrence`` inlines the Welford update for
+the default mean/std timing mode so the common repeated-event case costs
+one occurrence append plus a handful of float ops — no per-event method
+dispatch into :class:`TimeStats`.
 """
 
 from __future__ import annotations
@@ -28,7 +34,7 @@ from .timing import MEANSTD, TimeStats
 RecordKey = tuple
 
 
-@dataclass
+@dataclass(slots=True)
 class CompressedRecord:
     key: RecordKey
     occurrences: IntSequence = field(default_factory=IntSequence)
@@ -51,9 +57,51 @@ class CompressedRecord:
         return self.key[0]
 
     def add_occurrence(self, index: int, duration_us: float, gap_us: float) -> None:
-        self.occurrences.append(index)
-        self.duration.add(duration_us)
-        self.pre_gap.add(gap_us)
+        # Inlined IntSequence.append fast cases (extend / absorb the last
+        # stride term) — occurrence indices are near-monotone, so these
+        # cover almost every event; the repair path falls back to
+        # append(), which implements the identical semantics.
+        occ = self.occurrences
+        terms = occ.terms
+        if terms:
+            start, count, stride = terms[-1]
+            if count == 1:
+                terms[-1] = (start, 2, index - start)
+                occ.length += 1
+            elif index == start + count * stride:
+                terms[-1] = (start, count + 1, stride)
+                occ.length += 1
+            else:
+                occ.append(index)
+        else:
+            occ.append(index)
+        # Inlined TimeStats.add for the meanstd mode (the default):
+        # identical float operations in identical order, without two
+        # method calls per event.  Histogram mode falls back to add().
+        stats = self.duration
+        if stats.bins is None:
+            stats.count = n = stats.count + 1
+            delta = duration_us - stats.mean
+            stats.mean += delta / n
+            stats.m2 += delta * (duration_us - stats.mean)
+            if duration_us < stats.minimum:
+                stats.minimum = duration_us
+            if duration_us > stats.maximum:
+                stats.maximum = duration_us
+        else:
+            stats.add(duration_us)
+        stats = self.pre_gap
+        if stats.bins is None:
+            stats.count = n = stats.count + 1
+            delta = gap_us - stats.mean
+            stats.mean += delta / n
+            stats.m2 += delta * (gap_us - stats.mean)
+            if gap_us < stats.minimum:
+                stats.minimum = gap_us
+            if gap_us > stats.maximum:
+                stats.maximum = gap_us
+        else:
+            stats.add(gap_us)
 
     def merge_from(self, other: "CompressedRecord") -> None:
         """Fold another record with the same key into this one (intra-rank

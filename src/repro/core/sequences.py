@@ -17,9 +17,12 @@ from dataclasses import dataclass, field
 from typing import Iterable, Iterator
 
 
-@dataclass
+@dataclass(slots=True)
 class IntSequence:
-    """An append-only integer sequence stored as stride terms."""
+    """An append-only integer sequence stored as stride terms.
+
+    ``slots=True``: one ``append`` runs per marker/event on the tracer's
+    hot path, so attribute access must not go through an instance dict."""
 
     terms: list[tuple[int, int, int]] = field(default_factory=list)  # (start, count, stride)
     length: int = 0

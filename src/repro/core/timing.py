@@ -30,9 +30,14 @@ def _bin_index(us: float) -> int:
     return min(_NBINS - 1, int(math.log2(us)) + 1)
 
 
-@dataclass
+@dataclass(slots=True)
 class TimeStats:
-    """Aggregated timing of one (merged) communication record."""
+    """Aggregated timing of one (merged) communication record.
+
+    ``__slots__`` (via ``dataclass(slots=True)``) keeps the per-record
+    footprint small and attribute access monomorphic — ``add`` runs once
+    per MPI event on the tracer's critical path (twice: duration and
+    pre-gap), so there is no instance ``__dict__`` to chase."""
 
     mode: str = MEANSTD
     count: int = 0

@@ -7,10 +7,10 @@ from typing import Callable, Iterator
 
 from repro.core.decompress import ReplayEvent, decompress_merged_rank
 from repro.core.inter import MergedCTT, merge_all
-from repro.core.intra import CypressConfig, IntraProcessCompressor
+from repro.core.intra import CypressConfig, IntraProcessCompressor, compress_streams
 from repro.core import serialize
 from repro.mpisim.netmodel import NetworkModel
-from repro.mpisim.pmpi import MultiSink, TraceSink
+from repro.mpisim.pmpi import MultiSink, StreamCaptureSink, TraceSink
 from repro.mpisim.runtime import Runtime, RunResult
 
 from .structure import BuiltStructure, Spec, build_structure
@@ -27,7 +27,25 @@ class PythonRun:
     nprocs: int
     compressor: IntraProcessCompressor
     run_result: RunResult
+    capture: StreamCaptureSink | None = field(default=None, repr=False)
     _merged: MergedCTT | None = field(default=None, repr=False)
+
+    def compress(self, workers: int | str | None = None) -> IntraProcessCompressor:
+        """(Re-)compress the captured streams (see
+        :meth:`repro.core.api.CypressRun.compress`)."""
+        if self.capture is None:
+            raise ValueError(
+                "no captured streams: run with compress_workers= to defer "
+                "compression"
+            )
+        self.compressor = compress_streams(
+            self.structure.cst,
+            self.capture.streams,
+            config=self.compressor.config,
+            workers=workers,
+        )
+        self._merged = None
+        return self.compressor
 
     def merge(
         self, schedule: str = "tree", workers: int | str | None = None
@@ -54,31 +72,47 @@ def run_python(
     config: CypressConfig | None = None,
     extra_sinks: list[TraceSink] | None = None,
     network: NetworkModel | None = None,
+    compress_workers: int | str | None = None,
 ) -> PythonRun:
     """Execute ``rank_fn`` on every simulated rank with CYPRESS attached.
 
     ``rank_fn(tc)`` must be a generator function taking a
     :class:`TracedComm`; ``structure`` is the declared communication
     structure (see :class:`repro.frontend.structure.S`).
+
+    ``compress_workers`` defers compression: the run is traced into a
+    stream capture and compressed afterwards on that many worker
+    processes (``"auto"`` = all cores), byte-identical to inline
+    compression.
     """
     built = (
         structure
         if isinstance(structure, BuiltStructure)
         else build_structure(structure)
     )
-    compressor = IntraProcessCompressor(built.cst, config=config)
-    sink: TraceSink = compressor
+    capture: StreamCaptureSink | None = None
+    if compress_workers is not None:
+        capture = StreamCaptureSink()
+        sink: TraceSink = capture
+    else:
+        compressor = IntraProcessCompressor(built.cst, config=config)
+        sink = compressor
     if extra_sinks:
-        sink = MultiSink([compressor, *extra_sinks])
+        sink = MultiSink([sink, *extra_sinks])
     runtime = Runtime(nprocs, network=network, tracer=sink)
 
     def rank_main(comm):
         return rank_fn(TracedComm(comm, built))
 
     result = runtime.run(rank_main)
+    if capture is not None:
+        compressor = compress_streams(
+            built.cst, capture.streams, config=config, workers=compress_workers
+        )
     return PythonRun(
         structure=built,
         nprocs=nprocs,
         compressor=compressor,
         run_result=result,
+        capture=capture,
     )

@@ -12,6 +12,19 @@ Sinks compose: :class:`MultiSink` fans one execution out to several
 compressors at once (so a benchmark can trace one run with CYPRESS,
 ScalaTrace and the raw writer simultaneously), and :class:`TimingSink`
 wraps any sink with CPU-time accounting used by the overhead figures.
+
+Batching: ``on_events(rank, events)`` delivers a run of consecutive
+communication events of one rank in a single call, letting sinks hoist
+their per-rank state out of the loop.  The default implementation simply
+fans out to ``on_event``, so sinks only override it when it pays.
+
+Capture: :class:`StreamCaptureSink` records the complete callback stream
+per rank as compact opcode tuples.  A captured stream can be replayed
+into any sink later (``replay_into``) or handed to
+:func:`repro.core.intra.compress_streams`, which shards ranks over a
+process pool — the deferred-compression mode behind
+``run_cypress(compress_workers=...)`` and the CLI ``--compress-workers``
+flag.
 """
 
 from __future__ import annotations
@@ -19,6 +32,22 @@ from __future__ import annotations
 import time
 
 from .events import CommEvent
+
+# Opcodes of captured callback streams (StreamCaptureSink.streams).  One
+# tuple per callback: (opcode, *args) with the rank implied by the
+# per-rank stream the tuple is stored in.
+(
+    OP_LOOP_PUSH,
+    OP_LOOP_ITER,
+    OP_LOOP_POP,
+    OP_BRANCH_ENTER,
+    OP_BRANCH_EXIT,
+    OP_RECURSE_ENTER,
+    OP_RECURSE_EXIT,
+    OP_EVENT,
+    OP_REQ_COMPLETE,
+    OP_FINALIZE,
+) = range(10)
 
 
 class TraceSink:
@@ -43,6 +72,13 @@ class TraceSink:
     # -- communication events ------------------------------------------
 
     def on_event(self, rank: int, event: CommEvent) -> None: ...
+
+    def on_events(self, rank: int, events) -> None:
+        """Batched delivery of consecutive events of one rank.  Sinks
+        with per-rank state override this to hoist it out of the loop."""
+        on_event = self.on_event
+        for event in events:
+            on_event(rank, event)
 
     def on_request_complete(
         self, rank: int, rid: int, source: int, nbytes: int, when: float
@@ -101,6 +137,10 @@ class MultiSink(TraceSink):
         for s in self.sinks:
             s.on_event(rank, event)
 
+    def on_events(self, rank, events):
+        for s in self.sinks:
+            s.on_events(rank, events)
+
     def on_request_complete(self, rank, rid, source, nbytes, when):
         for s in self.sinks:
             s.on_request_complete(rank, rid, source, nbytes, when)
@@ -154,6 +194,12 @@ class TimingSink(TraceSink):
     def on_event(self, rank, event):
         self._timed(self.inner.on_event, rank, event)
 
+    def on_events(self, rank, events):
+        t0 = time.perf_counter()
+        self.inner.on_events(rank, events)
+        self.elapsed += time.perf_counter() - t0
+        self.calls += len(events)
+
     def on_request_complete(self, rank, rid, source, nbytes, when):
         self._timed(self.inner.on_request_complete, rank, rid, source, nbytes, when)
 
@@ -171,6 +217,9 @@ class RecordingSink(TraceSink):
     def on_event(self, rank: int, event: CommEvent) -> None:
         self.events.setdefault(rank, []).append(event)
 
+    def on_events(self, rank: int, events) -> None:
+        self.events.setdefault(rank, []).extend(events)
+
     def on_request_complete(self, rank, rid, source, nbytes, when):
         # Resolve wildcard receives in the recorded ground truth the same
         # way compressors do, so comparisons line up.
@@ -179,3 +228,112 @@ class RecordingSink(TraceSink):
                 ev.peer = source
                 ev.nbytes = nbytes
                 break
+
+
+class StreamCaptureSink(TraceSink):
+    """Records the complete per-rank callback stream as opcode tuples.
+
+    Capturing is one tuple construction plus a list append per callback —
+    far cheaper than compressing inline — which is what makes deferred
+    (and parallel) compression worthwhile: the traced run finishes at
+    near-uninstrumented speed and the captured streams are compressed
+    afterwards, per rank, on however many workers are available.
+
+    Per-rank callback order is preserved exactly, which is the only
+    ordering the intra-process compressor depends on (rank states never
+    interact).
+    """
+
+    wants_markers = True
+
+    def __init__(self) -> None:
+        self.streams: dict[int, list[tuple]] = {}
+
+    def _stream(self, rank: int) -> list[tuple]:
+        stream = self.streams.get(rank)
+        if stream is None:
+            stream = self.streams[rank] = []
+        return stream
+
+    def on_loop_push(self, rank, ast_id):
+        self._stream(rank).append((OP_LOOP_PUSH, ast_id))
+
+    def on_loop_iter(self, rank, ast_id):
+        self._stream(rank).append((OP_LOOP_ITER, ast_id))
+
+    def on_loop_pop(self, rank, ast_id):
+        self._stream(rank).append((OP_LOOP_POP, ast_id))
+
+    def on_branch_enter(self, rank, ast_id, path):
+        self._stream(rank).append((OP_BRANCH_ENTER, ast_id, path))
+
+    def on_branch_exit(self, rank, ast_id):
+        self._stream(rank).append((OP_BRANCH_EXIT, ast_id))
+
+    def on_recurse_enter(self, rank, ast_id):
+        self._stream(rank).append((OP_RECURSE_ENTER, ast_id))
+
+    def on_recurse_exit(self, rank, ast_id):
+        self._stream(rank).append((OP_RECURSE_EXIT, ast_id))
+
+    def on_event(self, rank, event):
+        self._stream(rank).append((OP_EVENT, event))
+
+    def on_events(self, rank, events):
+        self._stream(rank).extend((OP_EVENT, ev) for ev in events)
+
+    def on_request_complete(self, rank, rid, source, nbytes, when):
+        self._stream(rank).append((OP_REQ_COMPLETE, rid, source, nbytes, when))
+
+    def on_finalize(self, rank):
+        self._stream(rank).append((OP_FINALIZE,))
+
+    # ------------------------------------------------------------------
+
+    def event_count(self, rank: int | None = None) -> int:
+        streams = (
+            [self.streams.get(rank, [])] if rank is not None
+            else self.streams.values()
+        )
+        return sum(
+            1 for stream in streams for item in stream if item[0] == OP_EVENT
+        )
+
+    def replay_into(self, sink: TraceSink, ranks=None) -> None:
+        """Re-drive ``sink`` from the captured streams, one rank at a
+        time, batching runs of consecutive events through ``on_events``.
+        Only per-rank callback order is preserved (sufficient for any
+        sink whose state is per-rank, like the compressors)."""
+        for rank in sorted(self.streams) if ranks is None else ranks:
+            stream = self.streams.get(rank, [])
+            batch: list[CommEvent] = []
+            for item in stream:
+                code = item[0]
+                if code == OP_EVENT:
+                    batch.append(item[1])
+                    continue
+                if batch:
+                    sink.on_events(rank, batch)
+                    batch = []
+                if code == OP_LOOP_PUSH:
+                    sink.on_loop_push(rank, item[1])
+                elif code == OP_LOOP_ITER:
+                    sink.on_loop_iter(rank, item[1])
+                elif code == OP_LOOP_POP:
+                    sink.on_loop_pop(rank, item[1])
+                elif code == OP_BRANCH_ENTER:
+                    sink.on_branch_enter(rank, item[1], item[2])
+                elif code == OP_BRANCH_EXIT:
+                    sink.on_branch_exit(rank, item[1])
+                elif code == OP_RECURSE_ENTER:
+                    sink.on_recurse_enter(rank, item[1])
+                elif code == OP_RECURSE_EXIT:
+                    sink.on_recurse_exit(rank, item[1])
+                elif code == OP_REQ_COMPLETE:
+                    sink.on_request_complete(
+                        rank, item[1], item[2], item[3], item[4]
+                    )
+                elif code == OP_FINALIZE:
+                    sink.on_finalize(rank)
+            if batch:
+                sink.on_events(rank, batch)
