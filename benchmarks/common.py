@@ -90,5 +90,17 @@ def emit(name: str, lines: list[str]) -> None:
     (RESULTS_DIR / f"{name}{suffix}.txt").write_text(text + "\n")
 
 
+def publish_gauges(prefix: str, values: dict) -> None:
+    """Re-emit bench measurements through the observability registry (as
+    ``bench.{prefix}.{key}`` gauges) when one is active; no-op otherwise."""
+    from repro import obs
+
+    registry = obs.active()
+    if registry is None:
+        return
+    for key, value in values.items():
+        registry.gauge_set(f"bench.{prefix}.{key}", float(value))
+
+
 def fmt_row(cells: list, widths: list[int]) -> str:
     return "  ".join(str(c).rjust(w) for c, w in zip(cells, widths))

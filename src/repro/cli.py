@@ -46,6 +46,15 @@ def _add_compress_args(p: argparse.ArgumentParser) -> None:
                         "(default: compress inline while tracing)")
 
 
+def _add_metrics_args(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--metrics", action="store_true",
+                   help="print a pipeline-metrics summary (stage spans, "
+                        "counters, cache hit rates) after the command")
+    p.add_argument("--metrics-out", default=None, metavar="PATH",
+                   help="write pipeline metrics as JSON to PATH "
+                        "(schema: repro.obs.METRICS_SCHEMA)")
+
+
 def _workers_arg(value) -> int | str | None:
     if value is None or value == "auto":
         return value
@@ -235,6 +244,11 @@ def cmd_verify(args: argparse.Namespace) -> int:
         schedule=args.merge_schedule,
         workers=_merge_workers(args),
     )
+    from repro import obs
+
+    registry = obs.active()
+    if registry is not None:
+        compressor.publish_metrics(registry)
     bad = 0
     total = 0
     for rank in range(args.nprocs):
@@ -271,6 +285,7 @@ def main(argv: list[str] | None = None) -> int:
     _add_workload_args(p)
     _add_merge_args(p)
     _add_compress_args(p)
+    _add_metrics_args(p)
     p.add_argument("-o", "--output", default="trace.cyp")
     p.add_argument("--gzip", action="store_true")
     p.set_defaults(func=cmd_trace)
@@ -283,6 +298,7 @@ def main(argv: list[str] | None = None) -> int:
     p.add_argument("trace")
     p.add_argument("-r", "--rank", type=int, default=0)
     p.add_argument("--limit", type=int, default=30)
+    _add_metrics_args(p)
     p.set_defaults(func=cmd_replay)
 
     p = sub.add_parser("predict", help="SIM-MPI prediction from a trace")
@@ -310,6 +326,7 @@ def main(argv: list[str] | None = None) -> int:
     _add_workload_args(p)
     _add_merge_args(p)
     _add_compress_args(p)
+    _add_metrics_args(p)
     p.set_defaults(func=cmd_verify)
 
     p = sub.add_parser("diff", help="compare two trace files")
@@ -325,6 +342,21 @@ def main(argv: list[str] | None = None) -> int:
     p.set_defaults(func=cmd_export)
 
     args = parser.parse_args(argv)
+    metrics_out = getattr(args, "metrics_out", None)
+    if metrics_out or getattr(args, "metrics", False):
+        from repro import obs
+
+        registry = obs.enable()
+        try:
+            rc = args.func(args)
+        finally:
+            obs.disable()
+        if metrics_out:
+            obs.write_json(registry, metrics_out)
+            print(f"metrics -> {metrics_out}")
+        if getattr(args, "metrics", False):
+            print(obs.format_text(registry))
+        return rc
     return args.func(args)
 
 

@@ -22,8 +22,10 @@ truth.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 
+from repro import obs
 from repro.static.cst import BRANCH, CALL, LOOP
 
 from .ctt import CTT, CTTVertex
@@ -242,18 +244,33 @@ class MergedRankView(PayloadView):
         return group.records if group is not None else []
 
 
+def _observed(events: list[ReplayEvent], t0: float) -> list[ReplayEvent]:
+    """Record one rank-replay into the active registry (the caller read
+    the clock only because a registry was active)."""
+    registry = obs.active()
+    if registry is not None:
+        registry.observe("replay.rank_seconds", time.perf_counter() - t0)
+        registry.counter_add("replay.events", len(events))
+        registry.counter_add("replay.ranks", 1)
+    return events
+
+
 def decompress_rank(ctt: CTT) -> list[ReplayEvent]:
     """Replay one rank's own CTT into its original event sequence."""
     from .ranks import decode_peer
 
-    return _Replayer(ctt.root, SingleRankView(), ctt.rank, decode_peer).run()
+    t0 = time.perf_counter() if obs.enabled() else 0.0
+    events = _Replayer(ctt.root, SingleRankView(), ctt.rank, decode_peer).run()
+    return _observed(events, t0)
 
 
 def decompress_merged_rank(merged, rank: int) -> list[ReplayEvent]:
     """Replay ``rank``'s original sequence from the job-wide merged CTT."""
     from .ranks import decode_peer
 
-    return _Replayer(merged.root, MergedRankView(rank), rank, decode_peer).run()
+    t0 = time.perf_counter() if obs.enabled() else 0.0
+    events = _Replayer(merged.root, MergedRankView(rank), rank, decode_peer).run()
+    return _observed(events, t0)
 
 
 def decompress_all(merged) -> dict[int, list[ReplayEvent]]:
@@ -262,7 +279,8 @@ def decompress_all(merged) -> dict[int, list[ReplayEvent]]:
     for vertex in merged.root.preorder():
         for group in vertex.groups.values():
             ranks.update(group.ranks)
-    return {r: decompress_merged_rank(merged, r) for r in sorted(ranks)}
+    with obs.span("replay.decompress_all"):
+        return {r: decompress_merged_rank(merged, r) for r in sorted(ranks)}
 
 
 def replay_with_view(root, view: PayloadView, rank: int) -> list[ReplayEvent]:

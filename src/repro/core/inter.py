@@ -36,7 +36,9 @@ Scale machinery (the O(n log P) critical path the paper claims):
 from __future__ import annotations
 
 import os
+import time
 
+from repro import obs
 from repro.static.cst import BRANCH, CALL, LOOP
 
 from .ctt import CTT, CTTVertex
@@ -84,24 +86,40 @@ class Signature:
 
 
 class InternTable:
-    """Signature intern pool for one merge session."""
+    """Signature intern pool for one merge session.
 
-    __slots__ = ("_table",)
+    ``hits``/``misses`` count lookups that found / created an entry —
+    the interned-signature hit rate the observability layer reports.
+    (One integer add per *group*, not per event; not worth gating.)
+    """
+
+    __slots__ = ("_table", "hits", "misses")
 
     def __init__(self) -> None:
         self._table: dict[tuple, Signature] = {}
+        self.hits = 0
+        self.misses = 0
 
     def intern(self, key: tuple) -> Signature:
         sig = self._table.get(key)
         if sig is None:
+            self.misses += 1
             sig = Signature(key)
             self._table[key] = sig
+        else:
+            self.hits += 1
         return sig
 
     def canon(self, sig: Signature) -> Signature:
         """Canonical representative for a foreign Signature (absorbing a
         shard merged in another process/session)."""
-        return self._table.setdefault(sig.key, sig)
+        cached = self._table.get(sig.key)
+        if cached is not None:
+            self.hits += 1
+            return cached
+        self.misses += 1
+        self._table[sig.key] = sig
+        return sig
 
 
 def _loop_signature(counts: IntSequence) -> tuple:
@@ -410,27 +428,53 @@ class MergedCTT:
 # Schedules.
 
 
-def _tree_reduce(merged: list[MergedCTT]) -> MergedCTT:
-    """Binary reduction: level-by-level adjacent pairing."""
+def _tree_reduce(
+    merged: list[MergedCTT], registry=None, level_offset: int = 0
+) -> MergedCTT:
+    """Binary reduction: level-by-level adjacent pairing.
+
+    With an active metrics ``registry``, each reduction level's wall time
+    is recorded as timer ``inter.level.NN`` (two clock reads per *level*,
+    so the instrumented and bare paths are the same code)."""
+    level = level_offset
     while len(merged) > 1:
+        t0 = time.perf_counter() if registry is not None else 0.0
         nxt = []
         for i in range(0, len(merged) - 1, 2):
             nxt.append(merged[i].absorb(merged[i + 1]))
         if len(merged) % 2:
             nxt.append(merged[-1])
         merged = nxt
+        if registry is not None:
+            registry.observe(
+                f"inter.level.{level:02d}", time.perf_counter() - t0
+            )
+        level += 1
+    if registry is not None and level > level_offset:
+        registry.gauge_max("inter.levels", float(level))
     return merged[0]
 
 
-def _merge_shard(ctts: list[CTT]) -> MergedCTT:
+def _merge_shard(ctts: list[CTT]) -> tuple:
     """Worker entry point: tree-reduce one contiguous chunk of rank CTTs.
 
     Must stay a module-level function (pickled by ``multiprocessing``).
     The shard is *not* finalized — statistics materialize once, in the
-    parent, in global rank order.
+    parent, in global rank order.  Ships ``(merged, stats)`` so the
+    parent can aggregate per-worker timings and intern-table hit counts
+    (the shard's own intern table also travels inside ``merged``; the
+    parent only adds counts for shards whose tables get discarded when
+    they are absorbed into shard 0's).
     """
+    t0 = time.perf_counter()
     interns = InternTable()
-    return _tree_reduce([MergedCTT.from_rank(c, interns) for c in ctts])
+    merged = _tree_reduce([MergedCTT.from_rank(c, interns) for c in ctts])
+    stats = {
+        "elapsed": time.perf_counter() - t0,
+        "intern_hits": interns.hits,
+        "intern_misses": interns.misses,
+    }
+    return merged, stats
 
 
 def _resolve_workers(workers) -> int:
@@ -465,9 +509,23 @@ def _parallel_tree_merge(ctts: list[CTT], nworkers: int) -> MergedCTT | None:
         methods = multiprocessing.get_all_start_methods()
         ctx = multiprocessing.get_context("fork" if "fork" in methods else None)
         with ctx.Pool(processes=min(nworkers, len(chunks))) as pool:
-            shards = pool.map(_merge_shard, chunks)
+            results = pool.map(_merge_shard, chunks)
     except (OSError, ValueError, ImportError):  # no /dev/shm, sandboxing, …
         return None
+    shards = [merged for merged, _stats in results]
+    registry = obs.active()
+    if registry is not None:
+        registry.gauge_max("inter.workers", float(len(chunks)))
+        for i, (_merged, stats) in enumerate(results):
+            registry.observe("inter.worker_seconds", stats["elapsed"])
+            if i > 0:  # shard 0's table survives; count the discarded ones
+                registry.counter_add("inter.intern_hits", stats["intern_hits"])
+                registry.counter_add(
+                    "inter.intern_misses", stats["intern_misses"]
+                )
+        # Parent-side fold levels stack on top of the worker subtrees.
+        depth = max(chunk - 1, 0).bit_length()
+        return _tree_reduce(shards, registry, level_offset=depth)
     return _tree_reduce(shards)
 
 
@@ -491,6 +549,18 @@ def merge_all(
         raise ValueError("no CTTs to merge")
     if schedule not in ("tree", "fold"):
         raise ValueError(f"unknown merge schedule {schedule!r}")
+    registry = obs.active()
+    with obs.span("inter.merge"):
+        result = _merge_all_impl(ctts, schedule, workers, parallel_threshold,
+                                 registry)
+    if registry is not None:
+        _publish_merge_metrics(registry, result)
+    return result
+
+
+def _merge_all_impl(
+    ctts, schedule, workers, parallel_threshold, registry
+) -> MergedCTT:
     if schedule == "tree":
         nworkers = _resolve_workers(workers)
         if nworkers > 1 and len(ctts) >= parallel_threshold:
@@ -504,4 +574,17 @@ def merge_all(
         for m in merged[1:]:
             acc.absorb(m)
         return acc.finalize()
-    return _tree_reduce(merged).finalize()
+    return _tree_reduce(merged, registry).finalize()
+
+
+def _publish_merge_metrics(registry, merged: MergedCTT) -> None:
+    interns = merged.interns
+    registry.counter_add("inter.ranks_merged", merged.nranks_merged)
+    registry.counter_add("inter.vertices", merged.vertex_count())
+    registry.counter_add("inter.groups", merged.group_count())
+    registry.counter_add("inter.intern_hits", interns.hits)
+    registry.counter_add("inter.intern_misses", interns.misses)
+    hits = registry.counters.get("inter.intern_hits", 0)
+    misses = registry.counters.get("inter.intern_misses", 0)
+    if hits + misses:
+        registry.gauge_set("inter.intern_hit_rate", hits / (hits + misses))

@@ -64,7 +64,10 @@ workers, with output guaranteed byte-identical to serial compression.
 from __future__ import annotations
 
 import os
+import time
 from dataclasses import dataclass, field
+
+from repro import obs
 
 from repro.mpisim.events import CommEvent
 from repro.mpisim.pmpi import (
@@ -168,6 +171,16 @@ class IntraProcessCompressor(TraceSink):
         # Monomorphic event ingestion: pick the variant once, so the hot
         # path carries no per-event mode branch.
         self._ingest = self._ingest_fast if self._fastpath else self._ingest_ref
+        # Observability counters (docs/INTERNALS.md §6).  Always
+        # maintained: each one is incremented only on a path that already
+        # misses a cache (or defers a wildcard), so the fast path carries
+        # no metrics cost, and totals to rate them against are derived
+        # from CTT state (leaf_visits) in metrics_counters().
+        self.m_mono_miss = 0  # dispatch-cache misses (dict/scan fallback)
+        self.m_key_build = 0  # fresh record keys built (key-cache misses)
+        self.m_stream_fallback = 0  # inline stream loop -> generic handler
+        self.m_wildcard_deferred = 0  # wildcard receives queued pending
+        self.m_wildcard_max_depth = 0  # peak pending-queue depth
 
     # ------------------------------------------------------------------
 
@@ -190,6 +203,63 @@ class IntraProcessCompressor(TraceSink):
 
     def total_bytes(self) -> int:
         return sum(self.approx_bytes(r) for r in self._states)
+
+    # ------------------------------------------------------------------
+    # Observability (docs/INTERNALS.md §6).
+
+    def metrics_counters(self) -> dict[str, int]:
+        """Snapshot of the intra-process counters.  Totals are derived
+        from CTT state rather than sampled on the hot path: every
+        dispatched event increments exactly one leaf's ``leaf_visits``,
+        so cache *hits* are ``events - misses`` at zero per-event cost."""
+        events = 0
+        records = 0
+        for st in self._states.values():
+            for v in st.ctt.vertices():
+                events += v.leaf_visits
+                if v.records is not None:
+                    records += len(v.records)
+        return {
+            "intra.events": events,
+            "intra.records": records,
+            "intra.ranks": len(self._states),
+            "intra.mono_cache_miss": self.m_mono_miss,
+            "intra.key_builds": self.m_key_build,
+            "intra.stream_fallback": self.m_stream_fallback,
+            "intra.wildcard_deferred": self.m_wildcard_deferred,
+            "intra.wildcard_max_depth": self.m_wildcard_max_depth,
+        }
+
+    def absorb_metrics_counters(self, counters: dict[str, int]) -> None:
+        """Fold a worker shard's counter snapshot into this compressor
+        (only the slow-path counters — the derived totals recompute from
+        the absorbed CTTs)."""
+        self.m_mono_miss += counters.get("intra.mono_cache_miss", 0)
+        self.m_key_build += counters.get("intra.key_builds", 0)
+        self.m_stream_fallback += counters.get("intra.stream_fallback", 0)
+        self.m_wildcard_deferred += counters.get("intra.wildcard_deferred", 0)
+        depth = counters.get("intra.wildcard_max_depth", 0)
+        if depth > self.m_wildcard_max_depth:
+            self.m_wildcard_max_depth = depth
+
+    def publish_metrics(self, registry) -> None:
+        """Push counters plus derived hit-rate gauges into ``registry``."""
+        counters = self.metrics_counters()
+        events = counters["intra.events"]
+        for name, value in counters.items():
+            if name == "intra.wildcard_max_depth":
+                registry.gauge_max(name, value)
+            else:
+                registry.counter_add(name, value)
+        if events:
+            registry.gauge_set(
+                "intra.mono_cache_hit_rate",
+                1.0 - counters["intra.mono_cache_miss"] / events,
+            )
+            registry.gauge_set(
+                "intra.key_cache_hit_rate",
+                1.0 - counters["intra.key_builds"] / events,
+            )
 
     # ------------------------------------------------------------------
     # Structural markers.  Public callbacks resolve the rank state once
@@ -366,6 +436,7 @@ class IntraProcessCompressor(TraceSink):
             # candidate always yields it, independent of search_pos.
             idx, leaf = cur.mono_pair
         else:
+            self.m_mono_miss += 1
             lst = cur.call_children_by_op.get(op)
             if lst is None:
                 raise CompressionError(
@@ -431,6 +502,7 @@ class IntraProcessCompressor(TraceSink):
                 return
             key = leaf.last_key
         else:
+            self.m_key_build += 1
             key = self._event_key(ev, st.rank, req_gids)
             leaf.last_params = params
             leaf.last_key = key
@@ -485,6 +557,7 @@ class IntraProcessCompressor(TraceSink):
             self._ingest_pending(st, leaf, ev, visit, duration, gap)
             return
 
+        self.m_key_build += 1
         key = self._event_key(ev, rank, req_gids)
         self._add_record(leaf, key, visit, duration, gap)
 
@@ -515,6 +588,10 @@ class IntraProcessCompressor(TraceSink):
         record.add_occurrence(visit, duration, gap)
         st.pending[ev.req] = (leaf, record, ev, len(leaf.records))
         leaf.records.append(record)
+        self.m_wildcard_deferred += 1
+        depth = len(st.pending)
+        if depth > self.m_wildcard_max_depth:
+            self.m_wildcard_max_depth = depth
 
     def _event_key(
         self,
@@ -765,6 +842,7 @@ class IntraProcessCompressor(TraceSink):
                             else:
                                 stats.add(gap)
                             continue
+                    self.m_stream_fallback += 1
                     ingest(st, ev)
                 elif code == OP_BRANCH_ENTER:
                     # Inlined _branch_enter (identical semantics; the
@@ -868,18 +946,27 @@ class IntraProcessCompressor(TraceSink):
 # Sharded parallel compression executor.
 
 
-def _compress_shard(payload) -> list:
+def _compress_shard(payload) -> tuple:
     """Worker entry point: compress one contiguous shard of rank streams.
 
     Must stay a module-level function (pickled by ``multiprocessing``).
     Per-rank compression is deterministic and rank states never interact,
     so shard results are exactly what serial compression would produce.
+    Besides the CTTs, the worker ships its counter snapshot and wall time
+    home so the parent can aggregate per-worker metrics (the counters are
+    intrinsic and the timing is two clock reads — no cost worth gating).
     """
     cst, config, items = payload
+    t0 = time.perf_counter()
     comp = IntraProcessCompressor(cst, config=config)
     for rank, stream in items:
         comp.ingest_stream(rank, stream)
-    return [(rank, comp.ctt(rank)) for rank, _stream in items]
+    elapsed = time.perf_counter() - t0
+    return (
+        [(rank, comp.ctt(rank)) for rank, _stream in items],
+        comp.metrics_counters(),
+        elapsed,
+    )
 
 
 def _resolve_workers(workers) -> int:
@@ -927,9 +1014,15 @@ def compress_streams(
         except (OSError, ValueError, ImportError):  # no /dev/shm, sandboxing, …
             results = None
         if results is not None:
-            for shard_result in results:
+            registry = obs.active()
+            for shard_result, shard_counters, shard_seconds in results:
                 for rank, ctt in shard_result:
                     comp._states[rank] = _RankState(ctt=ctt, rank=rank)
+                comp.absorb_metrics_counters(shard_counters)
+                if registry is not None:
+                    registry.observe("intra.worker_seconds", shard_seconds)
+            if registry is not None:
+                registry.gauge_max("intra.workers", float(len(shards)))
             return comp
     for rank, stream in items:
         comp.ingest_stream(rank, stream)

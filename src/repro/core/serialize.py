@@ -22,6 +22,7 @@ from __future__ import annotations
 import gzip as _gzip
 import struct
 
+from repro import obs
 from repro.static.cst import BRANCH, CALL, LOOP, ROOT
 
 from .inter import Group, InternTable, MergedCTT, MergedVertex
@@ -42,6 +43,10 @@ class ByteWriter:
 
     def bytes(self) -> bytes:
         return b"".join(self._parts)
+
+    def size(self) -> int:
+        """Bytes written so far (section accounting for the metrics)."""
+        return sum(len(p) for p in self._parts)
 
     def raw(self, data: bytes) -> None:
         self._parts.append(data)
@@ -216,8 +221,21 @@ def _read_record(r: ByteReader, ops: list[str]) -> CompressedRecord:
 # ---------------------------------------------------------------------------
 
 
+#: Nominal per-event cost of an uncompressed binary trace record (op code
+#: plus ~10 integer fields) — the denominator of the ``ratio_vs_raw``
+#: gauge.  A fixed constant so the ratio is comparable across runs; the
+#: text-based RawTraceSink baseline averages slightly more per event.
+RAW_EVENT_BYTES = 48
+
+
 def dumps(merged: MergedCTT, gzip: bool = False) -> bytes:
     """Serialize a merged CTT; ``gzip=True`` is the +Gzip variant."""
+    with obs.span("serialize.dumps"):
+        return _dumps(merged, gzip)
+
+
+def _dumps(merged: MergedCTT, gzip: bool) -> bytes:
+    registry = obs.active()
     vertices = list(merged.root.preorder())
     # String table: op names and leaf names.
     strings: dict[str, int] = {}
@@ -232,6 +250,7 @@ def dumps(merged: MergedCTT, gzip: bool = False) -> bytes:
     w.u(len(strings))
     for text in strings:  # dict preserves insertion order
         w.s(text)
+    header_bytes = w.size() if registry is not None else 0
     # Topology, pre-order.
     for v in vertices:
         w.u(_KIND_CODE[v.kind])
@@ -241,6 +260,7 @@ def dumps(merged: MergedCTT, gzip: bool = False) -> bytes:
         elif v.kind == BRANCH:
             w.u(v.branch_path if v.branch_path is not None else 0)
         w.u(len(v.children))
+    topology_bytes = (w.size() - header_bytes) if registry is not None else 0
     # Payload, pre-order.  Groups are written in canonical order (by
     # lowest member rank — member sets are disjoint) so the bytes do not
     # depend on the merge schedule that produced the tree.
@@ -258,9 +278,45 @@ def dumps(merged: MergedCTT, gzip: bool = False) -> bytes:
                 for rec in group.records:
                     _write_record(w, rec, strings)
     data = w.bytes()
+    if registry is not None:
+        _publish_dump_metrics(
+            registry, merged, vertices, header_bytes, topology_bytes, len(data)
+        )
     if gzip:
-        return _gzip.compress(data, compresslevel=6)
+        packed = _gzip.compress(data, compresslevel=6)
+        if registry is not None:
+            registry.counter_add("serialize.bytes.gzip", len(packed))
+            registry.gauge_set("serialize.gzip_ratio", len(data) / len(packed))
+        return packed
     return data
+
+
+def _publish_dump_metrics(
+    registry, merged, vertices, header_bytes, topology_bytes, total
+) -> None:
+    """Section byte counts plus the compression ratio vs. a nominal raw
+    per-event trace — computed only when observability is on (one extra
+    walk over the groups, outside any hot path)."""
+    events = 0
+    for v in vertices:
+        if v.kind != CALL:
+            continue
+        for group in v.groups.values():
+            records = group.records
+            if records:
+                per_rank = sum(rec.occurrences.length for rec in records)
+                events += per_rank * len(group.ranks)
+    registry.counter_add("serialize.bytes.header", header_bytes)
+    registry.counter_add("serialize.bytes.topology", topology_bytes)
+    registry.counter_add(
+        "serialize.bytes.payload", total - header_bytes - topology_bytes
+    )
+    registry.counter_add("serialize.bytes.total", total)
+    registry.counter_add("serialize.events", events)
+    if total:
+        registry.gauge_set(
+            "serialize.ratio_vs_raw", events * RAW_EVENT_BYTES / total
+        )
 
 
 def loads(data: bytes) -> MergedCTT:

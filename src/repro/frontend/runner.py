@@ -5,6 +5,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Iterator
 
+from repro import obs
 from repro.core.decompress import ReplayEvent, decompress_merged_rank
 from repro.core.inter import MergedCTT, merge_all
 from repro.core.intra import CypressConfig, IntraProcessCompressor, compress_streams
@@ -85,6 +86,7 @@ def run_python(
     processes (``"auto"`` = all cores), byte-identical to inline
     compression.
     """
+    registry = obs.active()
     built = (
         structure
         if isinstance(structure, BuiltStructure)
@@ -104,11 +106,17 @@ def run_python(
     def rank_main(comm):
         return rank_fn(TracedComm(comm, built))
 
-    result = runtime.run(rank_main)
+    with obs.span("trace.run"):
+        result = runtime.run(rank_main)
     if capture is not None:
-        compressor = compress_streams(
-            built.cst, capture.streams, config=config, workers=compress_workers
-        )
+        with obs.span("intra.compress"):
+            compressor = compress_streams(
+                built.cst, capture.streams, config=config,
+                workers=compress_workers,
+            )
+    if registry is not None:
+        compressor.publish_metrics(registry)
+        registry.counter_add("trace.total_events", result.total_events)
     return PythonRun(
         structure=built,
         nprocs=nprocs,

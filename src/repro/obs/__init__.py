@@ -1,0 +1,43 @@
+"""Pipeline observability: metrics, stage tracing, profiling hooks.
+
+Usage (the CLI's ``--metrics`` / ``--metrics-out`` do exactly this)::
+
+    from repro import obs
+
+    registry = obs.enable()
+    run = run_cypress(source, nprocs=64)
+    run.save("trace.cyp")
+    obs.disable()
+    print(obs.format_text(registry))        # human-readable
+    obs.write_json(registry, "m.json")      # schema: obs.METRICS_SCHEMA
+
+When no registry is enabled every hook is a no-op (see
+:mod:`repro.obs.registry` for the zero-cost-when-off design notes).
+"""
+
+from .export import METRICS_SCHEMA, format_text, to_json, write_json
+from .registry import (
+    NULL_SPAN,
+    MetricsRegistry,
+    TimerStat,
+    active,
+    disable,
+    enable,
+    enabled,
+    span,
+)
+
+__all__ = [
+    "METRICS_SCHEMA",
+    "MetricsRegistry",
+    "NULL_SPAN",
+    "TimerStat",
+    "active",
+    "disable",
+    "enable",
+    "enabled",
+    "format_text",
+    "span",
+    "to_json",
+    "write_json",
+]

@@ -46,18 +46,28 @@ def compile_minimpi(
     source_name: str = "<minimpi>",
 ) -> CompiledProgram:
     """Compile MiniMPI source, optionally running the CYPRESS static pass."""
+    from repro import obs
+
     t0 = time.perf_counter()
-    program = parse(source, source_name)
-    # Baseline compilation always builds CFGs (any optimising compiler does);
-    # the CYPRESS pass adds the CST extraction on top.
-    build_all_cfgs(program)
-    static = None
-    plan = None
-    if cypress:
-        check_trace_legality(program)
-        static = build_program_cst(program, make_classifier(program), entry=entry)
-        plan = InstrumentationPlan.from_static(static)
+    with obs.span("static.compile"):
+        program = parse(source, source_name)
+        # Baseline compilation always builds CFGs (any optimising compiler
+        # does); the CYPRESS pass adds the CST extraction on top.
+        build_all_cfgs(program)
+        static = None
+        plan = None
+        if cypress:
+            check_trace_legality(program)
+            static = build_program_cst(
+                program, make_classifier(program), entry=entry
+            )
+            plan = InstrumentationPlan.from_static(static)
     elapsed = time.perf_counter() - t0
+    registry = obs.active()
+    if registry is not None:
+        registry.counter_add("static.compiles", 1)
+        if static is not None:
+            registry.counter_add("static.cst_vertices", static.cst.size())
     return CompiledProgram(
         program=program,
         static=static,

@@ -1,0 +1,136 @@
+"""Edge cases of the decompress/replay path: degenerate trees, the gzip
+container, and the error paths a damaged trace file must hit."""
+
+import sys
+
+import pytest
+
+sys.path.insert(0, "tests")
+from helpers import assert_replay_exact, run_traced  # noqa: E402
+
+from repro.core import serialize  # noqa: E402
+from repro.core.decompress import (  # noqa: E402
+    decompress_all,
+    decompress_merged_rank,
+    decompress_rank,
+)
+from repro.core.inter import merge_all  # noqa: E402
+
+
+def _merged(source: str, nprocs: int):
+    _, rec, cyp, _ = run_traced(source, nprocs)
+    return rec, cyp, merge_all([cyp.ctt(r) for r in range(nprocs)])
+
+
+class TestEmptyTree:
+    """A program with no MPI calls compresses to an empty merged tree."""
+
+    SOURCE = "func main() { var x = compute(5); }"
+
+    def test_replay_is_empty(self):
+        _, cyp, merged = _merged(self.SOURCE, 2)
+        assert decompress_rank(cyp.ctt(0)) == []
+        assert decompress_merged_rank(merged, 0) == []
+        # No groups -> no members -> nothing to replay.
+        assert decompress_all(merged) == {}
+
+    def test_serialize_roundtrip(self):
+        _, _, merged = _merged(self.SOURCE, 2)
+        back = serialize.loads(serialize.dumps(merged))
+        assert back.nranks_merged == 2
+        assert decompress_merged_rank(back, 1) == []
+
+
+class TestSingleRank:
+    SOURCE = """
+    func main() {
+      for (var i = 0; i < 4; i = i + 1) {
+        mpi_send(0, 32, 1);
+        mpi_recv(0, 32, 1);
+      }
+      mpi_barrier();
+    }
+    """
+
+    def test_merged_single_rank_replays_exactly(self):
+        rec, cyp, merged = _merged(self.SOURCE, 1)
+        assert merged.nranks_merged == 1
+        assert_replay_exact(rec, cyp, 1, merged=True)
+
+    def test_roundtrip_preserves_replay(self):
+        rec, _, merged = _merged(self.SOURCE, 1)
+        back = serialize.loads(serialize.dumps(merged))
+        truth = [e.replay_tuple() for e in rec.events[0]]
+        assert [e.call_tuple() for e in decompress_merged_rank(back, 0)] == truth
+
+
+class TestGzipContainer:
+    SOURCE = """
+    func main() {
+      for (var i = 0; i < 8; i = i + 1) { mpi_allreduce(64); }
+    }
+    """
+
+    def test_gzip_file_loads_and_replays(self, tmp_path):
+        _, _, merged = _merged(self.SOURCE, 3)
+        plain, packed = tmp_path / "t.cyp", tmp_path / "t.cyp.gz"
+        serialize.save(merged, str(plain), gzip=False)
+        n = serialize.save(merged, str(packed), gzip=True)
+        assert packed.read_bytes()[:2] == b"\x1f\x8b" and n > 0
+        a = decompress_all(serialize.load(str(plain)))
+        b = decompress_all(serialize.load(str(packed)))
+        assert {r: [e.call_tuple() for e in ev] for r, ev in a.items()} == {
+            r: [e.call_tuple() for e in ev] for r, ev in b.items()
+        }
+
+    def test_gzip_garbage_raises_value_error(self):
+        with pytest.raises(ValueError):
+            serialize.loads(b"\x1f\x8b" + b"\x00" * 16)
+
+
+class TestTruncatedInput:
+    SOURCE = """
+    func main() {
+      for (var i = 0; i < 5; i = i + 1) {
+        mpi_send(mpi_comm_rank(), 128, 2);
+        mpi_recv(mpi_comm_rank(), 128, 2);
+        mpi_bcast(0, 256);
+      }
+    }
+    """
+
+    def test_every_truncation_raises_value_error(self):
+        _, _, merged = _merged(self.SOURCE, 2)
+        blob = serialize.dumps(merged)
+        assert serialize.loads(blob).nranks_merged == 2  # sanity
+        step = max(1, len(blob) // 40)
+        for cut in range(0, len(blob) - 1, step):
+            with pytest.raises(ValueError):
+                serialize.loads(blob[:cut])
+
+    def test_empty_input(self):
+        with pytest.raises(ValueError):
+            serialize.loads(b"")
+
+    def test_bad_magic(self):
+        with pytest.raises(ValueError, match="not a CYPRESS trace"):
+            serialize.loads(b"NOPE" + b"\x00" * 32)
+
+    def test_unsupported_version(self):
+        _, _, merged = _merged("func main() { mpi_barrier(); }", 1)
+        blob = bytearray(serialize.dumps(merged))
+        blob[4] = 99  # version varint follows the 4-byte magic
+        with pytest.raises(ValueError, match="unsupported trace version"):
+            serialize.loads(bytes(blob))
+
+    def test_trailing_corruption_detected(self):
+        _, _, merged = _merged(self.SOURCE, 2)
+        blob = serialize.dumps(merged)
+        # Flipping payload bytes must never crash with a non-ValueError.
+        for pos in range(len(blob) // 2, len(blob), 7):
+            mutated = bytearray(blob)
+            mutated[pos] ^= 0xFF
+            try:
+                serialize.loads(bytes(mutated))
+            except ValueError:
+                pass

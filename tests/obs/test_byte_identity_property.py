@@ -1,0 +1,58 @@
+"""The observability layer must never change what the pipeline produces:
+for random structured programs, the serialized trace bytes are identical
+with metrics on and off — across the serial (inline callback), batched
+(deferred ``ingest_stream``) and parallel-worker compression paths."""
+
+import sys
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+sys.path.insert(0, "tests")
+from generators import program  # noqa: E402
+
+from repro import obs  # noqa: E402
+from repro.core import serialize  # noqa: E402
+from repro.core.api import run_cypress  # noqa: E402
+
+SETTINGS = dict(
+    max_examples=10,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+
+# serial = inline per-callback compression; batched = deferred
+# ingest_stream in-process; parallel = deferred, sharded over 2 workers.
+MODES = {"serial": None, "batched": 1, "parallel": 2}
+
+
+def _trace_bytes(source: str, nprocs: int, compress_workers, metrics: bool):
+    obs.disable()
+    if metrics:
+        obs.enable()
+    try:
+        run = run_cypress(source, nprocs, compress_workers=compress_workers)
+        return serialize.dumps(run.merge())
+    finally:
+        obs.disable()
+
+
+class TestMetricsByteIdentity:
+    @settings(**SETTINGS)
+    @given(program(allow_functions=True), st.sampled_from(sorted(MODES)))
+    def test_trace_bytes_identical_with_metrics_on(self, source, mode):
+        nprocs = 2
+        off = _trace_bytes(source, nprocs, MODES[mode], metrics=False)
+        on = _trace_bytes(source, nprocs, MODES[mode], metrics=True)
+        assert on == off, f"{mode}: metrics-on trace differs from metrics-off"
+
+    @settings(**SETTINGS)
+    @given(program(allow_functions=True))
+    def test_modes_identical_under_metrics(self, source):
+        nprocs = 2
+        blobs = {
+            mode: _trace_bytes(source, nprocs, workers, metrics=True)
+            for mode, workers in MODES.items()
+        }
+        assert blobs["batched"] == blobs["serial"]
+        assert blobs["parallel"] == blobs["serial"]

@@ -1,0 +1,157 @@
+"""End-to-end instrumentation coverage: one observed pipeline run must
+produce stage spans and counters for every stage (static CST build,
+tracing, intra-process compression, inter-process merge, serialization,
+replay), and worker-pool aggregation must reproduce the serial counters."""
+
+import pytest
+
+from repro import obs
+from repro.core import serialize
+from repro.core.api import run_cypress
+from repro.core.decompress import decompress_all
+from repro.core.intra import compress_streams
+
+SOURCE = """
+func main() {
+  var rank = mpi_comm_rank();
+  for (var i = 0; i < 6; i = i + 1) {
+    if (rank % 2 == 0) {
+      mpi_send(rank, 64, 3);
+      mpi_recv(rank, 64, 3);
+    } else {
+      mpi_send(rank, 32, 5);
+      mpi_recv(rank, 32, 5);
+    }
+    mpi_allreduce(8);
+  }
+}
+"""
+
+STAGES = (
+    "static.compile",
+    "trace.run",
+    "intra.compress",
+    "inter.merge",
+    "serialize.dumps",
+)
+
+
+@pytest.fixture(autouse=True)
+def _no_global_registry():
+    obs.disable()
+    yield
+    obs.disable()
+
+
+def _observed_run(**kwargs):
+    registry = obs.enable()
+    try:
+        run = run_cypress(SOURCE, nprocs=4, **kwargs)
+        merged = run.merge()
+        blob = serialize.dumps(merged)
+        replays = decompress_all(merged)
+    finally:
+        obs.disable()
+    return registry, run, blob, replays
+
+
+class TestStageCoverage:
+    def test_every_stage_has_a_span(self):
+        registry, _, _, _ = _observed_run()
+        paths = registry.span_paths()
+        for stage in STAGES + ("replay.decompress_all",):
+            assert any(p.endswith(stage) for p in paths), (
+                f"no span for stage {stage}: {paths}"
+            )
+
+    def test_intra_counters_and_hit_rates(self):
+        registry, run, _, _ = _observed_run()
+        c = registry.counters
+        assert c["intra.events"] == run.run_result.total_events
+        assert c["intra.events"] == c["trace.total_events"]
+        assert c["intra.ranks"] == 4
+        assert c["intra.records"] > 0
+        # Hit rates are derived from the slow-path miss counters.
+        assert registry.gauges["intra.mono_cache_hit_rate"] == pytest.approx(
+            1.0 - c["intra.mono_cache_miss"] / c["intra.events"]
+        )
+        assert registry.gauges["intra.key_cache_hit_rate"] == pytest.approx(
+            1.0 - c["intra.key_builds"] / c["intra.events"]
+        )
+        # Loops repeat identical events: key interning must mostly hit.
+        assert registry.gauges["intra.key_cache_hit_rate"] >= 0.5
+
+    def test_merge_and_serialize_counters(self):
+        registry, _, blob, _ = _observed_run()
+        c = registry.counters
+        assert c["inter.ranks_merged"] == 4
+        assert c["inter.intern_hits"] + c["inter.intern_misses"] > 0
+        assert 0.0 <= registry.gauges["inter.intern_hit_rate"] <= 1.0
+        assert c["serialize.bytes.total"] == len(blob)
+        assert (
+            c["serialize.bytes.header"]
+            + c["serialize.bytes.topology"]
+            + c["serialize.bytes.payload"]
+            == c["serialize.bytes.total"]
+        )
+        assert registry.gauges["serialize.ratio_vs_raw"] > 1.0
+
+    def test_replay_counters(self):
+        registry, run, _, replays = _observed_run()
+        c = registry.counters
+        assert c["replay.ranks"] == 4
+        assert c["replay.events"] == sum(len(ev) for ev in replays.values())
+        assert c["replay.events"] == run.run_result.total_events
+
+    def test_static_counters(self):
+        registry, run, _, _ = _observed_run()
+        assert registry.counters["static.compiles"] == 1
+        assert (
+            registry.counters["static.cst_vertices"] == run.compiled.cst.size()
+        )
+
+    def test_inline_compression_attributed_as_span(self):
+        registry, _, _, _ = _observed_run()  # inline (no compress_workers)
+        assert any(p.endswith("intra.compress") for p in registry.span_paths())
+
+
+class TestWorkerAggregation:
+    def test_parallel_counters_match_serial(self):
+        run = run_cypress(SOURCE, nprocs=4, compress_workers=2)
+        streams = run.capture.streams
+        cst = run.compiled.cst
+
+        def observed_counters(workers):
+            registry = obs.enable()
+            try:
+                comp = compress_streams(cst, streams, workers=workers)
+                comp.publish_metrics(registry)
+            finally:
+                obs.disable()
+            return comp, {
+                k: v
+                for k, v in registry.counters.items()
+                if k.startswith("intra.")
+            }
+
+        serial_comp, serial = observed_counters(None)
+        parallel_comp, parallel = observed_counters(2)
+        assert parallel == serial
+        assert serial["intra.events"] == run.run_result.total_events
+        # ... and the aggregation did not change the compression itself.
+        ranks = sorted(serial_comp.ranks())
+        assert [parallel_comp.ctt(r).record_count() for r in ranks] == [
+            serial_comp.ctt(r).record_count() for r in ranks
+        ]
+
+    def test_parallel_run_reports_worker_pool(self):
+        registry = obs.enable()
+        try:
+            run_cypress(SOURCE, nprocs=4, compress_workers=2)
+        finally:
+            obs.disable()
+        # Pool may fall back to serial in restricted sandboxes; when it
+        # ran, per-worker timings and the pool width must be recorded.
+        if "intra.worker_seconds" in registry.timers:
+            assert registry.timers["intra.worker_seconds"].count >= 1
+            assert registry.gauges["intra.workers"] >= 1.0
