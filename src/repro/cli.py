@@ -14,6 +14,9 @@ Commands:
 * ``verify``   — end-to-end self-check: trace a workload, decompress, and
   compare against ground truth (sequence preservation)
 * ``hotspots`` — which loops/call sites dominate communication time
+* ``faultsmoke`` — run the seeded fault-injection matrix (worker kill /
+  hang / raise, stream corruption, trace truncation) and check every
+  degraded mode recovers; writes a JSON report for CI
 """
 
 from __future__ import annotations
@@ -44,6 +47,30 @@ def _add_compress_args(p: argparse.ArgumentParser) -> None:
                    help="defer compression and shard ranks over this many "
                         "worker processes: an integer or 'auto' "
                         "(default: compress inline while tracing)")
+
+
+def _add_fault_args(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--strict", action="store_true",
+                   help="abort on any CST/stream mismatch instead of "
+                        "quarantining the offending rank")
+    p.add_argument("--retry", type=int, default=1, metavar="N",
+                   help="worker-pool retry rounds before serial "
+                        "re-execution (default: 1)")
+    p.add_argument("--task-timeout", type=float, default=None,
+                   metavar="SECONDS",
+                   help="per-task timeout for pool workers; a hung worker "
+                        "is killed and its task retried (default: none)")
+    p.add_argument("--quarantine-out", default=None, metavar="PATH",
+                   help="write the QuarantineReport as JSON to PATH")
+
+
+def _report_quarantine(quarantine, out_path: str | None) -> None:
+    if quarantine:
+        print(f"WARNING: {quarantine.summary()}", file=sys.stderr)
+    if out_path:
+        with open(out_path, "w") as fh:
+            fh.write(quarantine.to_json())
+        print(f"quarantine report -> {out_path}")
 
 
 def _add_metrics_args(p: argparse.ArgumentParser) -> None:
@@ -77,13 +104,17 @@ def cmd_trace(args: argparse.Namespace) -> int:
     run = run_cypress(
         w.source, args.nprocs, defines=w.defines(args.nprocs, args.scale),
         compress_workers=_compress_workers(args),
+        strict=args.strict, retries=args.retry,
+        task_timeout=args.task_timeout,
     )
-    run.merge(schedule=args.merge_schedule, workers=_merge_workers(args))
+    run.merge(schedule=args.merge_schedule, workers=_merge_workers(args),
+              retries=args.retry, task_timeout=args.task_timeout)
     nbytes = run.save(args.output, gzip=args.gzip)
     print(f"{args.workload} on {args.nprocs} ranks:")
     print(f"  events traced    : {run.run_result.total_events}")
     print(f"  virtual time     : {run.run_result.elapsed / 1e6:.3f} s")
     print(f"  compressed trace : {nbytes} bytes -> {args.output}")
+    _report_quarantine(run.quarantine, args.quarantine_out)
     return 0
 
 
@@ -105,10 +136,23 @@ def cmd_compare(args: argparse.Namespace) -> int:
     return 0
 
 
+def _report_salvage(merged) -> None:
+    info = merged.salvage_info
+    if info is None or info["complete"]:
+        return
+    print(
+        "WARNING: trace salvaged — "
+        f"{info['vertices_with_payload']}/{info['vertices_total']} vertices "
+        f"recovered ({info['error']})",
+        file=sys.stderr,
+    )
+
+
 def cmd_replay(args: argparse.Namespace) -> int:
     from repro.core import decompress_merged_rank, serialize
 
-    merged = serialize.load(args.trace)
+    merged = serialize.load(args.trace, salvage=args.salvage)
+    _report_salvage(merged)
     events = decompress_merged_rank(merged, args.rank)
     print(f"rank {args.rank}: {len(events)} events")
     for ev in events[: args.limit]:
@@ -174,7 +218,8 @@ def cmd_info(args: argparse.Namespace) -> int:
     from repro.analysis.report import summarize
     from repro.core import serialize
 
-    merged = serialize.load(args.trace)
+    merged = serialize.load(args.trace, salvage=args.salvage)
+    _report_salvage(merged)
     print(summarize(merged).format())
     return 0
 
@@ -231,7 +276,9 @@ def cmd_verify(args: argparse.Namespace) -> int:
             tracer=MultiSink([recorder, capture]),
         )
         compressor = compress_streams(
-            compiled.cst, capture.streams, workers=workers
+            compiled.cst, capture.streams, workers=workers,
+            strict=args.strict, retries=args.retry,
+            task_timeout=args.task_timeout,
         )
     else:
         compressor = IntraProcessCompressor(compiled.cst)
@@ -239,10 +286,14 @@ def cmd_verify(args: argparse.Namespace) -> int:
             compiled, args.nprocs, defines=w.defines(args.nprocs, args.scale),
             tracer=MultiSink([recorder, compressor]),
         )
+    bad_ranks = compressor.quarantine.rank_set()
+    _report_quarantine(compressor.quarantine, args.quarantine_out)
     merged = merge_all(
-        [compressor.ctt(r) for r in range(args.nprocs)],
+        [compressor.ctt(r) for r in range(args.nprocs) if r not in bad_ranks],
         schedule=args.merge_schedule,
         workers=_merge_workers(args),
+        retries=args.retry,
+        task_timeout=args.task_timeout,
     )
     from repro import obs
 
@@ -252,6 +303,8 @@ def cmd_verify(args: argparse.Namespace) -> int:
     bad = 0
     total = 0
     for rank in range(args.nprocs):
+        if rank in bad_ranks:
+            continue
         truth = [e.replay_tuple() for e in recorder.events.get(rank, [])]
         replay = [e.call_tuple() for e in decompress_merged_rank(merged, rank)]
         total += len(truth)
@@ -261,11 +314,184 @@ def cmd_verify(args: argparse.Namespace) -> int:
     if bad:
         print(f"FAILED: {bad}/{args.nprocs} ranks diverged")
         return 1
+    healthy = args.nprocs - len(bad_ranks)
     print(
-        f"OK: {args.nprocs} ranks, {total} events — every rank's exact "
+        f"OK: {healthy} ranks, {total} events — every healthy rank's exact "
         "sequence reproduced from the compressed trace"
     )
-    return 0
+    return 1 if bad_ranks else 0
+
+
+def cmd_faultsmoke(args: argparse.Namespace) -> int:
+    """Seeded fault-injection matrix: every degraded mode must recover.
+
+    Each scenario injects one fault class (worker kill / hang / raise,
+    stream corruption, file truncation, bit flips) into an otherwise
+    healthy run and checks the documented recovery: pool faults recover
+    byte-identically, corruption quarantines exactly the victims,
+    damaged files fail loudly and salvage to a checksum-valid prefix.
+    """
+    import json
+    import warnings
+
+    from repro.core import TraceFormatError, run_cypress, serialize
+    from repro.core.inter import merge_all
+    from repro.faults import FaultPlan, WorkerFault, bitflip, truncate
+
+    w = WORKLOADS[args.workload]
+    w.check_procs(args.nprocs)
+    defines = w.defines(args.nprocs, args.scale)
+    baseline = run_cypress(
+        w.source, args.nprocs, defines=defines, compress_workers=2
+    )
+    base_bytes = serialize.dumps(baseline.merge())
+    scenarios: list[dict] = []
+    quarantine_dict: dict | None = None
+
+    def run_scenario(name: str, fn) -> None:
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            try:
+                detail = fn() or "recovered"
+                ok = True
+            except Exception as exc:  # a scenario must never escape
+                detail = f"{type(exc).__name__}: {exc}"
+                ok = False
+        scenarios.append({
+            "scenario": name,
+            "ok": ok,
+            "detail": detail,
+            "warnings": [str(c.message) for c in caught],
+        })
+        print(f"  {'ok  ' if ok else 'FAIL'} {name}: {detail}")
+
+    def check_identical(run) -> str:
+        if run.quarantine:
+            raise AssertionError(
+                f"unexpected quarantine: {run.quarantine.summary()}"
+            )
+        if serialize.dumps(run.merge()) != base_bytes:
+            raise AssertionError("recovered trace differs from baseline")
+        return "byte-identical to healthy baseline"
+
+    def scenario_kill() -> str:
+        plan = FaultPlan(seed=args.seed, worker_faults=(
+            WorkerFault(stage="intra", task=0, action="kill"),
+        ))
+        return check_identical(run_cypress(
+            w.source, args.nprocs, defines=defines,
+            compress_workers=2, fault_plan=plan,
+        ))
+
+    def scenario_hang() -> str:
+        plan = FaultPlan(seed=args.seed, worker_faults=(
+            WorkerFault(stage="intra", task=1, action="hang"),
+        ), hang_seconds=30.0)
+        return check_identical(run_cypress(
+            w.source, args.nprocs, defines=defines,
+            compress_workers=2, fault_plan=plan, task_timeout=2.0,
+        ))
+
+    def scenario_merge_raise() -> str:
+        plan = FaultPlan(seed=args.seed, worker_faults=(
+            WorkerFault(stage="inter", task=0, action="raise"),
+        ))
+        ctts = [baseline.compressor.ctt(r) for r in range(args.nprocs)]
+        merged = merge_all(
+            ctts, workers=2, parallel_threshold=2, fault_plan=plan,
+        )
+        if serialize.dumps(merged) != base_bytes:
+            raise AssertionError("recovered merge differs from baseline")
+        return "byte-identical to healthy baseline"
+
+    def scenario_corrupt() -> str:
+        nonlocal quarantine_dict
+        victims = (args.nprocs // 2, args.nprocs - 1)
+        plan = FaultPlan(seed=args.seed, corrupt_ranks=victims)
+        run = run_cypress(
+            w.source, args.nprocs, defines=defines,
+            compress_workers=2, fault_plan=plan,
+        )
+        quarantine_dict = run.quarantine.to_dict()
+        if run.quarantine.ranks() != sorted(set(victims)):
+            raise AssertionError(
+                f"quarantined {run.quarantine.ranks()}, "
+                f"expected {sorted(set(victims))}"
+            )
+        merged = run.merge()
+        expected = args.nprocs - len(set(victims))
+        if merged.nranks_merged != expected:
+            raise AssertionError(
+                f"merged {merged.nranks_merged} ranks, expected {expected}"
+            )
+        healthy = next(
+            r for r in range(args.nprocs) if r not in run.quarantine.rank_set()
+        )
+        run.replay(healthy)
+        run.replay(sorted(set(victims))[0])  # raw-capture fallback
+        return (
+            f"quarantined exactly {sorted(set(victims))}; "
+            f"{expected} healthy ranks merged and replayed"
+        )
+
+    def scenario_truncate() -> str:
+        rng = FaultPlan(seed=args.seed).rng("truncate")
+        # Small payload chunks so a small trace still spans several
+        # sections — the truncation then lands mid-payload and salvage
+        # recovers a non-trivial vertex prefix.
+        chunked = serialize.dumps(baseline.merge(), chunk_bytes=256)
+        cut = truncate(chunked, fraction=0.8, rng=rng)
+        try:
+            serialize.loads(cut)
+            raise AssertionError("truncated trace loaded without error")
+        except TraceFormatError:
+            pass
+        merged = serialize.loads(cut, salvage=True)
+        info = merged.salvage_info
+        return (
+            f"strict load failed loudly; salvage recovered "
+            f"{info['vertices_with_payload']}/{info['vertices_total']} "
+            "vertices"
+        )
+
+    def scenario_bitflips() -> str:
+        rng = FaultPlan(seed=args.seed).rng("bitflip")
+        for trial in range(args.flips):
+            bad = bitflip(base_bytes, rng)
+            try:
+                serialize.loads(bad)
+                raise AssertionError(
+                    f"bit flip #{trial} loaded without error"
+                )
+            except (TraceFormatError, ValueError):
+                pass
+        return f"all {args.flips} single-bit flips failed loudly"
+
+    print(f"fault-injection smoke: {args.workload} on {args.nprocs} ranks "
+          f"(seed {args.seed}, baseline {len(base_bytes)} bytes)")
+    run_scenario("worker-kill-intra", scenario_kill)
+    run_scenario("worker-hang-timeout", scenario_hang)
+    run_scenario("worker-raise-inter", scenario_merge_raise)
+    run_scenario("stream-corruption-quarantine", scenario_corrupt)
+    run_scenario("truncation-salvage", scenario_truncate)
+    run_scenario("bitflip-loudness", scenario_bitflips)
+    passed = all(s["ok"] for s in scenarios)
+    report = {
+        "workload": args.workload,
+        "nprocs": args.nprocs,
+        "seed": args.seed,
+        "baseline_bytes": len(base_bytes),
+        "passed": passed,
+        "scenarios": scenarios,
+        "quarantine": quarantine_dict,
+    }
+    if args.out:
+        with open(args.out, "w") as fh:
+            json.dump(report, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"report -> {args.out}")
+    print("PASSED" if passed else "FAILED")
+    return 0 if passed else 1
 
 
 def cmd_diff(args: argparse.Namespace) -> int:
@@ -286,6 +512,7 @@ def main(argv: list[str] | None = None) -> int:
     _add_merge_args(p)
     _add_compress_args(p)
     _add_metrics_args(p)
+    _add_fault_args(p)
     p.add_argument("-o", "--output", default="trace.cyp")
     p.add_argument("--gzip", action="store_true")
     p.set_defaults(func=cmd_trace)
@@ -298,6 +525,9 @@ def main(argv: list[str] | None = None) -> int:
     p.add_argument("trace")
     p.add_argument("-r", "--rank", type=int, default=0)
     p.add_argument("--limit", type=int, default=30)
+    p.add_argument("--salvage", action="store_true",
+                   help="recover the longest checksum-valid prefix of a "
+                        "damaged trace instead of failing")
     _add_metrics_args(p)
     p.set_defaults(func=cmd_replay)
 
@@ -315,6 +545,9 @@ def main(argv: list[str] | None = None) -> int:
 
     p = sub.add_parser("info", help="per-op summary of a trace file")
     p.add_argument("trace")
+    p.add_argument("--salvage", action="store_true",
+                   help="recover the longest checksum-valid prefix of a "
+                        "damaged trace instead of failing")
     p.set_defaults(func=cmd_info)
 
     p = sub.add_parser("hotspots", help="communication-time hotspots by structure")
@@ -327,7 +560,26 @@ def main(argv: list[str] | None = None) -> int:
     _add_merge_args(p)
     _add_compress_args(p)
     _add_metrics_args(p)
+    _add_fault_args(p)
     p.set_defaults(func=cmd_verify)
+
+    p = sub.add_parser(
+        "faultsmoke",
+        help="seeded fault-injection matrix: verify every degraded mode",
+    )
+    p.add_argument("workload", nargs="?", default="cg",
+                   choices=sorted(WORKLOADS))
+    p.add_argument("-n", "--nprocs", type=int, default=8)
+    p.add_argument("--scale", type=float, default=0.5,
+                   help="iteration-count scale factor (default: 0.5)")
+    p.add_argument("--seed", type=int, default=20260807,
+                   help="FaultPlan seed (default: 20260807)")
+    p.add_argument("--flips", type=int, default=64,
+                   help="random single-bit flips to test (default: 64)")
+    p.add_argument("-o", "--out", default=None, metavar="PATH",
+                   help="write the JSON report (incl. the QuarantineReport) "
+                        "to PATH")
+    p.set_defaults(func=cmd_faultsmoke)
 
     p = sub.add_parser("diff", help="compare two trace files")
     p.add_argument("a")

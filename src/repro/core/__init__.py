@@ -9,8 +9,15 @@ from .decompress import (
     decompress_rank,
     DecompressionError,
 )
-from .inter import MergedCTT, merge_all, MergeError
+from .errors import (
+    CypressError,
+    MergeError,
+    StreamMismatchError,
+    TraceFormatError,
+)
+from .inter import MergedCTT, merge_all
 from .intra import CompressionError, CypressConfig, IntraProcessCompressor
+from .quarantine import QuarantinedRank, QuarantineReport
 from .records import CompressedRecord
 from .sequences import IntSequence, SequenceCursor
 from .timing import TimeStats, MEANSTD, HIST
@@ -28,10 +35,15 @@ __all__ = [
     "DecompressionError",
     "MergedCTT",
     "merge_all",
+    "CypressError",
     "MergeError",
+    "StreamMismatchError",
+    "TraceFormatError",
     "CompressionError",
     "CypressConfig",
     "IntraProcessCompressor",
+    "QuarantinedRank",
+    "QuarantineReport",
     "CompressedRecord",
     "IntSequence",
     "SequenceCursor",

@@ -23,8 +23,10 @@ from repro.static.instrument import CompiledProgram, compile_minimpi
 
 from . import serialize
 from .decompress import ReplayEvent, decompress_merged_rank, decompress_rank
+from .errors import MergeError
 from .inter import MergedCTT, merge_all
 from .intra import CypressConfig, IntraProcessCompressor, compress_streams
+from .quarantine import QuarantineReport
 
 
 @dataclass
@@ -42,7 +44,21 @@ class CypressRun:
     capture: StreamCaptureSink | None = field(default=None, repr=False)
     _merged: MergedCTT | None = field(default=None, repr=False)
 
-    def compress(self, workers: int | str | None = None) -> IntraProcessCompressor:
+    @property
+    def quarantine(self) -> QuarantineReport:
+        """Ranks excluded from compression (docs/INTERNALS.md §7).
+        Empty on a healthy run."""
+        return self.compressor.quarantine
+
+    def compress(
+        self,
+        workers: int | str | None = None,
+        *,
+        strict: bool = False,
+        retries: int = 1,
+        task_timeout: float | None = None,
+        fault_plan=None,
+    ) -> IntraProcessCompressor:
         """(Re-)compress the captured streams, optionally sharding ranks
         over ``workers`` processes — byte-identical to serial.  Only
         available when the run traced with ``compress_workers=`` (the
@@ -58,18 +74,42 @@ class CypressRun:
             self.capture.streams,
             config=self.compressor.config,
             workers=workers,
+            strict=strict,
+            retries=retries,
+            task_timeout=task_timeout,
+            fault_plan=fault_plan,
         )
         self._merged = None
         return self.compressor
 
     def merge(
-        self, schedule: str = "tree", workers: int | str | None = None
+        self,
+        schedule: str = "tree",
+        workers: int | str | None = None,
+        *,
+        retries: int = 1,
+        task_timeout: float | None = None,
     ) -> MergedCTT:
         """Inter-process merge (cached).  ``workers`` > 1 (or ``"auto"``)
-        runs the reduction tree on a process pool for large rank counts."""
+        runs the reduction tree on a process pool for large rank counts.
+        Quarantined ranks are left out — the merge covers the healthy
+        survivors (their bytes are unaffected by the victims)."""
         if self._merged is None:
-            ctts = [self.compressor.ctt(r) for r in range(self.nprocs)]
-            self._merged = merge_all(ctts, schedule=schedule, workers=workers)
+            bad = self.quarantine.rank_set()
+            ctts = [
+                self.compressor.ctt(r)
+                for r in range(self.nprocs)
+                if r not in bad
+            ]
+            if not ctts:
+                raise MergeError(
+                    "every rank was quarantined — nothing to merge "
+                    f"({self.quarantine.summary()})"
+                )
+            self._merged = merge_all(
+                ctts, schedule=schedule, workers=workers,
+                retries=retries, task_timeout=task_timeout,
+            )
         return self._merged
 
     def trace_bytes(self, gzip: bool = False) -> int:
@@ -79,9 +119,43 @@ class CypressRun:
         return serialize.save(self.merge(), path, gzip=gzip)
 
     def replay(self, rank: int, merged: bool = True) -> list[ReplayEvent]:
+        """Reconstruct ``rank``'s event sequence.  A quarantined rank has
+        no compressed form, so it replays from its retained raw capture
+        instead (exact events, recorded rather than aggregated timing)."""
+        item = self.quarantine.get(rank)
+        if item is not None:
+            if item.raw_stream is None:
+                raise MergeError(
+                    f"rank {rank} was quarantined ({item.error}) and its "
+                    "raw stream was not retained"
+                )
+            return _replay_raw(item.raw_events())
         if merged:
             return decompress_merged_rank(self.merge(), rank)
         return decompress_rank(self.compressor.ctt(rank))
+
+
+def _replay_raw(events) -> list[ReplayEvent]:
+    """Raw-capture fallback replay for quarantined ranks: each traced
+    CommEvent maps 1:1 to a ReplayEvent (its own duration and gap stand
+    in for the group statistics a compressed replay would carry)."""
+    out: list[ReplayEvent] = []
+    prev_end = 0.0
+    for ev in events:
+        out.append(
+            ReplayEvent(
+                op=ev.op, peer=ev.peer, peer2=ev.peer2,
+                tag=ev.tag, tag2=ev.tag2,
+                nbytes=ev.nbytes, nbytes2=ev.nbytes2,
+                comm=ev.comm, root=ev.root, wildcard=ev.wildcard,
+                req_gids=tuple(ev.req_gids),
+                mean_duration=ev.duration,
+                mean_gap=max(0.0, ev.time_start - prev_end),
+                result_comm=ev.result_comm,
+            )
+        )
+        prev_end = ev.time_start + ev.duration
+    return out
 
 
 def run_cypress(
@@ -93,6 +167,11 @@ def run_cypress(
     extra_sinks: list[TraceSink] | None = None,
     network: NetworkModel | None = None,
     compress_workers: int | str | None = None,
+    *,
+    strict: bool = False,
+    retries: int = 1,
+    task_timeout: float | None = None,
+    fault_plan=None,
 ) -> CypressRun:
     """Compile (if needed) and execute a MiniMPI program with the CYPRESS
     tracer attached; returns the per-rank compressed traces.
@@ -107,7 +186,21 @@ def run_cypress(
     that many worker processes (``"auto"`` = all cores).  The result is
     byte-identical to inline compression; with ``measure_overhead`` the
     deferred compression wall time is reported as ``intra_seconds``.
+
+    Fault tolerance (docs/INTERNALS.md §7): in the default lenient mode
+    (``strict=False``) a rank whose captured stream mismatches the CST
+    is quarantined instead of aborting the run — inspect
+    ``run.quarantine``.  ``retries``/``task_timeout`` govern worker-pool
+    recovery for sharded compression.  ``fault_plan`` injects seeded
+    faults (stream corruption and worker kill/hang/raise) for tests and
+    the CI fault-smoke job; stream corruption needs captured streams, so
+    a plan with ``corrupt_ranks`` forces deferred compression even when
+    ``compress_workers`` is unset.
     """
+    if fault_plan is not None and fault_plan.corrupt_ranks and (
+        compress_workers is None
+    ):
+        compress_workers = 1  # corruption applies to captured streams
     registry = obs.active()
     compiled = (
         source if isinstance(source, CompiledProgram) else compile_minimpi(source)
@@ -142,11 +235,20 @@ def run_cypress(
         timing.elapsed if timing is not None and measure_overhead else None
     )
     if capture is not None:
+        streams = capture.streams
+        if fault_plan is not None and fault_plan.corrupt_ranks:
+            from repro.faults import corrupt_streams
+
+            streams = corrupt_streams(streams, fault_plan)
         t0 = time.perf_counter()
         with obs.span("intra.compress"):
             compressor = compress_streams(
-                compiled.cst, capture.streams, config=config,
+                compiled.cst, streams, config=config,
                 workers=compress_workers,
+                strict=strict,
+                retries=retries,
+                task_timeout=task_timeout,
+                fault_plan=fault_plan,
             )
         if measure_overhead:
             intra_seconds = time.perf_counter() - t0

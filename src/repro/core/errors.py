@@ -1,0 +1,74 @@
+"""CYPRESS error taxonomy.
+
+Every failure the pipeline can diagnose raises a subclass of
+:class:`CypressError`, so callers distinguish "the input is wrong" from
+"the pipeline is broken" without catching bare ``Exception`` — and can
+catch the whole family with one clause when they only care that a stage
+failed.
+
+The taxonomy (docs/INTERNALS.md §7):
+
+``CypressError``
+    Base class of every pipeline-diagnosed failure.
+
+``StreamMismatchError``
+    The dynamic marker/event stream did not match the static CST
+    (unknown GID/op, unbalanced structure markers, bad opcode) —
+    indicates a static/dynamic inconsistency: a bug, a corrupted
+    capture, or an un-instrumented program.  In lenient mode the
+    offending *rank* is quarantined instead of the error propagating
+    (see :func:`repro.core.intra.compress_streams`).
+
+``MergeError``
+    Two trees disagree structurally during the inter-process merge
+    (cannot happen for CTTs built from the same CST — indicates a bug
+    or mixed programs).
+
+``TraceFormatError``
+    The serialized trace bytes are corrupt, truncated, or of an
+    unsupported version.  Inherits :class:`ValueError` for one release:
+    existing callers that catch ``ValueError`` around
+    :func:`repro.core.serialize.loads` keep working, but new code
+    should catch :class:`TraceFormatError` (the ``ValueError`` base
+    will be dropped).
+
+Worker-pool faults deliberately have no exception class of their own:
+the resilient executor (:mod:`repro.core.respool`) retries and then
+re-executes failed tasks serially in the parent, so the only errors
+that ever propagate are the task's own deterministic ones — which
+re-raise as themselves.
+"""
+
+from __future__ import annotations
+
+
+class CypressError(Exception):
+    """Base class of every failure the CYPRESS pipeline diagnoses."""
+
+
+class StreamMismatchError(CypressError):
+    """The event/marker stream did not match the static CST — indicates
+    a static/dynamic inconsistency (a bug, a corrupted capture, or an
+    un-instrumented program)."""
+
+
+class MergeError(CypressError):
+    """The two trees disagree structurally (cannot happen for CTTs built
+    from the same CST — indicates a bug or mixed programs)."""
+
+
+class TraceFormatError(CypressError, ValueError):
+    """Corrupt, truncated, or unsupported serialized trace bytes.
+
+    Inherits :class:`ValueError` for one release so existing
+    ``except ValueError`` callers around ``serialize.loads`` keep
+    working; catch :class:`TraceFormatError` going forward.
+    """
+
+
+__all__ = [
+    "CypressError",
+    "StreamMismatchError",
+    "MergeError",
+    "TraceFormatError",
+]

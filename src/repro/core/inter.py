@@ -42,13 +42,10 @@ from repro import obs
 from repro.static.cst import BRANCH, CALL, LOOP
 
 from .ctt import CTT, CTTVertex
+from .errors import MergeError  # noqa: F401 - historical import location
 from .records import CompressedRecord
+from .respool import run_tasks
 from .sequences import IntSequence
-
-
-class MergeError(Exception):
-    """The two trees disagree structurally (cannot happen for CTTs built
-    from the same CST — indicates a bug or mixed programs)."""
 
 
 # ---------------------------------------------------------------------------
@@ -337,6 +334,9 @@ class MergedCTT:
         self.nranks_merged = nranks_merged
         self.interns = interns if interns is not None else InternTable()
         self._vertices: list[MergedVertex] | None = None
+        #: Populated by ``serialize.loads(..., salvage=True)`` when the
+        #: tree was recovered from a damaged file (docs/INTERNALS.md §7).
+        self.salvage_info: dict | None = None
 
     def vertices(self) -> list[MergedVertex]:
         if self._vertices is None:
@@ -490,28 +490,41 @@ def _next_pow2(n: int) -> int:
     return 1 << max(0, (n - 1).bit_length())
 
 
-def _parallel_tree_merge(ctts: list[CTT], nworkers: int) -> MergedCTT | None:
+def _parallel_tree_merge(
+    ctts: list[CTT],
+    nworkers: int,
+    retries: int = 1,
+    task_timeout: float | None = None,
+    fault_plan=None,
+) -> MergedCTT | None:
     """Run the reduction tree on a process pool; ``None`` means "fall
-    back to serial" (pool unavailable, or too few chunks to win).
+    back to serial" (too few chunks to win).
 
     Chunks are contiguous, power-of-two-sized and aligned, so the work
     partitions exactly along subtree boundaries of the serial reduction
     tree — each worker computes a subtree, the parent folds the shard
     roots level by level.
-    """
-    import multiprocessing
 
+    Worker failures are handled by the resilient executor
+    (:func:`repro.core.respool.run_tasks`): a chunk whose worker raises,
+    dies, or exceeds ``task_timeout`` is retried and ultimately
+    tree-reduced serially in the parent — ``_merge_shard`` is
+    deterministic over immutable per-rank CTTs, so the recovered merge
+    is byte-identical to an all-healthy run.
+    """
     chunk = _next_pow2(-(-len(ctts) // nworkers))
     chunks = [ctts[i : i + chunk] for i in range(0, len(ctts), chunk)]
     if len(chunks) < 2:
         return None
-    try:
-        methods = multiprocessing.get_all_start_methods()
-        ctx = multiprocessing.get_context("fork" if "fork" in methods else None)
-        with ctx.Pool(processes=min(nworkers, len(chunks))) as pool:
-            results = pool.map(_merge_shard, chunks)
-    except (OSError, ValueError, ImportError):  # no /dev/shm, sandboxing, …
-        return None
+    results = run_tasks(
+        _merge_shard,
+        chunks,
+        stage="inter",
+        workers=min(nworkers, len(chunks)),
+        retries=retries,
+        timeout=task_timeout,
+        fault_plan=fault_plan,
+    )
     shards = [merged for merged, _stats in results]
     registry = obs.active()
     if registry is not None:
@@ -534,6 +547,10 @@ def merge_all(
     schedule: str = "tree",
     workers: int | str | None = None,
     parallel_threshold: int = 64,
+    *,
+    retries: int = 1,
+    task_timeout: float | None = None,
+    fault_plan=None,
 ) -> MergedCTT:
     """Merge every rank's CTT into the job-wide compressed trace.
 
@@ -544,6 +561,13 @@ def merge_all(
     is the sequential baseline (ablation).  Every schedule produces a
     bit-identical merged trace: group statistics always materialize in
     ascending rank order.
+
+    Pool-worker failures (crash, kill, hang under ``task_timeout``) are
+    retried ``retries`` times with backoff, then the failed chunks are
+    merged serially in the parent — loudly (``RuntimeWarning`` plus
+    ``faults.*`` counters), with the recovered result byte-identical to
+    an all-healthy run.  ``fault_plan`` lets tests/CI inject worker
+    faults (docs/INTERNALS.md §7).
     """
     if not ctts:
         raise ValueError("no CTTs to merge")
@@ -552,19 +576,24 @@ def merge_all(
     registry = obs.active()
     with obs.span("inter.merge"):
         result = _merge_all_impl(ctts, schedule, workers, parallel_threshold,
-                                 registry)
+                                 registry, retries, task_timeout, fault_plan)
     if registry is not None:
         _publish_merge_metrics(registry, result)
     return result
 
 
 def _merge_all_impl(
-    ctts, schedule, workers, parallel_threshold, registry
+    ctts, schedule, workers, parallel_threshold, registry,
+    retries, task_timeout, fault_plan,
 ) -> MergedCTT:
     if schedule == "tree":
         nworkers = _resolve_workers(workers)
         if nworkers > 1 and len(ctts) >= parallel_threshold:
-            merged = _parallel_tree_merge(ctts, nworkers)
+            merged = _parallel_tree_merge(
+                ctts, nworkers,
+                retries=retries, task_timeout=task_timeout,
+                fault_plan=fault_plan,
+            )
             if merged is not None:
                 return merged.finalize()
     interns = InternTable()

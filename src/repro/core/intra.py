@@ -86,14 +86,18 @@ from repro.mpisim.pmpi import (
 from repro.static.cst import CALL, LOOP, CSTNode
 
 from .ctt import CTT, CTTVertex
+from .errors import StreamMismatchError
+from .quarantine import QuarantinedRank, QuarantineReport
 from .ranks import encode_peer
 from .records import CompressedRecord, make_key
+from .respool import run_tasks
 from .timing import MEANSTD, TimeStats
 
-
-class CompressionError(Exception):
-    """The event/marker stream did not match the static CST — indicates a
-    static/dynamic inconsistency (a bug, or an un-instrumented program)."""
+#: Backwards-compatible alias — the dynamic module's historical name for
+#: a CST/stream mismatch.  New code catches
+#: :class:`~repro.core.errors.StreamMismatchError` (or its
+#: :class:`~repro.core.errors.CypressError` base).
+CompressionError = StreamMismatchError
 
 
 @dataclass(frozen=True)
@@ -161,6 +165,9 @@ class IntraProcessCompressor(TraceSink):
         self.cst = cst
         self.config = config or CypressConfig()
         self._states: dict[int, _RankState] = {}
+        # Ranks excluded by lenient stream compression (populated only
+        # by compress_streams; empty for inline tracing).
+        self.quarantine = QuarantineReport()
         # Hoisted config fields (the config is frozen) — one attribute
         # load instead of two on every event.
         self._window = self.config.window
@@ -943,27 +950,62 @@ class IntraProcessCompressor(TraceSink):
 
 
 # ---------------------------------------------------------------------------
-# Sharded parallel compression executor.
+# Sharded parallel compression executor (fault-tolerant; see respool).
+
+
+def _ingest_or_quarantine(
+    comp: IntraProcessCompressor,
+    rank: int,
+    stream,
+    strict: bool,
+    report: QuarantineReport,
+) -> None:
+    """Compress one rank's stream; in lenient mode a CST/stream mismatch
+    quarantines the rank (partial CTT discarded, raw capture kept)
+    instead of aborting the whole run."""
+    try:
+        comp.ingest_stream(rank, stream)
+    except StreamMismatchError as exc:
+        if strict:
+            raise
+        comp._states.pop(rank, None)
+        report.add(
+            QuarantinedRank(
+                rank=rank,
+                stage="intra",
+                error=str(exc),
+                events=sum(1 for item in stream if item[0] == OP_EVENT),
+                raw_stream=stream,
+            )
+        )
 
 
 def _compress_shard(payload) -> tuple:
     """Worker entry point: compress one contiguous shard of rank streams.
 
-    Must stay a module-level function (pickled by ``multiprocessing``).
-    Per-rank compression is deterministic and rank states never interact,
-    so shard results are exactly what serial compression would produce.
-    Besides the CTTs, the worker ships its counter snapshot and wall time
-    home so the parent can aggregate per-worker metrics (the counters are
-    intrinsic and the timing is two clock reads — no cost worth gating).
+    Must stay a module-level function of one argument (the respool
+    pickling contract).  Per-rank compression is deterministic and rank
+    states never interact, so shard results are exactly what serial
+    compression would produce — which is also why the resilient executor
+    may safely re-execute a shard after a worker failure.  Besides the
+    CTTs, the worker ships quarantine metadata (raw streams stay with
+    the parent, which already holds them), its counter snapshot and wall
+    time home so the parent can aggregate per-worker metrics.
     """
-    cst, config, items = payload
+    cst, config, items, strict = payload
     t0 = time.perf_counter()
     comp = IntraProcessCompressor(cst, config=config)
+    report = QuarantineReport()
     for rank, stream in items:
-        comp.ingest_stream(rank, stream)
+        _ingest_or_quarantine(comp, rank, stream, strict, report)
     elapsed = time.perf_counter() - t0
     return (
-        [(rank, comp.ctt(rank)) for rank, _stream in items],
+        [
+            (rank, comp.ctt(rank))
+            for rank, _stream in items
+            if rank in comp._states
+        ],
+        [(q.rank, q.error, q.events) for q in report],
         comp.metrics_counters(),
         elapsed,
     )
@@ -984,46 +1026,73 @@ def compress_streams(
     config: CypressConfig | None = None,
     workers: int | str | None = None,
     parallel_threshold: int = 2,
+    *,
+    strict: bool = False,
+    retries: int = 1,
+    task_timeout: float | None = None,
+    fault_plan=None,
 ) -> IntraProcessCompressor:
     """Compress captured per-rank streams into an
     :class:`IntraProcessCompressor`, optionally sharding ranks over a
     ``multiprocessing`` pool (``workers`` as an int or ``"auto"``).
 
     Rank states are fully independent, so the parallel result is
-    **byte-identical** to serial in-line compression; the pool falls back
-    to the serial path when unavailable (sandboxes without /dev/shm) or
-    when fewer than ``parallel_threshold`` ranks are being compressed.
+    **byte-identical** to serial in-line compression; fewer than
+    ``parallel_threshold`` ranks compress serially.
+
+    Fault tolerance (docs/INTERNALS.md §7): by default
+    (``strict=False``) a rank whose stream mismatches the CST is
+    *quarantined* — recorded on the returned compressor's
+    ``.quarantine`` report with its raw capture, while every healthy
+    rank compresses normally; ``strict=True`` restores the fail-fast
+    :class:`~repro.core.errors.StreamMismatchError` raise.  Worker-pool
+    failures (crash, kill, hang under ``task_timeout``) are retried
+    ``retries`` times with backoff and then re-executed serially in the
+    parent — loudly (``RuntimeWarning`` + ``faults.*`` counters), never
+    silently.  ``fault_plan`` lets tests/CI inject worker faults.
     """
     comp = IntraProcessCompressor(cst, config=config)
     items = sorted(streams.items())
     nworkers = _resolve_workers(workers)
+    registry = obs.active()
     if nworkers > 1 and len(items) >= max(2, parallel_threshold):
-        import multiprocessing
-
         nworkers = min(nworkers, len(items))
         chunk = -(-len(items) // nworkers)
         shards = [
-            (cst, comp.config, items[i : i + chunk])
+            (cst, comp.config, items[i : i + chunk], strict)
             for i in range(0, len(items), chunk)
         ]
-        try:
-            methods = multiprocessing.get_all_start_methods()
-            ctx = multiprocessing.get_context("fork" if "fork" in methods else None)
-            with ctx.Pool(processes=len(shards)) as pool:
-                results = pool.map(_compress_shard, shards)
-        except (OSError, ValueError, ImportError):  # no /dev/shm, sandboxing, …
-            results = None
-        if results is not None:
-            registry = obs.active()
-            for shard_result, shard_counters, shard_seconds in results:
-                for rank, ctt in shard_result:
-                    comp._states[rank] = _RankState(ctt=ctt, rank=rank)
-                comp.absorb_metrics_counters(shard_counters)
-                if registry is not None:
-                    registry.observe("intra.worker_seconds", shard_seconds)
+        results = run_tasks(
+            _compress_shard,
+            shards,
+            stage="intra",
+            workers=len(shards),
+            retries=retries,
+            timeout=task_timeout,
+            fault_plan=fault_plan,
+        )
+        stream_by_rank = dict(items)
+        for shard_result, shard_quarantined, shard_counters, shard_seconds in results:
+            for rank, ctt in shard_result:
+                comp._states[rank] = _RankState(ctt=ctt, rank=rank)
+            for rank, error, nevents in shard_quarantined:
+                comp.quarantine.add(
+                    QuarantinedRank(
+                        rank=rank,
+                        stage="intra",
+                        error=error,
+                        events=nevents,
+                        raw_stream=stream_by_rank.get(rank),
+                    )
+                )
+            comp.absorb_metrics_counters(shard_counters)
             if registry is not None:
-                registry.gauge_max("intra.workers", float(len(shards)))
-            return comp
-    for rank, stream in items:
-        comp.ingest_stream(rank, stream)
+                registry.observe("intra.worker_seconds", shard_seconds)
+        if registry is not None:
+            registry.gauge_max("intra.workers", float(len(shards)))
+    else:
+        for rank, stream in items:
+            _ingest_or_quarantine(comp, rank, stream, strict, comp.quarantine)
+    if comp.quarantine and registry is not None:
+        registry.counter_add("faults.quarantined_ranks", len(comp.quarantine))
     return comp

@@ -1,0 +1,102 @@
+"""Rank quarantine: degraded-but-analyzable handling of bad streams.
+
+When one rank's captured stream does not match the static CST (a
+corrupted capture, an un-instrumented code path, a tracer bug on one
+node), aborting whole-run compression throws away every *healthy*
+rank's data.  In lenient mode (the default of
+:func:`repro.core.intra.compress_streams`) the offending rank is
+instead **quarantined**: its partial CTT is discarded, its raw captured
+stream is kept as a fallback record, healthy ranks compress normally,
+and the merge covers the survivors.  The :class:`QuarantineReport`
+names every victim with the exact mismatch error — nothing fails
+silently, nothing healthy is lost.  Strict mode restores the
+fail-fast raise (docs/INTERNALS.md §7).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+from repro.mpisim.pmpi import OP_EVENT
+
+
+@dataclass
+class QuarantinedRank:
+    """One rank excluded from compression, with its raw capture kept."""
+
+    rank: int
+    stage: str  # pipeline stage that quarantined it (currently 'intra')
+    error: str  # the StreamMismatchError message
+    events: int  # communication events in the raw captured stream
+    #: The rank's full captured opcode stream (markers + events) — the
+    #: raw-capture fallback that keeps the rank analyzable.  Held
+    #: in-memory only; the JSON form carries the counts and the error.
+    raw_stream: list | None = field(default=None, repr=False, compare=False)
+
+    def raw_events(self) -> list:
+        """The raw :class:`~repro.mpisim.events.CommEvent` sequence of
+        the quarantined rank (empty if the stream was not kept)."""
+        if not self.raw_stream:
+            return []
+        return [item[1] for item in self.raw_stream if item[0] == OP_EVENT]
+
+    def to_dict(self) -> dict:
+        return {
+            "rank": self.rank,
+            "stage": self.stage,
+            "error": self.error,
+            "events": self.events,
+            "raw_captured": self.raw_stream is not None,
+        }
+
+
+class QuarantineReport:
+    """Every rank a run quarantined, in rank order."""
+
+    def __init__(self, items: list[QuarantinedRank] | None = None) -> None:
+        self.items: list[QuarantinedRank] = list(items or [])
+
+    def __bool__(self) -> bool:
+        return bool(self.items)
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+    def __iter__(self):
+        return iter(self.items)
+
+    def add(self, item: QuarantinedRank) -> None:
+        self.items.append(item)
+        self.items.sort(key=lambda q: q.rank)
+
+    def absorb(self, other: "QuarantineReport") -> None:
+        for item in other.items:
+            self.add(item)
+
+    def ranks(self) -> list[int]:
+        return [q.rank for q in self.items]
+
+    def rank_set(self) -> frozenset[int]:
+        return frozenset(q.rank for q in self.items)
+
+    def get(self, rank: int) -> QuarantinedRank | None:
+        for item in self.items:
+            if item.rank == rank:
+                return item
+        return None
+
+    def to_dict(self) -> dict:
+        return {
+            "quarantined_ranks": len(self.items),
+            "items": [q.to_dict() for q in self.items],
+        }
+
+    def to_json(self, indent: int | None = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True) + "\n"
+
+    def summary(self) -> str:
+        if not self.items:
+            return "no ranks quarantined"
+        ranks = ", ".join(str(q.rank) for q in self.items)
+        return f"{len(self.items)} rank(s) quarantined: {ranks}"

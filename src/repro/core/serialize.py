@@ -7,12 +7,30 @@ varint-coded integers, zigzag for signed values, an interned string table
 for op names, stride terms for every integer sequence, and sparse
 histogram bins.
 
-Layout::
+Container layout (version 5, crash-safe — docs/INTERNALS.md §7)::
 
-    magic "CYTR" | version | nranks | string table
-    tree (pre-order): kind, [op/name idx], [branch_path], nchildren
-    payload (pre-order): per vertex, ngroups, then each group:
-        rankset terms | payload (counts / visits / records)
+    magic "CYTR" | version | sections...
+
+    section := kind | nbytes | payload | crc32(kind..payload)
+
+    kind 1 HEADER   : nranks | string table
+    kind 2 TOPOLOGY : tree (pre-order): kind, [op/name idx],
+                      [branch_path], nchildren
+    kind 3 PAYLOAD  : first vertex index | nvertices | per vertex,
+                      ngroups, then each group:
+                      rankset terms | payload (counts / visits / records)
+                      (chunked ~64 KiB so truncation loses one chunk,
+                      not the whole payload)
+    kind 0 END      : number of preceding sections | total vertex count
+
+Every section carries a CRC32 over its own framing and payload, and the
+END marker pins the section count — so a v5 file fails loudly
+(:class:`~repro.core.errors.TraceFormatError`) on any flipped bit or
+missing tail, while ``loads(..., salvage=True)`` recovers the longest
+checksum-valid prefix of a truncated file (vertices whose payload chunk
+was lost simply have no groups).  Version-4 files (no framing) are still
+readable.  :func:`save` is atomic: temp file + fsync + ``os.replace``,
+so an interrupted save never clobbers an existing trace.
 
 Round-trips: ``loads(dumps(m))`` reconstructs a replayable MergedCTT.
 """
@@ -20,18 +38,31 @@ Round-trips: ``loads(dumps(m))`` reconstructs a replayable MergedCTT.
 from __future__ import annotations
 
 import gzip as _gzip
+import os
 import struct
+import zlib
 
 from repro import obs
 from repro.static.cst import BRANCH, CALL, LOOP, ROOT
 
+from .errors import TraceFormatError
 from .inter import Group, InternTable, MergedCTT, MergedVertex
 from .records import CompressedRecord
 from .sequences import IntSequence
 from .timing import HIST, MEANSTD, TimeStats
 
 _MAGIC = b"CYTR"
-_VERSION = 4
+_VERSION = 5
+
+# Section kinds of the v5 container.
+_SEC_END = 0
+_SEC_HEADER = 1
+_SEC_TOPOLOGY = 2
+_SEC_PAYLOAD = 3
+
+#: Payload bytes per chunk section before a new chunk starts — the
+#: granularity of salvage after truncation.
+_CHUNK_BYTES = 1 << 16
 
 _KIND_CODE = {ROOT: 0, LOOP: 1, BRANCH: 2, CALL: 3}
 _CODE_KIND = {v: k for k, v in _KIND_CODE.items()}
@@ -87,7 +118,7 @@ class ByteReader:
     def raw(self, n: int) -> bytes:
         out = self._data[self._pos : self._pos + n]
         if len(out) != n:
-            raise ValueError("truncated trace file")
+            raise TraceFormatError("truncated trace file")
         self._pos += n
         return out
 
@@ -219,6 +250,163 @@ def _read_record(r: ByteReader, ops: list[str]) -> CompressedRecord:
 
 
 # ---------------------------------------------------------------------------
+# Shared body encoding (identical bytes in v4 and inside v5 sections).
+
+
+def _write_topology(w: ByteWriter, vertices, strings: dict[str, int]) -> None:
+    for v in vertices:
+        w.u(_KIND_CODE[v.kind])
+        if v.kind == CALL:
+            w.u(strings[v.op] if v.op is not None else len(strings))
+            w.u(strings[v.name] if v.name is not None else len(strings))
+        elif v.kind == BRANCH:
+            w.u(v.branch_path if v.branch_path is not None else 0)
+        w.u(len(v.children))
+
+
+def _read_topology_vertex(r: ByteReader, strings: list[str]) -> MergedVertex:
+    v = MergedVertex.__new__(MergedVertex)
+    kind = _CODE_KIND[r.u()]
+    v.gid = -1
+    v.kind = kind
+    v.ast_id = None
+    v.name = None
+    v.op = None
+    v.branch_path = None
+    v.groups = {}
+    v._by_rank = None
+    if kind == CALL:
+        op_idx = r.u()
+        name_idx = r.u()
+        v.op = strings[op_idx] if op_idx < len(strings) else None
+        v.name = strings[name_idx] if name_idx < len(strings) else None
+    elif kind == BRANCH:
+        v.branch_path = r.u()
+    nchildren = r.u()
+    v.children = [_read_topology_vertex(r, strings) for _ in range(nchildren)]
+    return v
+
+
+def _write_vertex_payload(w: ByteWriter, v, strings: dict[str, int]) -> None:
+    # Groups are written in canonical order (by lowest member rank —
+    # member sets are disjoint) so the bytes do not depend on the merge
+    # schedule that produced the tree.
+    groups = v.sorted_groups()
+    w.u(len(groups))
+    for group in groups:
+        _write_seq(w, group.rank_sequence())
+        if v.kind == LOOP:
+            _write_seq(w, group.counts)
+        elif v.kind == BRANCH:
+            _write_seq(w, group.visits)
+        elif v.kind == CALL:
+            w.u(len(group.records))
+            for rec in group.records:
+                _write_record(w, rec, strings)
+
+
+def _read_vertex_payload(
+    r: ByteReader, v: MergedVertex, strings: list[str], interns: InternTable
+) -> None:
+    ngroups = r.u()
+    for _ in range(ngroups):
+        ranks = _read_seq(r).to_list()
+        counts = visits = records = None
+        if v.kind == LOOP:
+            counts = _read_seq(r)
+            key = ("L", counts.length, tuple(counts.terms))
+        elif v.kind == BRANCH:
+            visits = _read_seq(r)
+            key = ("B", visits.length, tuple(visits.terms))
+        elif v.kind == CALL:
+            records = [_read_record(r, strings) for _ in range(r.u())]
+            key = (
+                "R",
+                tuple(
+                    (rec.key, rec.occurrences.length, tuple(rec.occurrences.terms))
+                    for rec in records
+                ),
+            )
+        else:
+            key = ()
+        group = Group(
+            signature=interns.intern(key), ranks=ranks,
+            counts=counts, visits=visits, records=records,
+        )
+        v.groups[group.signature] = group
+
+
+# ---------------------------------------------------------------------------
+# v5 section framing.
+
+
+def _write_section(w: ByteWriter, kind: int, payload: bytes) -> None:
+    hdr = ByteWriter()
+    hdr.u(kind)
+    hdr.u(len(payload))
+    framed = hdr.bytes()
+    w.raw(framed)
+    w.raw(payload)
+    w.raw(struct.pack("<I", zlib.crc32(framed + payload) & 0xFFFFFFFF))
+
+
+def _read_sections(
+    data: bytes, pos: int, salvage: bool
+) -> tuple[list[tuple[int, bytes]], bool, str | None]:
+    """Parse the framed sections starting at ``pos``.  Returns
+    ``(sections, complete, error)``; in salvage mode a checksum failure
+    or truncation stops the scan instead of raising, keeping the valid
+    prefix."""
+    sections: list[tuple[int, bytes]] = []
+    end_seen = False
+    error: str | None = None
+    n = len(data)
+    while pos < n:
+        try:
+            sr = ByteReader(data)
+            sr._pos = pos
+            kind = sr.u()
+            length = sr.u()
+            payload_end = sr._pos + length
+            crc_end = payload_end + 4
+            if crc_end > n:
+                raise TraceFormatError(
+                    f"truncated section at byte {pos} "
+                    f"(needs {crc_end - n} more byte(s))"
+                )
+            stored = struct.unpack("<I", data[payload_end:crc_end])[0]
+            if zlib.crc32(data[pos:payload_end]) & 0xFFFFFFFF != stored:
+                raise TraceFormatError(
+                    f"section checksum mismatch at byte {pos}"
+                )
+            payload = data[sr._pos : payload_end]
+        except TraceFormatError as exc:
+            if salvage:
+                error = str(exc)
+                break
+            raise
+        except IndexError:
+            exc_msg = f"truncated section framing at byte {pos}"
+            if salvage:
+                error = exc_msg
+                break
+            raise TraceFormatError(exc_msg) from None
+        sections.append((kind, payload))
+        pos = crc_end
+        if kind == _SEC_END:
+            end_seen = True
+            break
+    if not end_seen:
+        msg = error or "missing end-of-trace section"
+        if not salvage:
+            raise TraceFormatError(f"truncated trace: {msg}")
+        return sections, False, msg
+    if pos != n and not salvage:
+        raise TraceFormatError(f"{n - pos} trailing byte(s) after end section")
+    return sections, True, None
+
+
+# ---------------------------------------------------------------------------
 
 
 #: Nominal per-event cost of an uncompressed binary trace record (op code
@@ -228,55 +416,74 @@ def _read_record(r: ByteReader, ops: list[str]) -> CompressedRecord:
 RAW_EVENT_BYTES = 48
 
 
-def dumps(merged: MergedCTT, gzip: bool = False) -> bytes:
-    """Serialize a merged CTT; ``gzip=True`` is the +Gzip variant."""
+def dumps(
+    merged: MergedCTT, gzip: bool = False, chunk_bytes: int = _CHUNK_BYTES
+) -> bytes:
+    """Serialize a merged CTT; ``gzip=True`` is the +Gzip variant.
+
+    ``chunk_bytes`` sets the payload-section granularity (smaller chunks
+    salvage more of a truncated file at a few bytes/chunk framing cost);
+    the default suits production traces, tests shrink it to exercise
+    multi-chunk salvage on small trees.
+    """
     with obs.span("serialize.dumps"):
-        return _dumps(merged, gzip)
+        return _dumps(merged, gzip, chunk_bytes)
 
 
-def _dumps(merged: MergedCTT, gzip: bool) -> bytes:
+def _dumps(merged: MergedCTT, gzip: bool, chunk_bytes: int) -> bytes:
     registry = obs.active()
     vertices = list(merged.root.preorder())
-    # String table: op names and leaf names.
+    # String table: op names and leaf names.  Only CALL vertices ever
+    # reference the table, so only their strings enter it — this keeps
+    # ``dumps(loads(x)) == x`` (a root named "main" has nowhere to be
+    # written, so it must not occupy a slot either).
     strings: dict[str, int] = {}
     for v in vertices:
+        if v.kind != CALL:
+            continue
         for s in (v.op, v.name):
             if s is not None and s not in strings:
                 strings[s] = len(strings)
+    hw = ByteWriter()
+    hw.u(merged.nranks_merged)
+    hw.u(len(strings))
+    for text in strings:  # dict preserves insertion order
+        hw.s(text)
+    tw = ByteWriter()
+    _write_topology(tw, vertices, strings)
+    # Payload, pre-order, chunked so a truncated file salvages to the
+    # longest checksum-valid prefix of vertices instead of losing the
+    # whole payload.
+    chunks: list[tuple[int, int, bytes]] = []
+    cw = ByteWriter()
+    first = 0
+    count = 0
+    for v in vertices:
+        _write_vertex_payload(cw, v, strings)
+        count += 1
+        if cw.size() >= chunk_bytes:
+            chunks.append((first, count, cw.bytes()))
+            first += count
+            count = 0
+            cw = ByteWriter()
+    if count:
+        chunks.append((first, count, cw.bytes()))
     w = ByteWriter()
     w.raw(_MAGIC)
     w.u(_VERSION)
-    w.u(merged.nranks_merged)
-    w.u(len(strings))
-    for text in strings:  # dict preserves insertion order
-        w.s(text)
+    _write_section(w, _SEC_HEADER, hw.bytes())
     header_bytes = w.size() if registry is not None else 0
-    # Topology, pre-order.
-    for v in vertices:
-        w.u(_KIND_CODE[v.kind])
-        if v.kind == CALL:
-            w.u(strings[v.op] if v.op is not None else len(strings))
-            w.u(strings[v.name] if v.name is not None else len(strings))
-        elif v.kind == BRANCH:
-            w.u(v.branch_path if v.branch_path is not None else 0)
-        w.u(len(v.children))
+    _write_section(w, _SEC_TOPOLOGY, tw.bytes())
     topology_bytes = (w.size() - header_bytes) if registry is not None else 0
-    # Payload, pre-order.  Groups are written in canonical order (by
-    # lowest member rank — member sets are disjoint) so the bytes do not
-    # depend on the merge schedule that produced the tree.
-    for v in vertices:
-        groups = v.sorted_groups()
-        w.u(len(groups))
-        for group in groups:
-            _write_seq(w, group.rank_sequence())
-            if v.kind == LOOP:
-                _write_seq(w, group.counts)
-            elif v.kind == BRANCH:
-                _write_seq(w, group.visits)
-            elif v.kind == CALL:
-                w.u(len(group.records))
-                for rec in group.records:
-                    _write_record(w, rec, strings)
+    for chunk_first, chunk_count, chunk_payload in chunks:
+        pw = ByteWriter()
+        pw.u(chunk_first)
+        pw.u(chunk_count)
+        _write_section(w, _SEC_PAYLOAD, pw.bytes() + chunk_payload)
+    ew = ByteWriter()
+    ew.u(2 + len(chunks))  # sections preceding END
+    ew.u(len(vertices))
+    _write_section(w, _SEC_END, ew.bytes())
     data = w.bytes()
     if registry is not None:
         _publish_dump_metrics(
@@ -319,97 +526,168 @@ def _publish_dump_metrics(
         )
 
 
-def loads(data: bytes) -> MergedCTT:
+def loads(data: bytes, salvage: bool = False) -> MergedCTT:
     """Inverse of :func:`dumps` (auto-detects gzip).
 
-    Corrupt input raises :class:`ValueError` — never an arbitrary internal
-    exception.
+    Corrupt input raises :class:`~repro.core.errors.TraceFormatError`
+    (a :class:`ValueError` subclass for one release) — never an
+    arbitrary internal exception.  With ``salvage=True`` a truncated or
+    tail-corrupted v5 file loads as the longest checksum-valid prefix:
+    the returned tree carries ``salvage_info`` describing what was
+    recovered; the header and topology sections must survive or
+    salvage, too, fails.
     """
     try:
-        return _loads(data)
+        return _loads(data, salvage)
     except ValueError:
         raise
     except Exception as exc:  # truncated varints, bad indices, zlib noise
-        raise ValueError(f"corrupt CYPRESS trace file: {exc}") from exc
+        raise TraceFormatError(f"corrupt CYPRESS trace file: {exc}") from exc
 
 
-def _loads(data: bytes) -> MergedCTT:
+def _loads(data: bytes, salvage: bool) -> MergedCTT:
     if data[:2] == b"\x1f\x8b":
-        data = _gzip.decompress(data)
+        data = _gunzip(data, salvage)
+    if data[:4] != _MAGIC:
+        raise TraceFormatError("not a CYPRESS trace file")
     r = ByteReader(data)
-    if r.raw(4) != _MAGIC:
-        raise ValueError("not a CYPRESS trace file")
+    r.raw(4)
     version = r.u()
+    if version == 4:
+        # Legacy container: one unframed body, no checksums — nothing
+        # to salvage against, so the flag is ignored.
+        return _loads_v4_body(r)
     if version != _VERSION:
-        raise ValueError(f"unsupported trace version {version}")
+        raise TraceFormatError(f"unsupported trace version {version}")
+    sections, complete, error = _read_sections(data, r._pos, salvage)
+    return _assemble_v5(sections, complete, error, salvage)
+
+
+def _loads_v4_body(r: ByteReader) -> MergedCTT:
     nranks = r.u()
     strings = [r.s() for _ in range(r.u())]
-    interns = InternTable()
-
-    def read_vertex() -> MergedVertex:
-        v = MergedVertex.__new__(MergedVertex)
-        kind = _CODE_KIND[r.u()]
-        v.gid = -1
-        v.kind = kind
-        v.ast_id = None
-        v.name = None
-        v.op = None
-        v.branch_path = None
-        v.groups = {}
-        v._by_rank = None
-        if kind == CALL:
-            op_idx = r.u()
-            name_idx = r.u()
-            v.op = strings[op_idx] if op_idx < len(strings) else None
-            v.name = strings[name_idx] if name_idx < len(strings) else None
-        elif kind == BRANCH:
-            v.branch_path = r.u()
-        nchildren = r.u()
-        v.children = [read_vertex() for _ in range(nchildren)]
-        return v
-
-    root = read_vertex()
+    root = _read_topology_vertex(r, strings)
     vertices = list(root.preorder())
     for gid, v in enumerate(vertices):
         v.gid = gid
+    interns = InternTable()
     for v in vertices:
-        ngroups = r.u()
-        for _ in range(ngroups):
-            ranks = _read_seq(r).to_list()
-            counts = visits = records = None
-            if v.kind == LOOP:
-                counts = _read_seq(r)
-                key = ("L", counts.length, tuple(counts.terms))
-            elif v.kind == BRANCH:
-                visits = _read_seq(r)
-                key = ("B", visits.length, tuple(visits.terms))
-            elif v.kind == CALL:
-                records = [_read_record(r, strings) for _ in range(r.u())]
-                key = (
-                    "R",
-                    tuple(
-                        (rec.key, rec.occurrences.length, tuple(rec.occurrences.terms))
-                        for rec in records
-                    ),
-                )
-            else:
-                key = ()
-            group = Group(
-                signature=interns.intern(key), ranks=ranks,
-                counts=counts, visits=visits, records=records,
-            )
-            v.groups[group.signature] = group
+        _read_vertex_payload(r, v, strings, interns)
     return MergedCTT(root, nranks, interns)
 
 
+def _assemble_v5(
+    sections: list[tuple[int, bytes]],
+    complete: bool,
+    error: str | None,
+    salvage: bool,
+) -> MergedCTT:
+    if not sections or sections[0][0] != _SEC_HEADER:
+        raise TraceFormatError(
+            "header section unrecoverable" if salvage
+            else "missing header section"
+        )
+    if len(sections) < 2 or sections[1][0] != _SEC_TOPOLOGY:
+        raise TraceFormatError(
+            "topology section unrecoverable" if salvage
+            else "missing topology section"
+        )
+    hr = ByteReader(sections[0][1])
+    nranks = hr.u()
+    strings = [hr.s() for _ in range(hr.u())]
+    tr = ByteReader(sections[1][1])
+    root = _read_topology_vertex(tr, strings)
+    vertices = list(root.preorder())
+    for gid, v in enumerate(vertices):
+        v.gid = gid
+    interns = InternTable()
+    covered = 0
+    declared_sections = declared_vertices = None
+    for kind, payload in sections[2:]:
+        if kind == _SEC_END:
+            er = ByteReader(payload)
+            declared_sections = er.u()
+            declared_vertices = er.u()
+            break
+        if kind != _SEC_PAYLOAD:
+            raise TraceFormatError(f"unknown section kind {kind}")
+        pr = ByteReader(payload)
+        chunk_first = pr.u()
+        chunk_count = pr.u()
+        if chunk_first != covered or chunk_first + chunk_count > len(vertices):
+            raise TraceFormatError(
+                f"payload chunk covers vertices {chunk_first}.."
+                f"{chunk_first + chunk_count} out of order"
+            )
+        for v in vertices[chunk_first : chunk_first + chunk_count]:
+            _read_vertex_payload(pr, v, strings, interns)
+        covered = chunk_first + chunk_count
+    if not salvage:
+        if declared_sections != len(sections) - 1:
+            raise TraceFormatError(
+                f"end section declares {declared_sections} section(s), "
+                f"found {len(sections) - 1}"
+            )
+        if declared_vertices != len(vertices) or covered != len(vertices):
+            raise TraceFormatError(
+                f"payload covers {covered}/{len(vertices)} vertices"
+            )
+    merged = MergedCTT(root, nranks, interns)
+    if salvage:
+        merged.salvage_info = {
+            "complete": complete and covered == len(vertices),
+            "sections_recovered": len(sections),
+            "vertices_total": len(vertices),
+            "vertices_with_payload": covered,
+            "error": error,
+        }
+    return merged
+
+
+def _gunzip(data: bytes, salvage: bool) -> bytes:
+    if not salvage:
+        try:
+            return _gzip.decompress(data)
+        except Exception as exc:
+            raise TraceFormatError(f"corrupt gzip container: {exc}") from exc
+    # Salvage: feed the stream chunkwise and keep whatever inflates
+    # cleanly before the corruption/truncation point.
+    d = zlib.decompressobj(47)  # gzip/zlib header autodetect
+    out = bytearray()
+    for i in range(0, len(data), 4096):
+        try:
+            out += d.decompress(data[i : i + 4096])
+        except zlib.error:
+            break
+    if not out:
+        raise TraceFormatError("gzip container unrecoverable")
+    return bytes(out)
+
+
 def save(merged: MergedCTT, path: str, gzip: bool = False) -> int:
-    """Write to ``path``; returns the byte count."""
+    """Write to ``path`` atomically; returns the byte count.
+
+    The bytes land in ``path + ".tmp"`` first, are fsynced, and then
+    ``os.replace`` the destination — a crash mid-save leaves any
+    existing trace at ``path`` untouched instead of truncated.
+    """
     data = dumps(merged, gzip=gzip)
-    with open(path, "wb") as fh:
-        fh.write(data)
+    tmp = path + ".tmp"
+    try:
+        with open(tmp, "wb") as fh:
+            fh.write(data)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
     return len(data)
 
 
-def load(path: str) -> MergedCTT:
+def load(path: str, salvage: bool = False) -> MergedCTT:
     with open(path, "rb") as fh:
-        return loads(fh.read())
+        return loads(fh.read(), salvage=salvage)

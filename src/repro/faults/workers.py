@@ -1,0 +1,42 @@
+"""Worker-side fault execution.
+
+:func:`apply_worker_fault` runs *inside a pool worker process* right
+before the real task body (the resilient executor threads the action
+through — see :mod:`repro.core.respool`), reproducing the three ways a
+production worker dies:
+
+* ``raise`` — an unhandled exception (the task fails, the worker lives);
+* ``kill``  — ``SIGKILL`` to the worker's own pid (a node OOM-kill or
+  preemption: no traceback, no exit handler, the parent only sees the
+  pipe close);
+* ``hang``  — sleep well past any reasonable deadline (a livelocked or
+  D-state worker: only a per-task timeout can recover).
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import time
+
+from .plan import ACTION_HANG, ACTION_KILL, ACTION_RAISE
+
+
+class InjectedWorkerError(RuntimeError):
+    """The unhandled exception an ``action='raise'`` fault throws."""
+
+
+def apply_worker_fault(action: str | None, hang_seconds: float = 60.0) -> None:
+    """Execute one injected fault; returns normally when ``action`` is
+    ``None``."""
+    if action is None:
+        return
+    if action == ACTION_RAISE:
+        raise InjectedWorkerError("injected worker failure")
+    if action == ACTION_KILL:
+        os.kill(os.getpid(), signal.SIGKILL)
+        raise AssertionError("unreachable")  # pragma: no cover
+    if action == ACTION_HANG:
+        time.sleep(hang_seconds)
+        return
+    raise ValueError(f"unknown worker-fault action {action!r}")

@@ -1,0 +1,175 @@
+"""Resilient pool executor: retry ladder, timeouts, serial fallback —
+and byte-identity of recovered pipeline results."""
+
+import time
+import warnings
+
+import pytest
+
+from repro import obs
+from repro.core import StreamMismatchError, run_cypress, serialize
+from repro.core.inter import merge_all
+from repro.core.respool import run_tasks
+from repro.faults import FaultPlan, WorkerFault
+
+SRC = """
+func main() {
+  var rank = mpi_comm_rank();
+  var size = mpi_comm_size();
+  for (var i = 0; i < 6; i = i + 1) {
+    if (rank < size - 1) { mpi_send(rank + 1, 64, 1); }
+    if (rank > 0) { mpi_recv(rank - 1, 64, 1); }
+    mpi_allreduce(8);
+  }
+}
+"""
+
+
+def _double(x):
+    return x * 2
+
+
+def _fail_on_odd(x):
+    if x % 2:
+        raise ValueError(f"odd payload {x}")
+    return x
+
+
+class TestHappyPath:
+    def test_results_in_payload_order(self):
+        out = run_tasks(_double, list(range(6)), stage="intra", workers=3)
+        assert out == [0, 2, 4, 6, 8, 10]
+
+    def test_empty(self):
+        assert run_tasks(_double, [], stage="intra", workers=2) == []
+
+
+class TestInjectedWorkerFaults:
+    @pytest.mark.parametrize("action", ["raise", "kill"])
+    def test_single_fault_recovers_via_retry(self, action):
+        plan = FaultPlan(worker_faults=(
+            WorkerFault(stage="intra", task=1, action=action),
+        ))
+        with warnings.catch_warnings():
+            # A recoverable retry must be warning-free: degradation
+            # warnings are reserved for serial fallback.
+            warnings.simplefilter("error")
+            out = run_tasks(
+                _double, [1, 2, 3], stage="intra", workers=3,
+                retries=1, fault_plan=plan, backoff=0.01,
+            )
+        assert out == [2, 4, 6]
+
+    def test_hang_is_killed_and_retried(self):
+        plan = FaultPlan(
+            worker_faults=(
+                WorkerFault(stage="intra", task=0, action="hang"),
+            ),
+            hang_seconds=30.0,
+        )
+        t0 = time.monotonic()
+        out = run_tasks(
+            _double, [5, 6], stage="intra", workers=2,
+            retries=1, timeout=1.0, fault_plan=plan, backoff=0.01,
+        )
+        assert out == [10, 12]
+        # The hung worker was killed at the 1s deadline, not joined for
+        # its full 30s sleep.
+        assert time.monotonic() - t0 < 15.0
+
+    def test_persistent_fault_falls_back_to_serial(self):
+        plan = FaultPlan(worker_faults=(
+            WorkerFault(stage="intra", task=0, action="kill", attempts=99),
+        ))
+        with pytest.warns(RuntimeWarning, match="re-executing serially"):
+            out = run_tasks(
+                _double, [7, 8], stage="intra", workers=2,
+                retries=1, fault_plan=plan, backoff=0.01,
+            )
+        # The parent-side serial re-execution runs without injection.
+        assert out == [14, 16]
+
+    def test_deterministic_task_error_reraises_as_itself(self):
+        with pytest.warns(RuntimeWarning, match="re-executing serially"):
+            with pytest.raises(ValueError, match="odd payload 3"):
+                run_tasks(
+                    _fail_on_odd, [2, 3], stage="intra", workers=2,
+                    retries=0, backoff=0.01,
+                )
+
+    def test_fault_counters_published(self):
+        plan = FaultPlan(worker_faults=(
+            WorkerFault(stage="intra", task=0, action="raise"),
+        ))
+        registry = obs.enable()
+        try:
+            run_tasks(
+                _double, [1, 2], stage="intra", workers=2,
+                retries=1, fault_plan=plan, backoff=0.01,
+            )
+        finally:
+            obs.disable()
+        assert registry.counters.get("faults.task_failures", 0) >= 1
+        assert registry.counters.get("faults.retries", 0) >= 1
+        assert registry.counters.get("faults.pool_fallbacks", 0) == 0
+
+
+class TestPipelineRecoveryByteIdentity:
+    """The acceptance bar: a worker crash mid-pipeline must not change a
+    single output byte."""
+
+    @pytest.fixture(scope="class")
+    def healthy_bytes(self):
+        run = run_cypress(SRC, nprocs=4)
+        return serialize.dumps(run.merge())
+
+    @pytest.mark.parametrize("action", ["raise", "kill"])
+    def test_intra_worker_fault_recovers_identically(
+        self, action, healthy_bytes
+    ):
+        plan = FaultPlan(worker_faults=(
+            WorkerFault(stage="intra", task=0, action=action),
+        ))
+        run = run_cypress(
+            SRC, nprocs=4, compress_workers=2, fault_plan=plan
+        )
+        assert not run.quarantine
+        assert serialize.dumps(run.merge()) == healthy_bytes
+
+    @pytest.mark.parametrize("action", ["raise", "kill"])
+    def test_inter_worker_fault_recovers_identically(
+        self, action, healthy_bytes
+    ):
+        plan = FaultPlan(worker_faults=(
+            WorkerFault(stage="inter", task=0, action=action),
+        ))
+        run = run_cypress(SRC, nprocs=4)
+        ctts = [run.compressor.ctt(r) for r in range(4)]
+        merged = merge_all(
+            ctts, workers=2, parallel_threshold=2, fault_plan=plan
+        )
+        assert serialize.dumps(merged) == healthy_bytes
+
+    def test_inter_persistent_fault_serial_fallback_identical(
+        self, healthy_bytes
+    ):
+        plan = FaultPlan(worker_faults=(
+            WorkerFault(stage="inter", task=0, action="kill", attempts=99),
+        ))
+        run = run_cypress(SRC, nprocs=4)
+        ctts = [run.compressor.ctt(r) for r in range(4)]
+        with pytest.warns(RuntimeWarning, match="re-executing serially"):
+            merged = merge_all(
+                ctts, workers=2, parallel_threshold=2,
+                retries=1, fault_plan=plan,
+            )
+        assert serialize.dumps(merged) == healthy_bytes
+
+    def test_strict_mode_error_propagates_through_pool(self):
+        plan = FaultPlan(seed=11, corrupt_ranks=(2,))
+        with pytest.warns(RuntimeWarning, match="re-executing serially"):
+            with pytest.raises(StreamMismatchError):
+                run_cypress(
+                    SRC, nprocs=4, compress_workers=2,
+                    fault_plan=plan, strict=True,
+                )

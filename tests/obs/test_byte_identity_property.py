@@ -26,12 +26,17 @@ SETTINGS = dict(
 MODES = {"serial": None, "batched": 1, "parallel": 2}
 
 
-def _trace_bytes(source: str, nprocs: int, compress_workers, metrics: bool):
+def _trace_bytes(
+    source: str, nprocs: int, compress_workers, metrics: bool,
+    strict: bool = False,
+):
     obs.disable()
     if metrics:
         obs.enable()
     try:
-        run = run_cypress(source, nprocs, compress_workers=compress_workers)
+        run = run_cypress(
+            source, nprocs, compress_workers=compress_workers, strict=strict
+        )
         return serialize.dumps(run.merge())
     finally:
         obs.disable()
@@ -56,3 +61,16 @@ class TestMetricsByteIdentity:
         }
         assert blobs["batched"] == blobs["serial"]
         assert blobs["parallel"] == blobs["serial"]
+
+    @settings(**SETTINGS)
+    @given(program(allow_functions=True), st.sampled_from(sorted(MODES)))
+    def test_lenient_mode_identical_to_strict_when_healthy(self, source, mode):
+        """Fault tolerance must be free on healthy runs: the default
+        lenient (quarantine-on-mismatch) path produces bytes identical
+        to strict fail-fast mode in every compression mode."""
+        nprocs = 2
+        lenient = _trace_bytes(source, nprocs, MODES[mode], metrics=False)
+        strict = _trace_bytes(
+            source, nprocs, MODES[mode], metrics=False, strict=True
+        )
+        assert lenient == strict, f"{mode}: lenient bytes differ from strict"

@@ -60,3 +60,67 @@ class TestValidation:
     def test_unknown_workload(self):
         with pytest.raises(SystemExit):
             main(["trace", "nope", "-n", "4"])
+
+
+class TestFaultFlags:
+    def test_trace_strict_and_quarantine_out(self, tmp_path, capsys):
+        trace = str(tmp_path / "t.cyp")
+        qpath = str(tmp_path / "q.json")
+        assert main([
+            "trace", "ep", "-n", "4", "--scale", "0.5", "-o", trace,
+            "--strict", "--quarantine-out", qpath,
+        ]) == 0
+        import json
+
+        with open(qpath) as fh:
+            report = json.load(fh)
+        assert report["quarantined_ranks"] == 0
+
+    def test_replay_salvage_of_truncated_trace(self, tmp_path, capsys):
+        trace = str(tmp_path / "t.cyp")
+        assert main(
+            ["trace", "ep", "-n", "4", "--scale", "0.5", "-o", trace]
+        ) == 0
+        capsys.readouterr()
+        data = open(trace, "rb").read()
+        with open(trace, "wb") as fh:
+            fh.write(data[:-6])
+        from repro.core import TraceFormatError
+
+        with pytest.raises(TraceFormatError):
+            main(["replay", trace, "-r", "0"])
+        assert main(["replay", trace, "-r", "0", "--salvage"]) == 0
+        err = capsys.readouterr().err
+        assert "salvaged" in err
+
+    def test_info_salvage_flag(self, tmp_path, capsys):
+        trace = str(tmp_path / "t.cyp")
+        assert main(
+            ["trace", "ep", "-n", "4", "--scale", "0.5", "-o", trace]
+        ) == 0
+        assert main(["info", trace, "--salvage"]) == 0
+
+    def test_verify_accepts_fault_flags(self, capsys):
+        assert main([
+            "verify", "ep", "-n", "4", "--scale", "0.5",
+            "--retry", "1", "--task-timeout", "30",
+        ]) == 0
+        assert "OK" in capsys.readouterr().out
+
+
+class TestFaultsmoke:
+    def test_matrix_passes_and_writes_report(self, tmp_path, capsys):
+        out = str(tmp_path / "report.json")
+        assert main([
+            "faultsmoke", "cg", "-n", "4", "--scale", "0.25",
+            "--flips", "4", "-o", out,
+        ]) == 0
+        import json
+
+        with open(out) as fh:
+            report = json.load(fh)
+        assert report["passed"] is True
+        assert len(report["scenarios"]) == 6
+        assert report["quarantine"]["quarantined_ranks"] == 2
+        stdout = capsys.readouterr().out
+        assert "PASSED" in stdout
