@@ -10,36 +10,60 @@ destination.
 
 from __future__ import annotations
 
+import warnings
+
 import numpy as np
 
+from repro import obs
 from repro.core.inter import MergedCTT
-from repro.core.ranks import decode_peer
+from repro.core.ranks import try_decode_peer
 
-_SEND_OPS = {"MPI_Send", "MPI_Isend"}
+_SEND_OPS = {"MPI_Send", "MPI_Isend", "MPI_Sendrecv"}
 
 
 def communication_matrix(merged: MergedCTT, nprocs: int) -> np.ndarray:
-    """``M[src, dst]`` = total point-to-point bytes sent src→dst."""
+    """``M[src, dst]`` = total point-to-point bytes sent src→dst.
+
+    A destination that decodes outside ``[0, nprocs)`` (a damaged trace,
+    or a matrix requested for the wrong rank count) cannot be charged to
+    any cell; such sends are dropped *loudly* — a ``RuntimeWarning``
+    naming the leaf plus a ``patterns.out_of_range_peers`` counter —
+    instead of silently vanishing from the plot.
+    """
     matrix = np.zeros((nprocs, nprocs), dtype=np.int64)
+    dropped = 0
+    dropped_at: tuple | None = None
     for vertex in merged.root.preorder():
         for group in vertex.groups.values():
             if group.records is None:
                 continue
             for record in group.records:
                 op = record.key[0]
+                if op not in _SEND_OPS:
+                    continue
                 count = record.count
-                if op in _SEND_OPS:
-                    nbytes = record.key[5]
-                    for rank in group.ranks:
-                        dst = decode_peer(record.key[1], rank)
-                        if 0 <= dst < nprocs:
-                            matrix[rank, dst] += count * nbytes
-                elif op == "MPI_Sendrecv":
-                    nbytes = record.key[5]
-                    for rank in group.ranks:
-                        dst = decode_peer(record.key[1], rank)
-                        if 0 <= dst < nprocs:
-                            matrix[rank, dst] += count * nbytes
+                nbytes = record.key[5]
+                for rank in group.ranks:
+                    dst, ok = try_decode_peer(record.key[1], rank, nprocs)
+                    if ok and 0 <= dst < nprocs:
+                        matrix[rank, dst] += count * nbytes
+                    else:
+                        dropped += 1
+                        if dropped_at is None:
+                            dropped_at = (vertex.gid, rank, dst)
+    if dropped:
+        gid, rank, dst = dropped_at
+        warnings.warn(
+            f"communication_matrix: dropped {dropped} send record(s) with "
+            f"out-of-range destinations (first: gid={gid} rank={rank} "
+            f"dst={dst}, nprocs={nprocs}) — damaged trace or wrong rank "
+            "count",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+        registry = obs.active()
+        if registry is not None:
+            registry.counter_add("patterns.out_of_range_peers", dropped)
     return matrix
 
 

@@ -17,6 +17,10 @@ Commands:
 * ``faultsmoke`` — run the seeded fault-injection matrix (worker kill /
   hang / raise, stream corruption, trace truncation) and check every
   degraded mode recovers; writes a JSON report for CI
+* ``check``    — trace-integrity suite (docs/INTERNALS.md §8): structural
+  invariants over the CST and (merged) CTTs, the wildcard nondeterminism
+  audit, and optionally the differential harness and the seeded payload
+  fault matrix; exits nonzero on invariant violations
 """
 
 from __future__ import annotations
@@ -62,6 +66,33 @@ def _add_fault_args(p: argparse.ArgumentParser) -> None:
                         "is killed and its task retried (default: none)")
     p.add_argument("--quarantine-out", default=None, metavar="PATH",
                    help="write the QuarantineReport as JSON to PATH")
+
+
+def _default_procs(w) -> int:
+    """Smallest valid rank count >= 4 (else the smallest valid one) —
+    big enough for real grouping, small enough for CI."""
+    eligible = [p for p in w.valid_procs if p >= 4]
+    return min(eligible or w.valid_procs)
+
+
+def _selfcheck(compiled_cst, merged, nprocs: int) -> int:
+    """Shared --selfcheck tail for trace/verify: invariant-check the
+    artifacts just produced; returns the number of violations."""
+    from repro import obs
+    from repro.verify import check_cst, check_merged, publish_verify_metrics
+
+    violations = check_cst(compiled_cst) + check_merged(merged, nranks=nprocs)
+    publish_verify_metrics(
+        obs.active(), checks=2, violations=len(violations)
+    )
+    if violations:
+        print(f"SELFCHECK FAILED: {len(violations)} violation(s)",
+              file=sys.stderr)
+        for v in violations[:10]:
+            print(f"  [{v.code}] {v.message}", file=sys.stderr)
+    else:
+        print("selfcheck: trace invariants OK")
+    return len(violations)
 
 
 def _report_quarantine(quarantine, out_path: str | None) -> None:
@@ -115,6 +146,9 @@ def cmd_trace(args: argparse.Namespace) -> int:
     print(f"  virtual time     : {run.run_result.elapsed / 1e6:.3f} s")
     print(f"  compressed trace : {nbytes} bytes -> {args.output}")
     _report_quarantine(run.quarantine, args.quarantine_out)
+    if args.selfcheck and _selfcheck(run.compiled.cst, run.merge(),
+                                     args.nprocs):
+        return 1
     return 0
 
 
@@ -150,13 +184,15 @@ def _report_salvage(merged) -> None:
 
 def cmd_replay(args: argparse.Namespace) -> int:
     from repro.core import decompress_merged_rank, serialize
+    from repro.core.export import format_peer
 
     merged = serialize.load(args.trace, salvage=args.salvage)
     _report_salvage(merged)
     events = decompress_merged_rank(merged, args.rank)
     print(f"rank {args.rank}: {len(events)} events")
     for ev in events[: args.limit]:
-        peer = f" peer={ev.peer}" if ev.peer > -100 else ""
+        rendered = format_peer(ev.peer, ev.wildcard)
+        peer = f" peer={rendered}" if rendered is not None else ""
         size = f" bytes={ev.nbytes}" if ev.nbytes else ""
         print(f"  {ev.op}{peer}{size} tag={ev.tag}")
     if len(events) > args.limit:
@@ -294,6 +330,7 @@ def cmd_verify(args: argparse.Namespace) -> int:
         workers=_merge_workers(args),
         retries=args.retry,
         task_timeout=args.task_timeout,
+        nranks=args.nprocs,
     )
     from repro import obs
 
@@ -313,6 +350,8 @@ def cmd_verify(args: argparse.Namespace) -> int:
             print(f"rank {rank}: replay DIVERGES")
     if bad:
         print(f"FAILED: {bad}/{args.nprocs} ranks diverged")
+        return 1
+    if args.selfcheck and _selfcheck(compiled.cst, merged, args.nprocs):
         return 1
     healthy = args.nprocs - len(bad_ranks)
     print(
@@ -494,6 +533,150 @@ def cmd_faultsmoke(args: argparse.Namespace) -> int:
     return 0 if passed else 1
 
 
+def cmd_check(args: argparse.Namespace) -> int:
+    """Trace-integrity suite over one workload or the whole registry.
+
+    Always runs the structural invariant checker (CST, every per-rank
+    CTT, the merged CTT under each requested merge schedule) and the
+    wildcard nondeterminism audit.  ``--differential`` adds the
+    cross-implementation harness, ``--fault-matrix`` the seeded
+    corruption matrix.  Wildcard findings are informational; the exit
+    code reflects invariant violations and matrix/differential failures.
+    """
+    import json
+
+    from repro import obs
+    from repro.core.inter import merge_all
+    from repro.core.intra import compress_streams
+    from repro.driver import run_compiled
+    from repro.mpisim.pmpi import StreamCaptureSink
+    from repro.static.instrument import compile_minimpi
+    from repro.verify import (
+        audit_wildcards,
+        check_cst,
+        check_ctt,
+        check_merged,
+        differential_check,
+        publish_verify_metrics,
+    )
+    from repro.verify.faultmatrix import run_fault_matrix
+
+    names = sorted(WORKLOADS) if args.workload == "all" else [args.workload]
+    schedules = tuple(s for s in args.schedules.split(",") if s)
+    for s in schedules:
+        if s not in ("fold", "tree", "parallel"):
+            print(f"unknown merge schedule {s!r}", file=sys.stderr)
+            return 2
+    registry = obs.active()
+    failed = False
+    workload_reports = []
+    for name in names:
+        w = WORKLOADS[name]
+        nprocs = args.nprocs if args.nprocs is not None else _default_procs(w)
+        w.check_procs(nprocs)
+        compiled = compile_minimpi(w.source)
+        capture = StreamCaptureSink()
+        run_compiled(
+            compiled, nprocs, defines=w.defines(nprocs, args.scale),
+            tracer=capture,
+        )
+        compressor = compress_streams(compiled.cst, capture.streams)
+        ctts = [compressor.ctt(r) for r in range(nprocs)]
+
+        violations = list(check_cst(compiled.cst))
+        for ctt in ctts:
+            violations += check_ctt(ctt, nranks=nprocs)
+        merged = None
+        for schedule in schedules:
+            merged = merge_all(
+                ctts,
+                schedule="tree" if schedule == "parallel" else schedule,
+                workers=2 if schedule == "parallel" else None,
+                parallel_threshold=2,
+                nranks=nprocs,
+            )
+            violations += check_merged(merged, nranks=nprocs)
+        audit = audit_wildcards(merged) if merged is not None else None
+        findings = audit.findings if audit is not None else []
+        checks = 1 + nprocs + len(schedules) + (audit is not None)
+        publish_verify_metrics(
+            registry, checks=checks, violations=len(violations),
+            findings=len(findings),
+        )
+        entry = {
+            "workload": name,
+            "nprocs": nprocs,
+            "violations": [v.to_dict() for v in violations],
+            "wildcard_audit": audit.to_dict() if audit is not None else None,
+        }
+        status = "ok  " if not violations else "FAIL"
+        extra = ""
+        if findings:
+            extra = f", {len(findings)} wildcard finding(s)"
+        print(f"  {status} {name:10s} n={nprocs}: "
+              f"{len(violations)} violation(s){extra}")
+        for v in violations[:args.limit]:
+            print(f"       [{v.code}] {v.message}", file=sys.stderr)
+        for f in findings:
+            print(f"       note: {f.format()}")
+        if violations:
+            failed = True
+
+        if args.differential:
+            diff = differential_check(
+                w.source, nprocs, w.defines(nprocs, args.scale),
+                workload=name, schedules=schedules,
+            )
+            entry["differential"] = diff.to_dict()
+            if diff.ok:
+                print(f"       differential: ok ({diff.events} events, "
+                      f"{len(diff.variants)} variants)")
+            else:
+                failed = True
+                print(f"       differential: {len(diff.divergences)} "
+                      "divergence(s)", file=sys.stderr)
+                for d in diff.divergences[:args.limit]:
+                    print(f"         {d.format()}", file=sys.stderr)
+
+        if args.fault_matrix:
+            matrix = run_fault_matrix(
+                w.source, nprocs, w.defines(nprocs, args.scale),
+                workload=name, seed=args.seed,
+            )
+            entry["fault_matrix"] = matrix.to_dict()
+            missed = [
+                e for e in matrix.entries if not e.detected and not e.skipped
+            ]
+            skipped = [e for e in matrix.entries if e.skipped]
+            if matrix.ok:
+                ran = len(matrix.entries) - len(skipped)
+                note = f" ({len(skipped)} without a site)" if skipped else ""
+                print(f"       fault matrix: all {ran} applicable "
+                      f"corruption kinds detected{note}")
+            else:
+                failed = True
+                print(f"       fault matrix: {len(missed)} kind(s) MISSED",
+                      file=sys.stderr)
+                for e in missed:
+                    print(f"         {e.kind}: {e.description}",
+                          file=sys.stderr)
+        workload_reports.append(entry)
+
+    report = {
+        "schedules": list(schedules),
+        "seed": args.seed,
+        "ok": not failed,
+        "workloads": workload_reports,
+    }
+    if args.out:
+        with open(args.out, "w") as fh:
+            json.dump(report, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"report -> {args.out}")
+    print("PASSED" if not failed else "FAILED")
+    return 0 if not failed else 1
+
+
 def cmd_diff(args: argparse.Namespace) -> int:
     from repro.analysis.diff import diff_traces
     from repro.core import serialize
@@ -515,6 +698,9 @@ def main(argv: list[str] | None = None) -> int:
     _add_fault_args(p)
     p.add_argument("-o", "--output", default="trace.cyp")
     p.add_argument("--gzip", action="store_true")
+    p.add_argument("--selfcheck", action="store_true",
+                   help="run the structural invariant checker on the "
+                        "CST and merged trace before reporting success")
     p.set_defaults(func=cmd_trace)
 
     p = sub.add_parser("compare", help="compare all compression methods")
@@ -561,6 +747,9 @@ def main(argv: list[str] | None = None) -> int:
     _add_compress_args(p)
     _add_metrics_args(p)
     _add_fault_args(p)
+    p.add_argument("--selfcheck", action="store_true",
+                   help="also run the structural invariant checker on the "
+                        "CST and merged trace")
     p.set_defaults(func=cmd_verify)
 
     p = sub.add_parser(
@@ -580,6 +769,37 @@ def main(argv: list[str] | None = None) -> int:
                    help="write the JSON report (incl. the QuarantineReport) "
                         "to PATH")
     p.set_defaults(func=cmd_faultsmoke)
+
+    p = sub.add_parser(
+        "check",
+        help="trace-integrity suite: invariants, wildcard audit, and "
+             "optional differential / fault-matrix passes",
+    )
+    p.add_argument("workload", nargs="?", default="all",
+                   choices=sorted(WORKLOADS) + ["all"])
+    p.add_argument("-n", "--nprocs", type=int, default=None,
+                   help="rank count (default: smallest valid count >= 4 "
+                        "per workload)")
+    p.add_argument("--scale", type=float, default=0.3,
+                   help="iteration-count scale factor (default: 0.3)")
+    p.add_argument("--schedules", default="fold,tree,parallel",
+                   help="comma-separated merge schedules to check "
+                        "(default: fold,tree,parallel)")
+    p.add_argument("--differential", action="store_true",
+                   help="also cross-check fastpath/reference/parallel "
+                        "compression and every merge schedule against "
+                        "ground truth")
+    p.add_argument("--fault-matrix", action="store_true",
+                   help="also run the seeded corruption matrix: every "
+                        "damage kind must be detected")
+    p.add_argument("--seed", type=int, default=20260807,
+                   help="fault-matrix seed (default: 20260807)")
+    p.add_argument("--limit", type=int, default=10,
+                   help="max violations/divergences printed per workload")
+    p.add_argument("-o", "--out", default=None, metavar="PATH",
+                   help="write the JSON report to PATH")
+    _add_metrics_args(p)
+    p.set_defaults(func=cmd_check)
 
     p = sub.add_parser("diff", help="compare two trace files")
     p.add_argument("a")

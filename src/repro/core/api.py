@@ -109,6 +109,7 @@ class CypressRun:
             self._merged = merge_all(
                 ctts, schedule=schedule, workers=workers,
                 retries=retries, task_timeout=task_timeout,
+                nranks=self.nprocs,
             )
         return self._merged
 

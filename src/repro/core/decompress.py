@@ -29,12 +29,19 @@ from repro import obs
 from repro.static.cst import BRANCH, CALL, LOOP
 
 from .ctt import CTT, CTTVertex
+from .errors import DecompressionError
 from .records import CompressedRecord
 from .sequences import IntSequence, SequenceCursor
 
-
-class DecompressionError(Exception):
-    """The compressed trace is internally inconsistent."""
+__all__ = [
+    "DecompressionError",
+    "ReplayEvent",
+    "PayloadView",
+    "decompress_rank",
+    "decompress_merged_rank",
+    "decompress_all",
+    "replay_with_view",
+]
 
 
 @dataclass(frozen=True)
@@ -95,12 +102,26 @@ class SingleRankView(PayloadView):
 _EMPTY = IntSequence()
 
 
+def _peer_in_range(peer: int, nranks: int) -> bool:
+    """Is a decoded peer a real rank or a legal sentinel?  A negative
+    non-sentinel (e.g. rank 0 + REL delta −1 → −1 colliding with
+    ``ANY_SOURCE``'s value) is never legal."""
+    from repro.mpisim.datatypes import ANY_SOURCE
+    from repro.mpisim.events import NO_PEER
+
+    return 0 <= peer < nranks or peer in (NO_PEER, ANY_SOURCE)
+
+
 class _Replayer:
-    def __init__(self, root, view: PayloadView, rank: int, decode_peer) -> None:
+    def __init__(
+        self, root, view: PayloadView, rank: int, decode_peer,
+        nranks: int | None = None,
+    ) -> None:
         self.view = view
         self.rank = rank
         self.root = root
         self.decode_peer = decode_peer
+        self.nranks = nranks
         self.events: list[ReplayEvent] = []
         self._loop_cursor: dict[int, SequenceCursor] = {}
         self._visit_cursor: dict[int, SequenceCursor] = {}
@@ -197,9 +218,35 @@ class _Replayer:
                 self.events.append(self._to_event(record, vertex.gid))
                 return
         raise DecompressionError(
-            f"rank {self.rank}: leaf gid={vertex.gid} has no record for "
-            f"visit {visit}"
+            f"rank {self.rank}: leaf gid={vertex.gid} ({vertex.op}) has no "
+            f"record for visit {visit}; tried {len(records)} record(s) "
+            f"with next occurrences {[c.peek() for c in cursors]}",
+            rank=self.rank,
+            gid=vertex.gid,
+            op=vertex.op,
+            visit=visit,
+            candidates=tuple(r.key for r in records),
+            cursors=tuple((i, c.peek()) for i, c in enumerate(cursors)),
         )
+
+    def _decode(self, encoded, gid: int, op: str):
+        peer = self.decode_peer(encoded, self.rank)
+        nranks = self.nranks
+        if nranks is not None:
+            # A relative decode must land on a real rank — sentinels are
+            # stored absolute, so a REL result of −1 is an overflow, not
+            # ANY_SOURCE (satellite: boundary ranks of merged groups).
+            if encoded[0] == "rel":
+                ok = 0 <= peer < nranks
+            else:
+                ok = _peer_in_range(peer, nranks)
+            if not ok:
+                raise DecompressionError(
+                    f"rank {self.rank}: leaf gid={gid} ({op}) decodes peer "
+                    f"{encoded!r} to {peer}, outside [0, {nranks})",
+                    rank=self.rank, gid=gid, op=op, candidates=(encoded,),
+                )
+        return peer
 
     def _to_event(self, record: CompressedRecord, gid: int) -> ReplayEvent:
         (
@@ -208,8 +255,8 @@ class _Replayer:
         ) = record.key
         return ReplayEvent(
             op=op,
-            peer=self.decode_peer(peer_enc, self.rank),
-            peer2=self.decode_peer(peer2_enc, self.rank),
+            peer=self._decode(peer_enc, gid, op),
+            peer2=self._decode(peer2_enc, gid, op),
             tag=tag,
             tag2=tag2,
             nbytes=nbytes,
@@ -255,21 +302,35 @@ def _observed(events: list[ReplayEvent], t0: float) -> list[ReplayEvent]:
     return events
 
 
-def decompress_rank(ctt: CTT) -> list[ReplayEvent]:
-    """Replay one rank's own CTT into its original event sequence."""
+def decompress_rank(ctt: CTT, nranks: int | None = None) -> list[ReplayEvent]:
+    """Replay one rank's own CTT into its original event sequence.
+
+    With ``nranks`` given, every decoded peer is validated against
+    ``[0, nranks)`` (plus the legal sentinels) and an out-of-range decode
+    raises :class:`DecompressionError` instead of yielding a bogus rank.
+    """
     from .ranks import decode_peer
 
     t0 = time.perf_counter() if obs.enabled() else 0.0
-    events = _Replayer(ctt.root, SingleRankView(), ctt.rank, decode_peer).run()
+    events = _Replayer(
+        ctt.root, SingleRankView(), ctt.rank, decode_peer, nranks=nranks
+    ).run()
     return _observed(events, t0)
 
 
-def decompress_merged_rank(merged, rank: int) -> list[ReplayEvent]:
-    """Replay ``rank``'s original sequence from the job-wide merged CTT."""
+def decompress_merged_rank(
+    merged, rank: int, nranks: int | None = None
+) -> list[ReplayEvent]:
+    """Replay ``rank``'s original sequence from the job-wide merged CTT.
+
+    ``nranks`` enables strict peer-range validation (see
+    :func:`decompress_rank`)."""
     from .ranks import decode_peer
 
     t0 = time.perf_counter() if obs.enabled() else 0.0
-    events = _Replayer(merged.root, MergedRankView(rank), rank, decode_peer).run()
+    events = _Replayer(
+        merged.root, MergedRankView(rank), rank, decode_peer, nranks=nranks
+    ).run()
     return _observed(events, t0)
 
 

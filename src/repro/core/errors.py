@@ -32,6 +32,14 @@ The taxonomy (docs/INTERNALS.md §7):
     should catch :class:`TraceFormatError` (the ``ValueError`` base
     will be dropped).
 
+``DecompressionError``
+    The compressed trace is internally inconsistent: replay reached a
+    state the payload cannot satisfy (a leaf visit no record covers, an
+    exhausted cursor, an out-of-range decoded peer).  Carries the full
+    replay context — ``rank``, ``gid``, ``op``, ``visit``, the record
+    keys that were tried and the remaining cursor state — so salvage
+    reports name the exact divergence instead of just a vertex.
+
 Worker-pool faults deliberately have no exception class of their own:
 the resilient executor (:mod:`repro.core.respool`) retries and then
 re-executes failed tasks serially in the parent, so the only errors
@@ -66,9 +74,40 @@ class TraceFormatError(CypressError, ValueError):
     """
 
 
+class DecompressionError(CypressError):
+    """The compressed trace is internally inconsistent under replay.
+
+    ``candidates`` holds the record keys that were tried at the failing
+    leaf and ``cursors`` the remaining state of each record's occurrence
+    cursor as ``(record_index, next_value)`` pairs (``next_value`` is
+    ``None`` for an exhausted cursor) — enough to see *which* payload the
+    replay expected and what it found instead.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        rank: int | None = None,
+        gid: int = -1,
+        op: str | None = None,
+        visit: int = -1,
+        candidates: tuple = (),
+        cursors: tuple = (),
+    ) -> None:
+        super().__init__(message)
+        self.rank = rank
+        self.gid = gid
+        self.op = op
+        self.visit = visit
+        self.candidates = tuple(candidates)
+        self.cursors = tuple(cursors)
+
+
 __all__ = [
     "CypressError",
     "StreamMismatchError",
     "MergeError",
     "TraceFormatError",
+    "DecompressionError",
 ]

@@ -15,6 +15,9 @@ from __future__ import annotations
 import csv
 import io
 
+from repro.mpisim.datatypes import ANY_SOURCE
+from repro.mpisim.events import NO_PEER
+
 from .decompress import ReplayEvent, decompress_all
 from .inter import MergedCTT
 
@@ -22,6 +25,25 @@ CSV_FIELDS = (
     "rank", "seq", "op", "t_start_us", "duration_us", "peer", "peer2",
     "tag", "nbytes", "comm", "root", "wildcard", "result_comm", "gid",
 )
+
+
+def format_peer(peer: int, wildcard: bool = False) -> str | None:
+    """Render a decoded peer for flat output.
+
+    ``None`` for the no-peer sentinel (omit the field), ``*`` for an
+    unresolved ``ANY_SOURCE`` on a wildcard record, and a loud ``?N``
+    for anything else negative.  The wildcard flag disambiguates ``-1``:
+    sentinels are stored absolute, so a ``-1`` on a *non*-wildcard
+    record can only be a relative decode that overflowed the rank range
+    (e.g. rank 0 + delta −1) — corruption, not ``ANY_SOURCE``.
+    """
+    if peer == NO_PEER:
+        return None
+    if peer == ANY_SOURCE and wildcard:
+        return "*"
+    if peer < 0:
+        return f"?{peer}"
+    return str(peer)
 
 
 def _timeline(events: list[ReplayEvent]):
@@ -43,8 +65,9 @@ def to_text(merged: MergedCTT, ranks: list[int] | None = None) -> str:
         out.write(f"# rank {rank}: {len(traces[rank])} events\n")
         for t, ev in _timeline(traces[rank]):
             parts = [f"{t:14.3f}", f"r{rank}", ev.op]
-            if ev.peer > -100:
-                parts.append(f"peer={ev.peer}")
+            peer = format_peer(ev.peer, ev.wildcard)
+            if peer is not None:
+                parts.append(f"peer={peer}")
             if ev.nbytes:
                 parts.append(f"bytes={ev.nbytes}")
             if ev.tag:

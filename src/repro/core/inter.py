@@ -43,6 +43,7 @@ from repro.static.cst import BRANCH, CALL, LOOP
 
 from .ctt import CTT, CTTVertex
 from .errors import MergeError  # noqa: F401 - historical import location
+from .ranks import ABS, REL
 from .records import CompressedRecord
 from .respool import run_tasks
 from .sequences import IntSequence
@@ -129,6 +130,39 @@ def _visits_signature(visits: IntSequence) -> tuple:
 
 def _records_signature(records: list[CompressedRecord]) -> tuple:
     return ("R", tuple((r.key, r.occurrences.length, tuple(r.occurrences.terms)) for r in records))
+
+
+def _abs_fallback_records(
+    records: list[CompressedRecord], rank: int, nranks: int
+) -> list[CompressedRecord] | None:
+    """Re-encode relative peers that would decode out of ``[0, nranks)``
+    for ``rank`` as absolute (copy-on-write; ``None`` when every decode
+    is in range — the healthy case, so healthy merges stay
+    byte-identical).  An out-of-range REL key can only come from an
+    already-damaged CTT (e.g. a corrupted trace file); keeping it
+    relative would silently alias onto a *plausible* rank for the other
+    members of whatever group it lands in — absolute encoding keeps the
+    bogus value rank-independent and loud (replay validation and the
+    invariant checker then pinpoint it)."""
+    repaired: list[CompressedRecord] | None = None
+    for i, record in enumerate(records):
+        key = record.key
+        if key is None:
+            continue
+        new_key = None
+        for slot in (1, 2):
+            enc = key[slot]
+            if enc[0] == REL and not 0 <= rank + enc[1] < nranks:
+                if new_key is None:
+                    new_key = list(key)
+                new_key[slot] = (ABS, rank + enc[1])
+        if new_key is not None:
+            if repaired is None:
+                repaired = list(records)
+            fixed = record.copy()
+            fixed.key = tuple(new_key)
+            repaired[i] = fixed
+    return repaired
 
 
 # ---------------------------------------------------------------------------
@@ -346,7 +380,12 @@ class MergedCTT:
     # -- construction -----------------------------------------------------
 
     @classmethod
-    def from_rank(cls, ctt: CTT, interns: InternTable | None = None) -> "MergedCTT":
+    def from_rank(
+        cls,
+        ctt: CTT,
+        interns: InternTable | None = None,
+        nranks: int | None = None,
+    ) -> "MergedCTT":
         interns = interns if interns is not None else InternTable()
         intern = interns.intern
         root = MergedVertex(ctt.root)
@@ -368,10 +407,15 @@ class MergedCTT:
                     )
             elif src.kind == CALL:
                 if src.records:
+                    records = src.records
+                    if nranks is not None:
+                        repaired = _abs_fallback_records(records, rank, nranks)
+                        if repaired is not None:
+                            records = repaired
                     group = Group(
-                        signature=intern(_records_signature(src.records)),
+                        signature=intern(_records_signature(records)),
                         ranks=[rank],
-                        sources=[(rank, src.records)],  # stats merge deferred
+                        sources=[(rank, records)],  # stats merge deferred
                     )
             if group is not None:
                 dst.add_group(group)
@@ -455,8 +499,9 @@ def _tree_reduce(
     return merged[0]
 
 
-def _merge_shard(ctts: list[CTT]) -> tuple:
-    """Worker entry point: tree-reduce one contiguous chunk of rank CTTs.
+def _merge_shard(payload) -> tuple:
+    """Worker entry point: tree-reduce one contiguous chunk of rank CTTs
+    (``payload`` is ``(ctts, nranks)``).
 
     Must stay a module-level function (pickled by ``multiprocessing``).
     The shard is *not* finalized — statistics materialize once, in the
@@ -466,9 +511,12 @@ def _merge_shard(ctts: list[CTT]) -> tuple:
     parent only adds counts for shards whose tables get discarded when
     they are absorbed into shard 0's).
     """
+    ctts, nranks = payload
     t0 = time.perf_counter()
     interns = InternTable()
-    merged = _tree_reduce([MergedCTT.from_rank(c, interns) for c in ctts])
+    merged = _tree_reduce(
+        [MergedCTT.from_rank(c, interns, nranks=nranks) for c in ctts]
+    )
     stats = {
         "elapsed": time.perf_counter() - t0,
         "intern_hits": interns.hits,
@@ -496,6 +544,7 @@ def _parallel_tree_merge(
     retries: int = 1,
     task_timeout: float | None = None,
     fault_plan=None,
+    nranks: int | None = None,
 ) -> MergedCTT | None:
     """Run the reduction tree on a process pool; ``None`` means "fall
     back to serial" (too few chunks to win).
@@ -513,7 +562,9 @@ def _parallel_tree_merge(
     is byte-identical to an all-healthy run.
     """
     chunk = _next_pow2(-(-len(ctts) // nworkers))
-    chunks = [ctts[i : i + chunk] for i in range(0, len(ctts), chunk)]
+    chunks = [
+        (ctts[i : i + chunk], nranks) for i in range(0, len(ctts), chunk)
+    ]
     if len(chunks) < 2:
         return None
     results = run_tasks(
@@ -551,6 +602,7 @@ def merge_all(
     retries: int = 1,
     task_timeout: float | None = None,
     fault_plan=None,
+    nranks: int | None = None,
 ) -> MergedCTT:
     """Merge every rank's CTT into the job-wide compressed trace.
 
@@ -568,6 +620,12 @@ def merge_all(
     ``faults.*`` counters), with the recovered result byte-identical to
     an all-healthy run.  ``fault_plan`` lets tests/CI inject worker
     faults (docs/INTERNALS.md §7).
+
+    With ``nranks`` given, record keys whose relative peer would decode
+    outside ``[0, nranks)`` for their rank are re-encoded absolute at
+    merge time (copy-on-write; healthy traces are untouched and stay
+    byte-identical) so a damaged delta cannot silently alias onto a
+    plausible rank after grouping.
     """
     if not ctts:
         raise ValueError("no CTTs to merge")
@@ -576,7 +634,8 @@ def merge_all(
     registry = obs.active()
     with obs.span("inter.merge"):
         result = _merge_all_impl(ctts, schedule, workers, parallel_threshold,
-                                 registry, retries, task_timeout, fault_plan)
+                                 registry, retries, task_timeout, fault_plan,
+                                 nranks)
     if registry is not None:
         _publish_merge_metrics(registry, result)
     return result
@@ -584,7 +643,7 @@ def merge_all(
 
 def _merge_all_impl(
     ctts, schedule, workers, parallel_threshold, registry,
-    retries, task_timeout, fault_plan,
+    retries, task_timeout, fault_plan, nranks=None,
 ) -> MergedCTT:
     if schedule == "tree":
         nworkers = _resolve_workers(workers)
@@ -592,12 +651,12 @@ def _merge_all_impl(
             merged = _parallel_tree_merge(
                 ctts, nworkers,
                 retries=retries, task_timeout=task_timeout,
-                fault_plan=fault_plan,
+                fault_plan=fault_plan, nranks=nranks,
             )
             if merged is not None:
                 return merged.finalize()
     interns = InternTable()
-    merged = [MergedCTT.from_rank(c, interns) for c in ctts]
+    merged = [MergedCTT.from_rank(c, interns, nranks=nranks) for c in ctts]
     if schedule == "fold":
         acc = merged[0]
         for m in merged[1:]:

@@ -44,10 +44,58 @@ def encode_peer(peer: int, rank: int, relative: bool = True) -> EncodedPeer:
     return cached if cached is not None else (ABS, peer)
 
 
-def decode_peer(encoded: EncodedPeer, rank: int) -> int:
+def decode_peer(
+    encoded: EncodedPeer, rank: int, nranks: int | None = None
+) -> int:
+    """Decode ``encoded`` as seen from ``rank``.
+
+    With ``nranks`` given, a relative decode landing outside
+    ``[0, nranks)`` raises :class:`ValueError` — a REL result can never
+    legally be a sentinel (sentinels are stored absolute), so e.g.
+    rank 0 + delta −1 → −1 is an overflow, not ``ANY_SOURCE``.
+    """
     mode, value = encoded
     if mode == ABS:
         return value
     if mode == REL:
-        return rank + value
+        peer = rank + value
+        if nranks is not None and not 0 <= peer < nranks:
+            raise ValueError(
+                f"relative peer {encoded!r} decodes to {peer} on rank "
+                f"{rank}, outside [0, {nranks})"
+            )
+        return peer
     raise ValueError(f"bad encoded peer {encoded!r}")
+
+
+def try_decode_peer(
+    encoded: EncodedPeer, rank: int, nranks: int | None = None
+) -> tuple[int, bool]:
+    """Decode without raising: returns ``(peer, in_range)``.
+
+    ``in_range`` is ``False`` when a REL decode lands outside
+    ``[0, nranks)`` (a negative REL decode is illegal even without
+    ``nranks``), or an ABS value is neither a valid rank nor a legal
+    sentinel (``NO_PEER``/``ANY_SOURCE``).
+    """
+    mode, value = encoded
+    if mode == REL:
+        peer = rank + value
+        if peer < 0:
+            return peer, False
+        return peer, nranks is None or peer < nranks
+    if mode == ABS:
+        if value in (NO_PEER, ANY_SOURCE):
+            return value, True
+        if value < 0:
+            return value, False
+        return value, nranks is None or value < nranks
+    raise ValueError(f"bad encoded peer {encoded!r}")
+
+
+def rel_decode_bounds(
+    delta: int, ranks: list[int]
+) -> tuple[int, int]:
+    """Min/max decode of a REL delta over a sorted rank set — the O(1)
+    boundary check the invariant checker uses for merged groups."""
+    return ranks[0] + delta, ranks[-1] + delta

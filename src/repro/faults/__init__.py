@@ -13,12 +13,16 @@ Everything is driven by a seeded :class:`FaultPlan`:
   on specific attempts (executed worker-side by
   :func:`apply_worker_fault` via :mod:`repro.core.respool`);
 * :func:`truncate` / :func:`bitflip` / :func:`corrupt_bytes` damage
-  serialized trace bytes the way a crash mid-write or bit rot would.
+  serialized trace bytes the way a crash mid-write or bit rot would;
+* :func:`corrupt_merged` damages a *merged trace's payload* in ways the
+  invariant checker (:mod:`repro.verify.invariants`) must detect — the
+  negative tests of ``repro check --fault-matrix``.
 
 Same seed → byte-identical faults, every run.
 """
 
 from .data import bitflip, corrupt_bytes, truncate
+from .payload import PAYLOAD_KINDS, corrupt_merged
 from .plan import (
     ACTION_HANG,
     ACTION_KILL,
@@ -43,12 +47,14 @@ __all__ = [
     "FaultPlan",
     "InjectedWorkerError",
     "NO_FAULTS",
+    "PAYLOAD_KINDS",
     "STAGE_INTER",
     "STAGE_INTRA",
     "WorkerFault",
     "apply_worker_fault",
     "bitflip",
     "corrupt_bytes",
+    "corrupt_merged",
     "corrupt_stream",
     "corrupt_streams",
     "truncate",

@@ -67,6 +67,19 @@ class CSTNode:
     def size(self) -> int:
         return sum(1 for _ in self.preorder())
 
+    def preorder_with_parent(
+        self,
+    ) -> Iterator[tuple["CSTNode", "CSTNode | None"]]:
+        """Pre-order traversal yielding ``(node, parent)`` pairs — the
+        walk the invariant checker uses to validate parent/child arity
+        without materializing a parent map."""
+        stack: list[tuple[CSTNode, CSTNode | None]] = [(self, None)]
+        while stack:
+            node, parent = stack.pop()
+            yield node, parent
+            for child in reversed(node.children):
+                stack.append((child, node))
+
     def leaves(self) -> Iterator["CSTNode"]:
         for node in self.preorder():
             if not node.children and node.kind in (CALL, FUNC):

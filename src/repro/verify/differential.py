@@ -1,0 +1,198 @@
+"""Differential self-verification of the pipeline's equivalence claims.
+
+The codebase claims several independently-implemented paths are
+equivalent:
+
+* fastpath compression == reference compression
+  (``CypressConfig(fastpath=False)``);
+* inline (callback) compression == deferred serial == deferred parallel
+  (``compress_streams(workers=N)``);
+* fold merge == tree merge == parallel tree merge (byte-identical);
+* every rank's replay is the same before and after the merge, and equals
+  the ground-truth recorded sequence.
+
+This harness runs a workload *once* (capturing both ground truth and the
+raw streams) and drives every variant from the same capture, so any
+divergence is a pipeline bug, not run-to-run noise.  Sequences are
+diffed at the **first diverging event** — index plus both events —
+rather than byte-level, so a report says *what* diverged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core import serialize
+from repro.core.decompress import decompress_merged_rank, decompress_rank
+from repro.core.inter import merge_all
+from repro.core.intra import CypressConfig, IntraProcessCompressor, compress_streams
+from repro.driver import run_compiled
+from repro.mpisim.pmpi import MultiSink, RecordingSink, StreamCaptureSink
+from repro.static.instrument import compile_minimpi
+
+
+@dataclass(frozen=True)
+class Divergence:
+    """First diverging event between two supposedly equal sequences."""
+
+    left: str  # variant name, e.g. "fastpath"
+    right: str  # variant name or "truth"
+    rank: int
+    index: int  # first diverging event index (or the shorter length)
+    left_event: tuple | None  # None when one side is shorter
+    right_event: tuple | None
+
+    def format(self) -> str:
+        return (
+            f"{self.left} vs {self.right}, rank {self.rank}: first "
+            f"divergence at event {self.index}: "
+            f"{self.left_event!r} != {self.right_event!r}"
+        )
+
+
+@dataclass
+class DifferentialReport:
+    workload: str
+    nprocs: int
+    events: int = 0
+    variants: list[str] = field(default_factory=list)
+    schedules: list[str] = field(default_factory=list)
+    divergences: list[Divergence] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.divergences
+
+    def to_dict(self) -> dict:
+        return {
+            "workload": self.workload,
+            "nprocs": self.nprocs,
+            "events": self.events,
+            "variants": self.variants,
+            "schedules": self.schedules,
+            "ok": self.ok,
+            "divergences": [d.format() for d in self.divergences],
+        }
+
+
+def first_divergence(left_name, right_name, rank, left_seq, right_seq):
+    """``None`` when the sequences are equal, else the first difference."""
+    for i, (a, b) in enumerate(zip(left_seq, right_seq)):
+        if a != b:
+            return Divergence(left_name, right_name, rank, i, a, b)
+    if len(left_seq) != len(right_seq):
+        n = min(len(left_seq), len(right_seq))
+        return Divergence(
+            left_name, right_name, rank, n,
+            left_seq[n] if len(left_seq) > n else None,
+            right_seq[n] if len(right_seq) > n else None,
+        )
+    return None
+
+
+def _replays(compressor, nprocs):
+    return {
+        r: [e.call_tuple() for e in decompress_rank(compressor.ctt(r))]
+        for r in range(nprocs)
+    }
+
+
+def differential_check(
+    source: str,
+    nprocs: int,
+    defines: dict[str, int] | None = None,
+    *,
+    workload: str = "<inline>",
+    schedules: tuple[str, ...] = ("fold", "tree", "parallel"),
+    max_divergences: int = 20,
+) -> DifferentialReport:
+    """Cross-check every compression variant and merge schedule against
+    ground truth and against each other."""
+    report = DifferentialReport(workload=workload, nprocs=nprocs)
+    compiled = compile_minimpi(source)
+    recorder = RecordingSink()
+    capture = StreamCaptureSink()
+    result = run_compiled(
+        compiled, nprocs, defines=defines,
+        tracer=MultiSink([recorder, capture]),
+    )
+    report.events = result.total_events
+    truth = {
+        r: [e.replay_tuple() for e in recorder.events.get(r, [])]
+        for r in range(nprocs)
+    }
+
+    def note(div):
+        if div is not None and len(report.divergences) < max_divergences:
+            report.divergences.append(div)
+
+    # -- compression variants, all from the same captured streams --------
+    inline = IntraProcessCompressor(compiled.cst)
+    capture.replay_into(inline)
+    variants = {
+        "inline": inline,
+        "fastpath": compress_streams(compiled.cst, capture.streams),
+        "reference": compress_streams(
+            compiled.cst, capture.streams,
+            config=CypressConfig(fastpath=False),
+        ),
+        "parallel": compress_streams(
+            compiled.cst, capture.streams, workers=2, parallel_threshold=2
+        ),
+    }
+    report.variants = sorted(variants)
+    replays = {name: _replays(comp, nprocs) for name, comp in variants.items()}
+    for name in sorted(variants):
+        for rank in range(nprocs):
+            note(first_divergence(
+                name, "truth", rank, replays[name][rank], truth[rank]
+            ))
+    base = replays["fastpath"]
+    for name in sorted(variants):
+        if name == "fastpath":
+            continue
+        for rank in range(nprocs):
+            note(first_divergence(
+                name, "fastpath", rank, replays[name][rank], base[rank]
+            ))
+
+    # -- merge schedules, all from the fastpath CTTs ----------------------
+    ctts = [variants["fastpath"].ctt(r) for r in range(nprocs)]
+    merged_by: dict[str, object] = {}
+    for sched in schedules:
+        if sched == "parallel":
+            merged_by[sched] = merge_all(
+                ctts, schedule="tree", workers=2, parallel_threshold=2,
+                nranks=nprocs,
+            )
+        else:
+            merged_by[sched] = merge_all(ctts, schedule=sched, nranks=nprocs)
+    report.schedules = list(schedules)
+    blobs = {s: serialize.dumps(m) for s, m in merged_by.items()}
+    names = list(schedules)
+    for other in names[1:]:
+        if blobs[other] != blobs[names[0]]:
+            # Byte mismatch: localize it via per-rank replay diffs.
+            for rank in range(nprocs):
+                note(first_divergence(
+                    f"merge:{other}", f"merge:{names[0]}", rank,
+                    [e.call_tuple() for e in
+                     decompress_merged_rank(merged_by[other], rank)],
+                    [e.call_tuple() for e in
+                     decompress_merged_rank(merged_by[names[0]], rank)],
+                ))
+            note(Divergence(
+                f"merge:{other}", f"merge:{names[0]}", -1, -1,
+                (len(blobs[other]), "bytes"), (len(blobs[names[0]]), "bytes"),
+            ))
+
+    # -- replay before vs after merge -------------------------------------
+    merged = merged_by[names[0]]
+    for rank in range(nprocs):
+        note(first_divergence(
+            "merged-replay", "per-rank-replay", rank,
+            [e.call_tuple()
+             for e in decompress_merged_rank(merged, rank, nranks=nprocs)],
+            base[rank],
+        ))
+    return report

@@ -1,0 +1,157 @@
+"""Seeded fault matrix: prove the checkers detect every damage class.
+
+A checker that always says "clean" is worse than no checker.  This
+module runs the *negative* half of ``repro check``: for every
+payload-corruption kind (:data:`repro.faults.payload.PAYLOAD_KINDS`) it
+damages a freshly merged trace and requires :func:`check_merged` to
+report at least one violation — including the kind's namesake code —
+and for every stream-corruption kind
+(:data:`repro.faults.plan.CORRUPT_KINDS`) it requires strict compression
+to raise :class:`~repro.core.errors.StreamMismatchError` and lenient
+compression to quarantine exactly the victim rank.
+
+Same seed → same victims, same damage — a failing matrix entry is
+reproducible from the CI report alone.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.errors import StreamMismatchError
+from repro.core.inter import merge_all
+from repro.core.intra import compress_streams
+from repro.driver import run_compiled
+from repro.faults.payload import PAYLOAD_KINDS, corrupt_merged
+from repro.faults.plan import CORRUPT_KINDS, FaultPlan
+from repro.faults.streams import corrupt_stream
+from repro.mpisim.pmpi import StreamCaptureSink
+from repro.static.instrument import compile_minimpi
+
+from .invariants import check_merged
+
+#: Violation codes each payload kind must produce (the namesake plus the
+#: secondary codes the same damage legitimately trips).
+EXPECTED_CODES = {
+    "occ-overlap": {"occ-overlap", "occ-regress", "occ-count",
+                    "occ-not-contiguous"},
+    "occ-hole": {"occ-count", "occ-not-contiguous"},
+    "rank-overlap": {"rank-overlap", "ranks-unsorted"},
+    "rank-range": {"rank-range"},
+    "signature-stale": {"signature-stale"},
+    "loop-negative": {"loop-negative"},
+    "peer-range": {"peer-range"},
+    "visits-regress": {"visits-regress", "visit-overlap", "visit-bounds"},
+}
+
+
+@dataclass
+class MatrixEntry:
+    kind: str
+    detected: bool
+    description: str
+    codes: list[str] = field(default_factory=list)
+    violations: int = 0
+    skipped: bool = False  # kind has no site in this trace's shape
+
+    def to_dict(self) -> dict:
+        return {
+            "kind": self.kind,
+            "detected": self.detected,
+            "description": self.description,
+            "codes": self.codes,
+            "violations": self.violations,
+            "skipped": self.skipped,
+        }
+
+
+@dataclass
+class MatrixReport:
+    workload: str
+    nprocs: int
+    seed: int
+    entries: list[MatrixEntry] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """Every *applicable* kind detected.  A kind with no corruption
+        site in this trace's shape (e.g. no multi-occurrence record in a
+        tiny workload) is skipped, not failed — but at least one kind
+        must have actually run."""
+        ran = [e for e in self.entries if not e.skipped]
+        return bool(ran) and all(e.detected for e in ran)
+
+    def to_dict(self) -> dict:
+        return {
+            "workload": self.workload,
+            "nprocs": self.nprocs,
+            "seed": self.seed,
+            "ok": self.ok,
+            "entries": [e.to_dict() for e in self.entries],
+        }
+
+
+def run_fault_matrix(
+    source: str,
+    nprocs: int,
+    defines: dict[str, int] | None = None,
+    *,
+    workload: str = "<inline>",
+    seed: int = 20260807,
+) -> MatrixReport:
+    """Run every corruption kind against one workload's trace."""
+    report = MatrixReport(workload=workload, nprocs=nprocs, seed=seed)
+    plan = FaultPlan(seed=seed)
+    compiled = compile_minimpi(source)
+    capture = StreamCaptureSink()
+    run_compiled(compiled, nprocs, defines=defines, tracer=capture)
+    compressor = compress_streams(compiled.cst, capture.streams)
+    ctts = [compressor.ctt(r) for r in range(nprocs)]
+
+    for kind in PAYLOAD_KINDS:
+        merged = merge_all(ctts, nranks=nprocs)  # fresh victim per kind
+        try:
+            description = corrupt_merged(
+                merged, kind, plan.rng("payload", kind), nranks=nprocs
+            )
+        except ValueError as exc:
+            report.entries.append(MatrixEntry(
+                kind=kind, detected=False, skipped=True,
+                description=f"skipped, no corruption site: {exc}",
+            ))
+            continue
+        violations = check_merged(merged, nranks=nprocs)
+        codes = sorted({v.code for v in violations})
+        detected = bool(violations) and bool(
+            EXPECTED_CODES[kind] & set(codes)
+        )
+        report.entries.append(MatrixEntry(
+            kind=kind, detected=detected, description=description,
+            codes=codes, violations=len(violations),
+        ))
+
+    victim = nprocs - 1
+    for kind in CORRUPT_KINDS:
+        streams = dict(capture.streams)
+        streams[victim] = corrupt_stream(
+            list(streams[victim]), kind, plan.rng("stream", kind)
+        )
+        try:
+            compress_streams(compiled.cst, streams, strict=True)
+            strict_raised = False
+        except StreamMismatchError:
+            strict_raised = True
+        lenient = compress_streams(compiled.cst, streams)
+        quarantined = lenient.quarantine.ranks()
+        detected = strict_raised and quarantined == [victim]
+        report.entries.append(MatrixEntry(
+            kind=f"stream:{kind}",
+            detected=detected,
+            description=(
+                f"rank {victim} stream corrupted ({kind}); strict raise: "
+                f"{strict_raised}, quarantined: {quarantined}"
+            ),
+            codes=["stream-mismatch"] if strict_raised else [],
+            violations=int(strict_raised) + len(quarantined),
+        ))
+    return report

@@ -137,6 +137,123 @@ class TestDonationRepair:
         assert seq.term_count() <= max(1, len(_greedy_reference_terms(values)))
 
 
+def _runs(draw_ints):
+    """Strategy: concatenations of constant and arithmetic runs — the
+    shapes loop counts and occurrence indices actually take, which are
+    exactly the inputs that drive append() through its donation-repair
+    chains (a run's head gets absorbed under the wrong stride and must
+    be donated onward when the continuation fails)."""
+    run = st.tuples(
+        st.integers(-32, 32),   # start
+        st.integers(1, 8),      # count
+        st.integers(-4, 4),     # stride
+    ).map(lambda t: [t[0] + i * t[2] for i in range(t[1])])
+    return st.lists(run, min_size=0, max_size=8).map(
+        lambda rs: [v for r in rs for v in r]
+    )
+
+
+def _odometer(widths):
+    """Row-major odometer readout: every digit sequence of a mixed-radix
+    counter — the visit-index pattern of perfectly nested loops."""
+    values = []
+    total = 1
+    for w in widths:
+        total *= w
+    for i in range(total):
+        rem, digits = i, []
+        for w in reversed(widths):
+            digits.append(rem % w)
+            rem //= w
+        values.extend(reversed(digits))
+    return values
+
+
+class TestDonationRepairChains:
+    """Satellite: round-trip safety of append()'s repair chains on the
+    run-structured inputs the tracer actually produces."""
+
+    @settings(max_examples=300, deadline=None)
+    @given(_runs(None))
+    def test_concatenated_runs_roundtrip(self, values):
+        seq = IntSequence.from_values(values)
+        assert seq.to_list() == values
+        assert len(seq) == len(values)
+
+    @settings(max_examples=100, deadline=None)
+    @given(st.lists(st.integers(1, 4), min_size=1, max_size=4))
+    def test_odometer_patterns_roundtrip(self, widths):
+        values = _odometer(widths)
+        seq = IntSequence.from_values(values)
+        assert seq.to_list() == values
+
+    @settings(max_examples=200, deadline=None)
+    @given(_runs(None))
+    def test_terms_are_internally_consistent(self, values):
+        # length matches the terms, and every term's count is positive —
+        # the invariants SequenceCursor relies on.
+        seq = IntSequence.from_values(values)
+        assert seq.length == sum(c for _s, c, _d in seq.terms)
+        assert all(c >= 1 for _s, c, _d in seq.terms)
+
+    def test_interleaved_pairs_with_tail_run(self):
+        # A repair chain directly followed by material for another:
+        # exercises the terms[-2] fold-back branch twice in a row.
+        values = [0, 0, 1, 1, 5, 6, 7, 2, 2, 3, 3]
+        seq = IntSequence.from_values(values)
+        assert seq.to_list() == values
+
+
+class TestCursorEdges:
+    @settings(max_examples=200, deadline=None)
+    @given(st.lists(st.integers(0, 30), min_size=0, max_size=40))
+    def test_exhaustion_contract(self, values):
+        cur = SequenceCursor(IntSequence.from_values(values))
+        for v in values:
+            assert not cur.exhausted()
+            assert cur.peek() == v
+            assert cur.next() == v
+        assert cur.exhausted()
+        assert cur.peek() is None
+        assert not cur.contains_next(0)
+        import pytest
+
+        with pytest.raises(StopIteration):
+            cur.next()
+
+    @settings(max_examples=200, deadline=None)
+    @given(
+        st.lists(st.integers(0, 20), min_size=1, max_size=30),
+        st.integers(0, 21),
+    )
+    def test_contains_next_mismatch_does_not_consume(self, values, probe):
+        cur = SequenceCursor(IntSequence.from_values(values))
+        before = cur.peek()
+        hit = cur.contains_next(probe)
+        if hit:
+            assert before == probe
+        else:
+            assert cur.peek() == before
+
+    @settings(max_examples=100, deadline=None)
+    @given(st.data())
+    def test_monotone_subset_walk(self, data):
+        # Replay's usage pattern: probe a monotone superset of visit
+        # indices; contains_next must accept exactly the recorded ones.
+        recorded = data.draw(
+            st.lists(st.integers(0, 30), unique=True, max_size=20).map(sorted)
+        )
+        cur = SequenceCursor(IntSequence.from_values(recorded))
+        hits = [v for v in range(31) if cur.contains_next(v)]
+        assert hits == recorded
+        assert cur.exhausted()
+
+    def test_contains_next_on_empty(self):
+        cur = SequenceCursor(IntSequence())
+        assert cur.exhausted() and cur.peek() is None
+        assert not cur.contains_next(0)
+
+
 class TestSizeAccounting:
     def test_compressible_cheaper_than_random(self):
         regular = IntSequence.from_values(range(1000))

@@ -1,0 +1,198 @@
+"""Structural invariant checkers: clean on healthy traces, loud on
+hand-corrupted ones (docs/INTERNALS.md §8)."""
+
+import sys
+
+sys.path.insert(0, "tests")
+from helpers import run_traced  # noqa: E402
+
+from repro import obs  # noqa: E402
+from repro.core.inter import merge_all  # noqa: E402
+from repro.core.ranks import REL  # noqa: E402
+from repro.core.sequences import IntSequence  # noqa: E402
+from repro.static.cst import CALL  # noqa: E402
+from repro.verify import (  # noqa: E402
+    check_cst,
+    check_ctt,
+    check_merged,
+    publish_verify_metrics,
+)
+
+RING = """
+func main() {
+  for (var i = 0; i < 4; i = i + 1) {
+    if (mpi_comm_rank() < mpi_comm_size() - 1) {
+      mpi_send(mpi_comm_rank() + 1, 64, 7);
+    }
+    if (mpi_comm_rank() > 0) {
+      mpi_recv(mpi_comm_rank() - 1, 64, 7);
+    }
+  }
+  mpi_barrier();
+}
+"""
+
+NPROCS = 4
+
+
+def _codes(violations):
+    return {v.code for v in violations}
+
+
+def _rel_leaf(ctt, op="MPI_Send"):
+    for vertex in ctt.vertices():
+        for record in vertex.records or []:
+            if record.key is not None and record.key[0] == op:
+                if record.key[1][0] == REL:
+                    return vertex, record
+    raise AssertionError(f"no REL {op} record")
+
+
+class TestHealthy:
+    def test_ring_is_clean_everywhere(self):
+        compiled, _rec, comp, _res = run_traced(RING, NPROCS)
+        assert check_cst(compiled.cst) == []
+        ctts = [comp.ctt(r) for r in range(NPROCS)]
+        for ctt in ctts:
+            assert check_ctt(ctt, nranks=NPROCS) == []
+        merged = merge_all(ctts, nranks=NPROCS)
+        assert check_merged(merged, nranks=NPROCS) == []
+
+
+class TestCST:
+    def test_duplicate_gid(self):
+        compiled, *_ = run_traced(RING, NPROCS)
+        nodes = [n for n, _p in compiled.cst.preorder_with_parent()]
+        nodes[-1].gid = nodes[1].gid
+        codes = _codes(check_cst(compiled.cst))
+        assert "gid-duplicate" in codes
+        assert "gid-not-preorder" in codes
+
+    def test_call_with_children(self):
+        compiled, *_ = run_traced(RING, NPROCS)
+        nodes = [n for n, _p in compiled.cst.preorder_with_parent()]
+        leaf = next(n for n in nodes if n.kind == CALL)
+        other = next(n for n in nodes if n.kind == CALL and n is not leaf)
+        leaf.children.append(other)
+        try:
+            codes = _codes(check_cst(compiled.cst))
+        finally:
+            leaf.children.clear()
+        assert "call-with-children" in codes
+
+    def test_bad_branch_path(self):
+        compiled, *_ = run_traced(RING, NPROCS)
+        branch = next(
+            n for n, _p in compiled.cst.preorder_with_parent()
+            if n.branch_path is not None
+        )
+        branch.branch_path = 3
+        assert "branch-bad-path" in _codes(check_cst(compiled.cst))
+
+
+class TestCTT:
+    def test_out_of_range_rel_peer(self):
+        _c, _r, comp, _res = run_traced(RING, NPROCS)
+        ctt = comp.ctt(0)
+        _vertex, record = _rel_leaf(ctt)
+        key = list(record.key)
+        key[1] = (REL, NPROCS + 3)
+        record.key = tuple(key)
+        violations = check_ctt(ctt, nranks=NPROCS)
+        assert "peer-range" in _codes(violations)
+        # Without nranks the delta cannot be range-checked upward, and
+        # a positive delta from rank 0 never goes negative: lenient.
+        assert "peer-range" not in _codes(check_ctt(ctt))
+
+    def test_occurrence_overlap(self):
+        _c, _r, comp, _res = run_traced(RING, NPROCS)
+        ctt = comp.ctt(1)
+        _vertex, record = _rel_leaf(ctt, op="MPI_Recv")
+        values = record.occurrences.to_list()
+        assert len(values) >= 2
+        values[-1] = values[0]
+        record.occurrences = IntSequence.from_values(sorted(values))
+        codes = _codes(check_ctt(ctt, nranks=NPROCS))
+        assert codes & {"occ-overlap", "occ-regress", "occ-count"}
+
+    def test_occurrence_hole(self):
+        _c, _r, comp, _res = run_traced(RING, NPROCS)
+        ctt = comp.ctt(1)
+        _vertex, record = _rel_leaf(ctt, op="MPI_Recv")
+        values = record.occurrences.to_list()
+        record.occurrences = IntSequence.from_values(values[1:])
+        assert "occ-count" in _codes(check_ctt(ctt, nranks=NPROCS))
+
+    def test_loop_arity_breaks_when_count_dropped(self):
+        _c, _r, comp, _res = run_traced(RING, NPROCS)
+        ctt = comp.ctt(0)
+        loop = next(
+            v for v in ctt.vertices()
+            if v.loop_counts is not None and len(v.loop_counts)
+        )
+        values = loop.loop_counts.to_list()
+        values[-1] = -2
+        loop.loop_counts = IntSequence.from_values(values)
+        codes = _codes(check_ctt(ctt, nranks=NPROCS))
+        assert "loop-negative" in codes
+
+
+# Rank-dependent message sizes force distinct record signatures, so the
+# send leaf merges into one group per rank — multi-group territory.
+VARIED = """
+func main() {
+  if (mpi_comm_rank() > 0) {
+    mpi_send(0, mpi_comm_rank() * 64, 7);
+  } else {
+    for (var i = 1; i < mpi_comm_size(); i = i + 1) {
+      mpi_recv(i, i * 64, 7);
+    }
+  }
+  mpi_barrier();
+}
+"""
+
+
+class TestMergedDirect:
+    def test_rank_overlap_detected(self):
+        _c, _r, comp, _res = run_traced(VARIED, NPROCS)
+        merged = merge_all(
+            [comp.ctt(r) for r in range(NPROCS)], nranks=NPROCS
+        )
+        assert check_merged(merged, nranks=NPROCS) == []
+        vertex = next(v for v in merged.vertices() if len(v.groups) >= 2)
+        groups = vertex.sorted_groups()
+        groups[1].ranks = sorted(set(groups[1].ranks) | {groups[0].ranks[0]})
+        groups[1]._rank_seq = None
+        vertex._by_rank = None
+        assert "rank-overlap" in _codes(check_merged(merged, nranks=NPROCS))
+
+    def test_violation_to_dict_roundtrips(self):
+        _c, _r, comp, _res = run_traced(RING, NPROCS)
+        ctt = comp.ctt(0)
+        _vertex, record = _rel_leaf(ctt)
+        key = list(record.key)
+        key[1] = (REL, NPROCS + 3)
+        record.key = tuple(key)
+        (v, *_rest) = check_ctt(ctt, nranks=NPROCS)
+        d = v.to_dict()
+        assert d["code"] == "peer-range"
+        assert d["rank"] == 0
+        assert d["gid"] == v.gid >= 0
+
+
+class TestMetrics:
+    def test_counters_published_only_when_nonzero(self):
+        registry = obs.enable()
+        try:
+            publish_verify_metrics(
+                registry, checks=3, violations=0, findings=2
+            )
+        finally:
+            obs.disable()
+        assert registry.counters["verify.checks"] == 3
+        assert registry.counters["verify.wildcard_findings"] == 2
+        assert "verify.violations" not in registry.counters
+
+    def test_none_registry_is_a_noop(self):
+        publish_verify_metrics(None, checks=1, violations=1, findings=1)

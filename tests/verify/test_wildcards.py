@@ -1,0 +1,55 @@
+"""Wildcard nondeterminism audit: flags the task farm, passes
+deterministic workloads, ignores wildcard-free traces."""
+
+import sys
+
+sys.path.insert(0, "tests")
+from helpers import run_traced  # noqa: E402
+
+from repro.core.inter import merge_all  # noqa: E402
+from repro.verify import audit_wildcards  # noqa: E402
+from repro.workloads import WORKLOADS  # noqa: E402
+
+
+def _merged(workload, nprocs, scale=0.3):
+    w = WORKLOADS[workload]
+    w.check_procs(nprocs)
+    _c, _r, comp, _res = run_traced(
+        w.source, nprocs, defines=w.defines(nprocs, scale)
+    )
+    return merge_all(
+        [comp.ctt(r) for r in range(nprocs)], nranks=nprocs
+    )
+
+
+class TestAudit:
+    def test_farm_is_flagged_nondeterministic(self):
+        audit = audit_wildcards(_merged("farm", 4))
+        assert audit.wildcard_records > 0
+        assert not audit.deterministic
+        assert any(
+            f.kind in ("iteration-order", "cross-group")
+            for f in audit.findings
+        )
+        # Findings carry a locatable vertex and render to one line.
+        f = audit.findings[0]
+        assert f.gid >= 0 and "gid=" in f.format()
+
+    def test_dt_wildcards_are_deterministic(self):
+        # npb_dt gathers with ANY_SOURCE but every rank resolves the
+        # same relative pattern in blocked order: wildcards, no finding.
+        audit = audit_wildcards(_merged("dt", 5))
+        assert audit.wildcard_records > 0
+        assert audit.deterministic
+
+    def test_wildcard_free_trace_is_empty(self):
+        audit = audit_wildcards(_merged("cg", 4))
+        assert audit.wildcard_leaves == 0
+        assert audit.wildcard_records == 0
+        assert audit.deterministic
+
+    def test_to_dict_schema(self):
+        d = audit_wildcards(_merged("farm", 4)).to_dict()
+        assert d["deterministic"] is False
+        assert d["wildcard_records"] > 0
+        assert all(isinstance(line, str) for line in d["findings"])
