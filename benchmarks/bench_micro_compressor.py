@@ -20,15 +20,24 @@ through four ingestion modes
 * ``callbacks``  — fast path, one ``on_*`` call per marker/event;
 * ``stream``     — fast path, batched :meth:`ingest_stream` over a
   captured opcode stream (what the parallel workers run);
-* ``parallel``   — :func:`compress_streams` sharding rank copies over a
-  process pool (reported, environment permitting).
+* ``parallel``   — **steady-state** shared-memory transport: pre-packed
+  rank streams on a warm :class:`ShmCompressSession` pool, timed ingest
+  only (pool fork/warmup is reported separately as
+  ``parallel_setup_seconds``);
+* ``parallel_cold`` — one-shot :func:`compress_streams` including pool
+  start-up and the parent-side encode — the number the seed bench
+  conflated with throughput;
+* ``pack``       — parent-side packed-codec encode rate (events/s), the
+  cost capture-time packing (``StreamCaptureSink(packed=True)``)
+  removes from the hand-off.
 
 All modes must produce byte-identical serialized traces; the harness
 asserts this on every run.  ``python -m benchmarks.bench_micro_compressor``
 rewrites ``results/BENCH_intra.json`` including conservative regression
 floors (25% of measured); ``--smoke`` (CI) re-measures the fig11 shape
-and fails if throughput drops below the committed floor or the fast path
-stops beating the reference path.
+and fails if throughput drops below the committed floor, the fast path
+stops beating the reference path, or steady-state ``parallel`` falls
+under 0.5× ``stream``.
 """
 
 from __future__ import annotations
@@ -39,13 +48,15 @@ import time
 
 from repro.baselines.scalatrace import ScalaTraceCompressor
 from repro.baselines.scalatrace2 import ScalaTrace2Compressor
-from repro.core import serialize
+from repro.core import packed, serialize
 from repro.core.inter import merge_all
 from repro.core.intra import (
     CypressConfig,
     IntraProcessCompressor,
+    ShmCompressSession,
     compress_streams,
 )
+from repro.core.respool import ShmPoolError
 from repro.mpisim.events import NO_PEER, CommEvent
 from repro.mpisim.pmpi import (
     OP_BRANCH_ENTER,
@@ -322,17 +333,53 @@ def measure_shape(name: str, scale: int = 1, rounds: int = 3,
         "stream": nevents / best(run_stream),
     }
 
-    # Parallel executor over rank copies (per-rank independence).  The
-    # pool may be unavailable in sandboxes — compress_streams then falls
-    # back to serial, which is still a valid (if unflattering) number.
+    # Parallel executor over rank copies (per-rank independence).  Two
+    # numbers, measured honestly: ``parallel_cold`` is a one-shot
+    # compress_streams call and so includes pool fork/teardown plus the
+    # parent-side encode; ``parallel`` is steady-state — pre-packed
+    # streams on a warm pool, timed ingest only (what a long-lived
+    # tracing service sees).  The pool may be unavailable in sandboxes —
+    # the cold call then falls back loudly to serial and the warm number
+    # reuses it, still a valid (if unflattering) measurement.
     streams = {r: stream for r in range(parallel_ranks)}
+    total = parallel_ranks * nevents
     t0 = time.perf_counter()
     par = compress_streams(cst, streams, workers=parallel_ranks)
-    rates["parallel"] = parallel_ranks * nevents / (time.perf_counter() - t0)
+    rates["parallel_cold"] = total / (time.perf_counter() - t0)
+
+    t0 = time.perf_counter()
+    blob_packed = packed.encode_stream(stream).to_bytes()
+    rates["pack"] = nevents / (time.perf_counter() - t0)
+    packed_streams = {r: blob_packed for r in range(parallel_ranks)}
+    setup_seconds = None
+    warm = None
+    for attempt in range(2):  # one retry absorbs a transient worker death
+        try:
+            t_setup = time.perf_counter()
+            with ShmCompressSession(cst, workers=parallel_ranks) as session:
+                warm = session.compress(packed_streams)  # fork + 1st ingest
+                setup_seconds = time.perf_counter() - t_setup
+                best_dt = None
+                # Two extra draws over the serial modes: the warm pool
+                # amortizes them, and best-of needs more samples to
+                # shake scheduler noise when workers share few cores.
+                for _ in range(rounds + 2):
+                    t0 = time.perf_counter()
+                    warm = session.compress(packed_streams)
+                    dt = time.perf_counter() - t0
+                    best_dt = dt if best_dt is None else min(best_dt, dt)
+            rates["parallel"] = total / best_dt
+            break
+        except ShmPoolError:
+            warm = None
+    if warm is None:
+        warm = par  # no fork: report the (serial-fallback) cold number
+        rates["parallel"] = rates["parallel_cold"]
+
     t0 = time.perf_counter()
     ser = compress_streams(cst, streams, workers=None)
     rates["parallel_serial_equiv"] = (
-        parallel_ranks * nevents / (time.perf_counter() - t0)
+        total / (time.perf_counter() - t0)
     )
 
     # Byte-identity across every mode.
@@ -340,10 +387,19 @@ def measure_shape(name: str, scale: int = 1, rounds: int = 3,
     for mode in ("callbacks", "stream"):
         assert _merged_blob(comps[mode]) == blob, (
             f"{name}: {mode} trace differs from reference")
-    assert _merged_blob(ser) == _merged_blob(par), (
+    ser_blob = _merged_blob(ser)
+    assert ser_blob == _merged_blob(par), (
         f"{name}: parallel trace differs from serial")
+    assert ser_blob == _merged_blob(warm), (
+        f"{name}: shm steady-state trace differs from serial")
     publish_gauges(name, {f"{k}_events_per_s": v for k, v in rates.items()})
-    return {"events": nevents, "rates": {k: round(v) for k, v in rates.items()}}
+    result = {
+        "events": nevents,
+        "rates": {k: round(v) for k, v in rates.items()},
+    }
+    if setup_seconds is not None:
+        result["parallel_setup_seconds"] = round(setup_seconds, 4)
+    return result
 
 
 def measure_obs_overhead(scale: int = 1, rounds: int = 5,
@@ -462,6 +518,18 @@ def check_smoke() -> int:
     if rates["stream"] < 1.5 * rates["reference"]:
         print(f"FAIL: stream ({rates['stream']:,}) < 1.5x reference "
               f"({rates['reference']:,}) — fast path regressed")
+        failed = 1
+    # Machine-independent check: steady-state parallel ingest (warm shm
+    # pool, pre-packed streams) must not fall under half the serial
+    # stream rate on the same machine — catches a transport regression
+    # (pickle sneaking back in, ring stalls, a lost columnar fast path)
+    # without depending on core count.
+    print(f"fig11 parallel steady-state: {rates['parallel']:,} ev/s "
+          f"(cold {rates['parallel_cold']:,}, "
+          f"serial-equiv {rates['parallel_serial_equiv']:,})")
+    if rates["parallel"] < 0.5 * rates["stream"]:
+        print(f"FAIL: parallel steady-state ({rates['parallel']:,}) < 0.5x "
+              f"stream ({rates['stream']:,}) — shm transport regressed")
         failed = 1
     ov = measure_obs_overhead()
     print(f"fig11 metrics-on overhead: median paired ratio "

@@ -51,6 +51,13 @@ def _add_compress_args(p: argparse.ArgumentParser) -> None:
                    help="defer compression and shard ranks over this many "
                         "worker processes: an integer or 'auto' "
                         "(default: compress inline while tracing)")
+    p.add_argument("--transport", choices=("auto", "shm", "pickle"),
+                   default="auto",
+                   help="parallel compression hand-off: 'shm' streams "
+                        "packed events through shared-memory ring buffers "
+                        "to a warm worker pool, 'pickle' uses the fork+pipe "
+                        "executor; 'auto' (default) picks shm wherever the "
+                        "platform can fork")
 
 
 def _add_fault_args(p: argparse.ArgumentParser) -> None:
@@ -137,6 +144,7 @@ def cmd_trace(args: argparse.Namespace) -> int:
         compress_workers=_compress_workers(args),
         strict=args.strict, retries=args.retry,
         task_timeout=args.task_timeout,
+        transport=getattr(args, "transport", "auto"),
     )
     run.merge(schedule=args.merge_schedule, workers=_merge_workers(args),
               retries=args.retry, task_timeout=args.task_timeout)
@@ -315,6 +323,7 @@ def cmd_verify(args: argparse.Namespace) -> int:
             compiled.cst, capture.streams, workers=workers,
             strict=args.strict, retries=args.retry,
             task_timeout=args.task_timeout,
+            transport=getattr(args, "transport", "auto"),
         )
     else:
         compressor = IntraProcessCompressor(compiled.cst)

@@ -58,9 +58,11 @@ class CypressRun:
         retries: int = 1,
         task_timeout: float | None = None,
         fault_plan=None,
+        transport: str = "auto",
     ) -> IntraProcessCompressor:
         """(Re-)compress the captured streams, optionally sharding ranks
-        over ``workers`` processes — byte-identical to serial.  Only
+        over ``workers`` processes — byte-identical to serial on every
+        ``transport`` (``"shm"``, ``"pickle"``, or ``"auto"``).  Only
         available when the run traced with ``compress_workers=`` (the
         capture is kept); replaces ``compressor`` and drops any cached
         merge."""
@@ -78,6 +80,7 @@ class CypressRun:
             retries=retries,
             task_timeout=task_timeout,
             fault_plan=fault_plan,
+            transport=transport,
         )
         self._merged = None
         return self.compressor
@@ -173,6 +176,7 @@ def run_cypress(
     retries: int = 1,
     task_timeout: float | None = None,
     fault_plan=None,
+    transport: str = "auto",
 ) -> CypressRun:
     """Compile (if needed) and execute a MiniMPI program with the CYPRESS
     tracer attached; returns the per-rank compressed traces.
@@ -187,6 +191,9 @@ def run_cypress(
     that many worker processes (``"auto"`` = all cores).  The result is
     byte-identical to inline compression; with ``measure_overhead`` the
     deferred compression wall time is reported as ``intra_seconds``.
+    ``transport`` picks the parallel hand-off (``"shm"`` ring buffers /
+    ``"pickle"`` fork+pipe / ``"auto"``); see
+    :func:`~repro.core.intra.compress_streams`.
 
     Fault tolerance (docs/INTERNALS.md §7): in the default lenient mode
     (``strict=False``) a rank whose captured stream mismatches the CST
@@ -250,6 +257,7 @@ def run_cypress(
                 retries=retries,
                 task_timeout=task_timeout,
                 fault_plan=fault_plan,
+                transport=transport,
             )
         if measure_overhead:
             intra_seconds = time.perf_counter() - t0

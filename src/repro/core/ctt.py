@@ -91,6 +91,13 @@ class CTTVertex:
         "last_params",
         "last_key",
         "last_record",
+        # packed-ingest byte cache (repro.core.intra.ingest_packed): the
+        # raw param-window bytes that were verified to decode to
+        # ``last_params``, plus the identity of that tuple — a window
+        # match against the same tuple object proves params equality
+        # without decoding the event record
+        "last_params_raw",
+        "last_params_raw_key",
     )
 
     def __init__(self, cst_node: CSTNode) -> None:
@@ -139,6 +146,8 @@ class CTTVertex:
         self.last_params: tuple | None = None
         self.last_key = None
         self.last_record: CompressedRecord | None = None
+        self.last_params_raw: bytes | None = None
+        self.last_params_raw_key: tuple | None = None
 
     def _build_groups(self) -> list[BranchGroup]:
         groups: list[BranchGroup] = []

@@ -38,6 +38,8 @@ from __future__ import annotations
 import os
 import time
 
+from hashlib import blake2b
+
 from repro import obs
 from repro.static.cst import BRANCH, CALL, LOOP
 
@@ -53,16 +55,44 @@ from .sequences import IntSequence
 # Interned payload signatures.
 
 
+def _stable_hash(key: tuple) -> int:
+    """Salt-free 64-bit signature hash.
+
+    ``hash(tuple_of_strings)`` depends on the per-process
+    ``PYTHONHASHSEED`` salt, so a worker-computed hash is garbage in the
+    parent — the old ``__reduce__`` threw it away and re-walked the key
+    on every unpickle.  Hashing the key's packed byte form instead makes
+    signature identity process-independent: merge shards shipped home by
+    the pool (and, with the shm transport, any future shared-memory
+    signature table) carry their hashes with them, and dict lookups on
+    either side of the pipe agree."""
+    digest = blake2b(
+        repr(key).encode("utf-8", "surrogatepass"), digest_size=8
+    ).digest()
+    return int.from_bytes(digest, "little", signed=True)
+
+
+def _restore_signature(key: tuple, cached_hash: int) -> "Signature":
+    sig = Signature.__new__(Signature)
+    sig.key = key
+    sig._hash = cached_hash
+    return sig
+
+
 class Signature:
     """An interned payload signature: hashes once, compares by pointer
     within a merge session (falling back to tuple equality across
-    sessions, e.g. when comparing trees merged independently)."""
+    sessions, e.g. when comparing trees merged independently).
+
+    The hash is salt-free (:func:`_stable_hash`), so it survives a
+    process hop: pickling ships the cached hash instead of re-deriving
+    it, and two processes always agree on a signature's hash."""
 
     __slots__ = ("key", "_hash")
 
     def __init__(self, key: tuple) -> None:
         self.key = key
-        self._hash = hash(key)
+        self._hash = _stable_hash(key)
 
     def __hash__(self) -> int:
         return self._hash
@@ -75,9 +105,7 @@ class Signature:
         return NotImplemented
 
     def __reduce__(self):
-        # Re-hash on unpickle: tuple hashes of strings are salted per
-        # process, so a worker's cached hash is stale in the parent.
-        return (Signature, (self.key,))
+        return (_restore_signature, (self.key, self._hash))
 
     def __repr__(self) -> str:
         return f"Signature({self.key!r})"

@@ -34,12 +34,14 @@ crash would land.
 
 from __future__ import annotations
 
+import struct
 import time
 import warnings
 from collections import deque
 from multiprocessing import connection as _mpconn
 
 from repro import obs
+from repro.core.shmring import RingClosed, RingTimeout, ShmRing
 from repro.faults.workers import apply_worker_fault
 
 
@@ -49,10 +51,29 @@ class _PoolUnavailable(Exception):
 
 
 def _fork_context():
+    """The ``fork`` multiprocessing context, or ``None`` when the
+    platform cannot fork.
+
+    Workers rely on fork-inherited state — the task function, payload
+    objects and open sinks are *inherited*, never pickled — so quietly
+    substituting the platform default (``spawn`` on macOS/Windows)
+    would re-import the parent module in every worker and re-pickle
+    arguments that were never designed to travel: at best it dies, at
+    worst it double-runs work.  Callers treat ``None`` as "take the
+    loud serial fallback"."""
     import multiprocessing
 
-    methods = multiprocessing.get_all_start_methods()
-    return multiprocessing.get_context("fork" if "fork" in methods else None)
+    if "fork" not in multiprocessing.get_all_start_methods():
+        return None
+    return multiprocessing.get_context("fork")
+
+
+def fork_available() -> bool:
+    """Whether the fork-based pools (pipe and shm transports) can run."""
+    try:
+        return _fork_context() is not None
+    except Exception:
+        return False
 
 
 def _child_main(conn, func, payload, fault_action, hang_seconds) -> None:
@@ -199,8 +220,12 @@ def run_tasks(
     )
     try:
         ctx = _fork_context()
+        why = "fork start method unavailable on this platform"
     except Exception as exc:  # no multiprocessing at all
-        _warn_degraded(stage, f"pool unavailable ({exc}); running serially")
+        ctx = None
+        why = f"pool unavailable ({exc})"
+    if ctx is None:
+        _warn_degraded(stage, f"{why}; running serially")
         if registry is not None:
             registry.counter_add("faults.pool_fallbacks", ntasks)
         return [func(p) for p in payloads]
@@ -247,3 +272,256 @@ def run_tasks(
         for i in pending:
             results[i] = func(payloads[i])
     return results
+
+
+# ---------------------------------------------------------------------------
+# Shared-memory transport: persistent warm pool fed over SPSC byte rings.
+#
+# Where run_tasks() forks one process per task and ships results over a
+# pipe, ShmPool forks its workers once and streams *packed* payload
+# bytes to them through per-worker ShmRings — hand-off is a memcpy, and
+# a warm pool amortizes fork cost across jobs (the bench's steady-state
+# number).  The wire grammar per ring is:
+#
+#     b"J" <Q job_id> <I nitems>      job header
+#     b"I" <q key> <Q nbytes> bytes   one item (nitems times)
+#     ... next job ... | close_write() = shutdown (EOF)
+#
+# Results return over a per-worker pipe as ("ok", job_id, result) or
+# ("err", job_id, message).  Any protocol failure — worker death, ring
+# timeout, worker-side exception — raises ShmPoolError in the parent;
+# callers fall back to run_tasks(), whose pool → retry → serial ladder
+# then owns recovery.  The shm pool itself never retries: one recovery
+# ladder in the codebase is enough.
+# ---------------------------------------------------------------------------
+
+_JOB_HDR = struct.Struct("<QI")
+_ITEM_HDR = struct.Struct("<qQ")
+_TAG_JOB = b"J"
+_TAG_ITEM = b"I"
+
+#: Per-worker ring size.  Deliberately smaller than a typical packed
+#: rank blob so the wraparound path runs constantly in production, not
+#: just in tests.
+DEFAULT_RING_CAPACITY = 1 << 20
+
+#: How long a worker waits mid-frame before concluding the parent is
+#: gone (the idle wait between jobs is unbounded; daemonized workers
+#: die with the parent).
+_WORKER_FRAME_TIMEOUT = 600.0
+
+
+class ShmPoolError(RuntimeError):
+    """The shm transport failed; the caller should fall back to the
+    pipe transport (:func:`run_tasks`)."""
+
+
+def _shm_worker_main(ring, conn, func, stage, fault_plan, hang_seconds):
+    """Worker body: loop over jobs arriving on ``ring``, feed each
+    job's items to ``func`` as a lazy iterator (reads pull bytes from
+    the ring — natural backpressure), report one result per job."""
+    try:
+        while True:
+            try:
+                tag = ring.read_exact(1)
+            except RingClosed:
+                break  # orderly shutdown
+            if tag != _TAG_JOB:
+                conn.send(("err", -1, f"protocol: expected job tag, got {tag!r}"))
+                break
+            job_id, nitems = _JOB_HDR.unpack(
+                ring.read_exact(_JOB_HDR.size, timeout=_WORKER_FRAME_TIMEOUT)
+            )
+            consumed = 0
+
+            def read_item():
+                tag = ring.read_exact(1, timeout=_WORKER_FRAME_TIMEOUT)
+                if tag != _TAG_ITEM:
+                    raise RuntimeError(
+                        f"protocol: expected item tag, got {tag!r}"
+                    )
+                key, nbytes = _ITEM_HDR.unpack(
+                    ring.read_exact(_ITEM_HDR.size, timeout=_WORKER_FRAME_TIMEOUT)
+                )
+                payload = ring.read_exact(nbytes, timeout=_WORKER_FRAME_TIMEOUT)
+                return key, payload
+
+            def items():
+                nonlocal consumed
+                while consumed < nitems:
+                    item = read_item()
+                    consumed += 1
+                    yield item
+
+            try:
+                fault = (
+                    fault_plan.worker_fault(stage, job_id, 0)
+                    if fault_plan is not None
+                    else None
+                )
+                apply_worker_fault(fault, hang_seconds)
+                msg = ("ok", job_id, func(items()))
+            except BaseException as exc:  # noqa: BLE001 - ship failure home
+                msg = ("err", job_id, f"{type(exc).__name__}: {exc}")
+            # Drain any items func() left unread so the ring stays framed
+            # for the next job.
+            while consumed < nitems:
+                read_item()
+                consumed += 1
+            conn.send(msg)
+    except (RingClosed, RingTimeout, EOFError, OSError, RuntimeError):
+        pass  # parent gone or stream broken: nothing useful left to do
+    finally:
+        try:
+            conn.close()
+        except Exception:
+            pass
+
+
+class ShmPool:
+    """Persistent fork-inherited worker pool fed over shared-memory
+    rings.  ``func`` receives an iterator of ``(key, payload_bytes)``
+    per job and returns one picklable result (results still return
+    over a pipe — they are small; the payloads were the problem)."""
+
+    def __init__(
+        self,
+        func,
+        *,
+        stage: str,
+        workers: int,
+        ring_capacity: int = DEFAULT_RING_CAPACITY,
+        fault_plan=None,
+        hang_seconds: float = 60.0,
+    ) -> None:
+        ctx = _fork_context()
+        if ctx is None:
+            raise ShmPoolError("fork start method unavailable")
+        self.stage = stage
+        self.workers = max(1, workers)
+        self._rings: list[ShmRing] = []
+        self._procs: list = []
+        self._conns: list = []
+        self._closed = False
+        try:
+            for _ in range(self.workers):
+                ring = ShmRing(ring_capacity)
+                self._rings.append(ring)
+                parent_conn, child_conn = ctx.Pipe(duplex=False)
+                proc = ctx.Process(
+                    target=_shm_worker_main,
+                    args=(ring, child_conn, func, stage, fault_plan,
+                          hang_seconds),
+                    daemon=True,
+                )
+                proc.start()
+                child_conn.close()
+                self._procs.append(proc)
+                self._conns.append(parent_conn)
+        except (OSError, ValueError, ImportError) as exc:
+            self.close()
+            raise ShmPoolError(f"could not start shm pool: {exc}") from exc
+
+    # ------------------------------------------------------------------
+
+    def run(self, jobs, timeout: float | None = None) -> list:
+        """Run ``jobs`` (each a list of ``(key, payload_bytes)`` items)
+        and return results in job order.  Job *j* goes to worker
+        ``j % workers``; feeding is round-robin and non-blocking, so a
+        worker with a full ring never stalls the others.  ``timeout``
+        is per job-wave (multiplied by the deepest per-worker queue)."""
+        if self._closed:
+            raise ShmPoolError("pool is closed")
+        njobs = len(jobs)
+        if njobs == 0:
+            return []
+        # Queue the wire pieces per worker: headers interleaved with
+        # zero-copy payload views.
+        queues: list[deque] = [deque() for _ in range(self.workers)]
+        for j, items in enumerate(jobs):
+            q = queues[j % self.workers]
+            q.append(_TAG_JOB + _JOB_HDR.pack(j, len(items)))
+            for key, payload in items:
+                q.append(_TAG_ITEM + _ITEM_HDR.pack(key, len(payload)))
+                q.append(memoryview(payload))
+        offsets = [0] * self.workers
+        deadline = None
+        if timeout is not None:
+            waves = (njobs + self.workers - 1) // self.workers
+            deadline = time.monotonic() + timeout * max(1, waves)
+        results: dict[int, object] = {}
+        live = dict(zip(self._conns, self._procs))
+        while len(results) < njobs:
+            progress = False
+            for w, ring in enumerate(self._rings):
+                q = queues[w]
+                while q:
+                    wrote = ring.try_write(q[0], offsets[w])
+                    if wrote == 0:
+                        break
+                    progress = True
+                    offsets[w] += wrote
+                    if offsets[w] == len(q[0]):
+                        q.popleft()
+                        offsets[w] = 0
+            feeding = any(queues)
+            ready = _mpconn.wait(
+                list(live), timeout=0 if feeding and progress else 0.002
+            )
+            for conn in ready:
+                proc = live[conn]
+                try:
+                    kind, job_id, value = conn.recv()
+                except (EOFError, OSError):
+                    proc.join(timeout=1.0)
+                    raise ShmPoolError(
+                        f"{self.stage}: shm worker died "
+                        f"(exit code {proc.exitcode})"
+                    ) from None
+                if kind != "ok":
+                    raise ShmPoolError(
+                        f"{self.stage}: shm worker failed job {job_id}: "
+                        f"{value}"
+                    )
+                results[job_id] = value
+            if deadline is not None and time.monotonic() > deadline:
+                raise ShmPoolError(
+                    f"{self.stage}: shm pool exceeded {timeout}s per-wave "
+                    f"deadline with {njobs - len(results)} job(s) pending"
+                )
+        return [results[j] for j in range(njobs)]
+
+    # ------------------------------------------------------------------
+
+    def close(self) -> None:
+        """Shut workers down (EOF on each ring), join, free segments."""
+        if self._closed:
+            return
+        self._closed = True
+        for ring in self._rings:
+            try:
+                ring.close_write()
+            except Exception:
+                pass
+        for proc in self._procs:
+            proc.join(timeout=2.0)
+            if proc.is_alive():
+                proc.kill()
+                proc.join()
+        for conn in self._conns:
+            try:
+                conn.close()
+            except Exception:
+                pass
+        for ring in self._rings:
+            try:
+                ring.close()
+                ring.unlink()
+            except Exception:
+                pass
+
+    def __enter__(self) -> "ShmPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

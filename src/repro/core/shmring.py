@@ -1,0 +1,196 @@
+"""Single-producer / single-consumer byte ring over shared memory.
+
+The parallel transport gives every pool worker one :class:`ShmRing`:
+the parent writes packed stream bytes in, the worker reads them out.
+The ring is a plain byte stream — framing lives one layer up (the job
+grammar in :mod:`repro.core.respool`) — so the only invariants are the
+classic SPSC ones:
+
+* ``head`` (bytes ever written) is advanced only by the writer, *after*
+  the payload bytes are in place;
+* ``tail`` (bytes ever read) is advanced only by the reader, *after*
+  the bytes are copied out;
+* both are monotonically increasing ``uint64`` counters, so
+  ``head - tail`` is the number of unread bytes and ``capacity -
+  (head - tail)`` the free space — no modular ambiguity between full
+  and empty.
+
+Each counter lives alone in its own 64-byte header slot (no false
+sharing), followed by a writer-closed flag.  Physical positions are
+``counter % capacity``; a write or read that crosses the end of the
+buffer is two ``memoryview`` copies.
+
+Blocking calls poll with a short sleep — the consumers here move
+megabyte-scale payloads, so sub-millisecond wakeup latency is noise,
+and a pure-userspace wait keeps the ring free of cross-process locks
+(one fewer thing a dying worker can leave in a bad state).
+
+Backpressure falls out of the sizes: a full ring makes ``write`` block
+(or ``try_write`` return 0), so a slow worker stalls only its own
+feed; an empty ring makes ``read_exact`` block until the parent
+catches up.
+
+Processes share the ring by **fork inheritance**: the parent creates
+the :class:`~multiprocessing.shared_memory.SharedMemory` segment and
+forked children use the inherited object directly — no attach-by-name,
+so only the parent is registered for cleanup and ``close()`` +
+``unlink()`` in the parent is the entire lifecycle.
+"""
+
+from __future__ import annotations
+
+import struct
+import time
+from multiprocessing import shared_memory
+
+_U64 = struct.Struct("<Q")
+
+_HEAD_OFF = 0  # writer-owned: total bytes written
+_TAIL_OFF = 64  # reader-owned: total bytes read
+_CLOSED_OFF = 128  # writer-owned: 1 after close_write()
+HEADER_SIZE = 192
+
+#: Poll interval for blocking waits (seconds).
+_POLL = 0.0002
+
+
+class RingClosed(Exception):
+    """The writer closed the ring and fewer bytes than requested remain."""
+
+
+class RingTimeout(Exception):
+    """A blocking ring operation exceeded its timeout."""
+
+
+class ShmRing:
+    """One SPSC byte ring in a shared-memory segment."""
+
+    def __init__(self, capacity: int) -> None:
+        if capacity <= 0:
+            raise ValueError("ring capacity must be positive")
+        self.capacity = capacity
+        self._shm = shared_memory.SharedMemory(
+            create=True, size=HEADER_SIZE + capacity
+        )
+        self._buf = self._shm.buf
+        self._data = self._buf[HEADER_SIZE:HEADER_SIZE + capacity]
+        _U64.pack_into(self._buf, _HEAD_OFF, 0)
+        _U64.pack_into(self._buf, _TAIL_OFF, 0)
+        _U64.pack_into(self._buf, _CLOSED_OFF, 0)
+
+    # -- counters --------------------------------------------------------
+
+    @property
+    def head(self) -> int:
+        return _U64.unpack_from(self._buf, _HEAD_OFF)[0]
+
+    @property
+    def tail(self) -> int:
+        return _U64.unpack_from(self._buf, _TAIL_OFF)[0]
+
+    @property
+    def closed(self) -> bool:
+        return self._buf[_CLOSED_OFF] != 0
+
+    def pending(self) -> int:
+        """Unread bytes currently in the ring."""
+        return self.head - self.tail
+
+    def free(self) -> int:
+        """Writable bytes currently available."""
+        return self.capacity - (self.head - self.tail)
+
+    # -- writer side -----------------------------------------------------
+
+    def try_write(self, data, offset: int = 0) -> int:
+        """Copy as much of ``data[offset:]`` as fits; return bytes
+        written (possibly 0).  Never blocks."""
+        head = self.head
+        free = self.capacity - (head - self.tail)
+        n = min(free, len(data) - offset)
+        if n <= 0:
+            return 0
+        src = memoryview(data)[offset:offset + n]
+        pos = head % self.capacity
+        first = min(n, self.capacity - pos)
+        self._data[pos:pos + first] = src[:first]
+        if first < n:
+            self._data[:n - first] = src[first:]
+        # Publish after the payload is in place (SPSC ordering).
+        _U64.pack_into(self._buf, _HEAD_OFF, head + n)
+        return n
+
+    def write(self, data, timeout: float | None = None) -> None:
+        """Write all of ``data``, blocking while the ring is full."""
+        offset = 0
+        deadline = time.monotonic() + timeout if timeout is not None else None
+        while offset < len(data):
+            wrote = self.try_write(data, offset)
+            if wrote:
+                offset += wrote
+                continue
+            if deadline is not None and time.monotonic() > deadline:
+                raise RingTimeout(
+                    f"ring write stalled ({len(data) - offset} bytes left)"
+                )
+            time.sleep(_POLL)
+
+    def close_write(self) -> None:
+        """Signal EOF: readers draining past ``head`` get RingClosed."""
+        self._buf[_CLOSED_OFF] = 1
+
+    # -- reader side -----------------------------------------------------
+
+    def read_exact(self, n: int, timeout: float | None = None) -> bytes:
+        """Read exactly ``n`` bytes, blocking until they arrive.
+
+        Drains incrementally, consuming whatever is available each pass,
+        so ``n`` may exceed the ring capacity — a payload bigger than the
+        ring streams through it in pieces while the writer refills.
+        (Waiting for all ``n`` bytes to be resident at once would
+        deadlock against a blocked writer the moment a payload outgrew
+        the ring.)
+
+        Raises :class:`RingClosed` when the writer closed the ring with
+        fewer than ``n`` bytes remaining, :class:`RingTimeout` on
+        deadline."""
+        deadline = time.monotonic() + timeout if timeout is not None else None
+        out = bytearray(n)
+        got = 0
+        while got < n:
+            tail = self.tail
+            avail = self.head - tail
+            if avail == 0:
+                if self.closed and self.head == tail:
+                    raise RingClosed(
+                        f"ring closed with {got} of {n} bytes read"
+                    )
+                if deadline is not None and time.monotonic() > deadline:
+                    raise RingTimeout(
+                        f"ring read stalled ({n - got} bytes wanted)"
+                    )
+                time.sleep(_POLL)
+                continue
+            take = min(avail, n - got)
+            pos = tail % self.capacity
+            first = min(take, self.capacity - pos)
+            out[got:got + first] = self._data[pos:pos + first]
+            if first < take:
+                out[got + first:got + take] = self._data[:take - first]
+            # Free the space before looking for more (SPSC ordering).
+            _U64.pack_into(self._buf, _TAIL_OFF, tail + take)
+            got += take
+        return bytes(out)
+
+    # -- lifecycle -------------------------------------------------------
+
+    def close(self) -> None:
+        """Release this process's mapping (child-side teardown)."""
+        self._data.release()
+        self._buf = None
+        self._data = None
+        self._shm.close()
+
+    def unlink(self) -> None:
+        """Destroy the segment (parent-side, after close())."""
+        self._shm.unlink()

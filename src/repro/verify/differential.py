@@ -7,6 +7,9 @@ equivalent:
   (``CypressConfig(fastpath=False)``);
 * inline (callback) compression == deferred serial == deferred parallel
   (``compress_streams(workers=N)``);
+* the packed codec + columnar ingest == the list-stream path, both
+  serially (``packed``) and over the shared-memory transport
+  (``parallel_shm``, ``transport="shm"``);
 * fold merge == tree merge == parallel tree merge (byte-identical);
 * every rank's replay is the same before and after the merge, and equals
   the ground-truth recorded sequence.
@@ -22,7 +25,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.core import serialize
+from repro.core import packed, serialize
 from repro.core.decompress import decompress_merged_rank, decompress_rank
 from repro.core.inter import merge_all
 from repro.core.intra import CypressConfig, IntraProcessCompressor, compress_streams
@@ -129,6 +132,10 @@ def differential_check(
     # -- compression variants, all from the same captured streams --------
     inline = IntraProcessCompressor(compiled.cst)
     capture.replay_into(inline)
+    packed_streams = {
+        rank: packed.encode_stream(stream).to_bytes()
+        for rank, stream in capture.streams.items()
+    }
     variants = {
         "inline": inline,
         "fastpath": compress_streams(compiled.cst, capture.streams),
@@ -137,7 +144,16 @@ def differential_check(
             config=CypressConfig(fastpath=False),
         ),
         "parallel": compress_streams(
-            compiled.cst, capture.streams, workers=2, parallel_threshold=2
+            compiled.cst, capture.streams, workers=2, parallel_threshold=2,
+            transport="pickle",
+        ),
+        # Packed codec + columnar ingest, serially (no pool in the way).
+        "packed": compress_streams(compiled.cst, packed_streams),
+        # The shared-memory transport end to end: encode → ring → decode
+        # → columnar ingest in warm workers.
+        "parallel_shm": compress_streams(
+            compiled.cst, capture.streams, workers=2, parallel_threshold=2,
+            transport="shm",
         ),
     }
     report.variants = sorted(variants)

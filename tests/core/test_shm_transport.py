@@ -1,0 +1,207 @@
+"""Shared-memory parallel transport: byte-identity, warm sessions,
+loud fallbacks, quarantine, and the no-fork serial degradation path.
+
+Every transport (serial, fork+pipe pickle, shm rings) must produce a
+byte-identical merged trace; failures must degrade *loudly* — a
+``RuntimeWarning`` plus a ``faults.*`` counter — never silently.
+"""
+
+import dataclasses
+import multiprocessing
+import warnings
+
+import pytest
+
+from repro import obs
+from repro.core import packed, serialize
+from repro.core.inter import merge_all
+from repro.core.intra import (
+    ShmCompressSession,
+    _resolve_transport,
+    compress_streams,
+)
+from repro.core.respool import fork_available, run_tasks
+from repro.driver import run_compiled
+from repro.faults import FaultPlan, WorkerFault
+from repro.mpisim.pmpi import OP_EVENT, StreamCaptureSink
+from repro.static.instrument import compile_minimpi
+
+SRC = """
+func main() {
+  var rank = mpi_comm_rank();
+  var size = mpi_comm_size();
+  for (var i = 0; i < 8; i = i + 1) {
+    if (rank < size - 1) { mpi_send(rank + 1, 64, 1); }
+    if (rank > 0) { mpi_recv(rank - 1, 64, 1); }
+    mpi_allreduce(8);
+  }
+}
+"""
+NPROCS = 4
+
+
+@pytest.fixture(scope="module")
+def captured():
+    compiled = compile_minimpi(SRC)
+    capture = StreamCaptureSink()
+    run_compiled(compiled, NPROCS, tracer=capture)
+    return compiled, capture.streams
+
+
+@pytest.fixture
+def registry():
+    reg = obs.enable()
+    yield reg
+    obs.disable()
+
+
+def _blob(comp):
+    return serialize.dumps(merge_all([comp.ctt(r) for r in comp.ranks()]))
+
+
+class TestByteIdentity:
+    def test_shm_equals_pickle_equals_serial(self, captured):
+        compiled, streams = captured
+        serial = _blob(compress_streams(compiled.cst, streams, workers=None))
+        pickle_par = _blob(
+            compress_streams(
+                compiled.cst, streams, workers=2, transport="pickle"
+            )
+        )
+        shm_par = _blob(
+            compress_streams(compiled.cst, streams, workers=2, transport="shm")
+        )
+        assert shm_par == serial
+        assert pickle_par == serial
+
+    def test_packed_blob_input_rides_shm_unchanged(self, captured):
+        # bytes input: the transport hand-off is a pure memcpy (no
+        # encode step) and the output is still identical.
+        compiled, streams = captured
+        serial = _blob(compress_streams(compiled.cst, streams, workers=None))
+        blobs = {
+            r: packed.encode_stream(s).to_bytes() for r, s in streams.items()
+        }
+        shm_par = _blob(
+            compress_streams(compiled.cst, blobs, workers=2, transport="shm")
+        )
+        assert shm_par == serial
+
+
+class TestWarmSession:
+    def test_session_reuse_stays_identical(self, captured):
+        compiled, streams = captured
+        serial = _blob(compress_streams(compiled.cst, streams, workers=None))
+        blobs = {
+            r: packed.encode_stream(s).to_bytes() for r, s in streams.items()
+        }
+        with ShmCompressSession(compiled.cst, workers=2) as session:
+            for _ in range(3):  # same warm workers, repeated rounds
+                assert _blob(session.compress(blobs)) == serial
+
+    def test_empty_compress(self, captured):
+        compiled, _ = captured
+        with ShmCompressSession(compiled.cst, workers=2) as session:
+            comp = session.compress({})
+            assert comp.ranks() == []
+
+
+class TestLoudFallback:
+    def test_killed_worker_falls_back_with_warning_and_counter(
+        self, captured, registry
+    ):
+        compiled, streams = captured
+        serial = _blob(compress_streams(compiled.cst, streams, workers=None))
+        plan = FaultPlan(
+            worker_faults=(WorkerFault(stage="intra", task=0, action="kill"),)
+        )
+        with pytest.warns(RuntimeWarning, match="shm transport failed"):
+            comp = compress_streams(
+                compiled.cst, streams, workers=2,
+                transport="shm", fault_plan=plan,
+            )
+        assert registry.counters.get("faults.transport_fallbacks", 0) == 1
+        # The pickle fallback (with its own retry ladder) still delivers
+        # the exact serial result.
+        assert _blob(comp) == serial
+
+    def test_auto_routes_intra_fault_plans_to_pickle(self):
+        plan = FaultPlan(
+            worker_faults=(WorkerFault(stage="intra", task=0, action="kill"),)
+        )
+        assert _resolve_transport("auto", plan) == "pickle"
+        assert _resolve_transport("shm", plan) == "shm"
+        with pytest.raises(ValueError):
+            _resolve_transport("smh", None)
+
+
+class TestQuarantineThroughShm:
+    def test_corrupt_rank_is_quarantined_healthy_ranks_compress(self, captured):
+        compiled, streams = captured
+        # Structurally corrupt rank 1: rewrite one event's op so the
+        # stream no longer matches the CST.  Still *encodable* — the
+        # packed codec ships it fine; the mismatch surfaces at ingest
+        # inside the shm worker, whose quarantine report must travel
+        # home with the healthy results.
+        bad = dict(streams)
+        mutated = list(bad[1])
+        for i, item in enumerate(mutated):
+            if item[0] == OP_EVENT:
+                mutated[i] = (
+                    OP_EVENT, dataclasses.replace(item[1], op="MPI_Scan"),
+                )
+                break
+        bad[1] = mutated
+        comp = compress_streams(
+            compiled.cst, bad, workers=2, transport="shm", strict=False
+        )
+        assert [q.rank for q in comp.quarantine] == [1]
+        q = next(iter(comp.quarantine))
+        assert q.stage == "intra"
+        assert q.raw_stream is not None
+        healthy = sorted(set(range(NPROCS)) - {1})
+        assert comp.ranks() == healthy
+
+
+class TestNoForkDegradation:
+    """Platforms without the fork start method (satellite: spawn-only
+    regression).  The pools must refuse to silently switch to spawn —
+    loud serial execution instead."""
+
+    def _no_fork(self, monkeypatch):
+        monkeypatch.setattr(
+            multiprocessing, "get_all_start_methods", lambda: ["spawn"]
+        )
+
+    def test_fork_available_and_transport_resolution(self, monkeypatch):
+        assert fork_available()  # this CI platform forks
+        self._no_fork(monkeypatch)
+        assert not fork_available()
+        assert _resolve_transport("auto", None) == "pickle"
+
+    def test_run_tasks_serial_fallback_is_loud(self, monkeypatch, registry):
+        self._no_fork(monkeypatch)
+        with pytest.warns(RuntimeWarning, match="running serially"):
+            out = run_tasks(_square, [1, 2, 3], stage="intra", workers=3)
+        assert out == [1, 4, 9]
+        assert registry.counters.get("faults.pool_fallbacks", 0) == 3
+
+    def test_compress_streams_still_correct_without_fork(
+        self, captured, monkeypatch, registry
+    ):
+        compiled, streams = captured
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", RuntimeWarning)
+            serial = _blob(
+                compress_streams(compiled.cst, streams, workers=None)
+            )
+            self._no_fork(monkeypatch)
+            degraded = _blob(
+                compress_streams(compiled.cst, streams, workers=2)
+            )
+        assert degraded == serial
+        assert registry.counters.get("faults.pool_fallbacks", 0) > 0
+
+
+def _square(x):
+    return x * x

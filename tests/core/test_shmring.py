@@ -1,0 +1,138 @@
+"""SPSC shared-memory ring: wraparound, oversize payloads, EOF, timeouts.
+
+The ring is the byte transport under the parallel shm compression path
+(docs/INTERNALS.md §11).  The invariants tested here are the ones the
+pool protocol leans on:
+
+* byte-stream semantics survive wraparound at *every* physical boundary
+  offset — the two-part memcpy in both ``try_write`` and ``read_exact``;
+* ``read_exact`` may request more bytes than the ring's capacity and
+  drains incrementally while the writer refills (waiting for the full
+  payload to be resident at once would deadlock against a blocked
+  writer — the bug class this suite pins);
+* ``close_write`` turns an under-supplied read into ``RingClosed``, and
+  deadlines raise ``RingTimeout`` instead of hanging.
+"""
+
+import threading
+
+import pytest
+
+from repro.core.shmring import RingClosed, RingTimeout, ShmRing
+
+
+@pytest.fixture
+def ring():
+    r = ShmRing(64)
+    yield r
+    r.close()
+    r.unlink()
+
+
+class TestWraparound:
+    def test_roundtrip_at_every_boundary_offset(self):
+        # Pre-advance head/tail to each possible physical offset, then
+        # push a payload that is guaranteed to cross the end of the
+        # buffer.  Any off-by-one in either two-part copy corrupts it.
+        capacity = 64
+        payload = bytes(range(48))
+        for offset in range(capacity):
+            r = ShmRing(capacity)
+            try:
+                if offset:
+                    r.write(b"\xee" * offset)
+                    assert r.read_exact(offset) == b"\xee" * offset
+                r.write(payload, timeout=5.0)
+                assert r.read_exact(len(payload), timeout=5.0) == payload
+                assert r.pending() == 0
+            finally:
+                r.close()
+                r.unlink()
+
+    def test_try_write_partial_then_drain(self, ring):
+        data = bytes(range(100))
+        wrote = ring.try_write(data)
+        assert wrote == 64  # ring full
+        assert ring.try_write(data, wrote) == 0
+        assert ring.read_exact(10) == data[:10]
+        wrote += ring.try_write(data, wrote)
+        assert wrote == 74
+        assert ring.read_exact(64) == data[10:74]
+
+    def test_monotonic_counters(self, ring):
+        for i in range(10):
+            ring.write(b"x" * 40)
+            ring.read_exact(40)
+        assert ring.head == ring.tail == 400
+
+
+class TestOversizePayloads:
+    def test_payload_larger_than_capacity_streams_through(self, ring):
+        # 10x the capacity: read_exact must consume incrementally while
+        # the writer blocks on free space — the regression that
+        # deadlocked worker and parent when a packed rank blob outgrew
+        # the ring.
+        payload = bytes(i % 251 for i in range(640))
+        t = threading.Thread(target=ring.write, args=(payload, 10.0))
+        t.start()
+        try:
+            assert ring.read_exact(len(payload), timeout=10.0) == payload
+        finally:
+            t.join(timeout=10.0)
+        assert not t.is_alive()
+        assert ring.pending() == 0
+
+    def test_interleaved_frames_across_wrap(self, ring):
+        # Many small frames whose sizes are coprime with the capacity,
+        # so every physical offset gets exercised as a frame boundary.
+        frames = [bytes([i]) * 7 for i in range(96)]
+        done = []
+
+        def feed():
+            for fr in frames:
+                ring.write(fr, timeout=10.0)
+            done.append(True)
+
+        t = threading.Thread(target=feed)
+        t.start()
+        try:
+            for fr in frames:
+                assert ring.read_exact(7, timeout=10.0) == fr
+        finally:
+            t.join(timeout=10.0)
+        assert done
+
+
+class TestCloseAndTimeout:
+    def test_reader_sees_eof_on_closed_empty_ring(self, ring):
+        ring.close_write()
+        with pytest.raises(RingClosed):
+            ring.read_exact(1)
+
+    def test_reader_drains_remainder_then_eof(self, ring):
+        ring.write(b"tail")
+        ring.close_write()
+        assert ring.read_exact(4) == b"tail"
+        with pytest.raises(RingClosed):
+            ring.read_exact(1)
+
+    def test_close_mid_payload_raises(self, ring):
+        # Fewer bytes than requested when the writer closes: the partial
+        # read must not be silently returned.
+        ring.write(b"ab")
+        ring.close_write()
+        with pytest.raises(RingClosed):
+            ring.read_exact(3)
+
+    def test_read_timeout(self, ring):
+        with pytest.raises(RingTimeout):
+            ring.read_exact(1, timeout=0.05)
+
+    def test_write_timeout_when_full(self, ring):
+        ring.write(b"x" * 64)
+        with pytest.raises(RingTimeout):
+            ring.write(b"y", timeout=0.05)
+
+    def test_zero_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            ShmRing(0)

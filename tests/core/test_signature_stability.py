@@ -1,0 +1,92 @@
+"""Signature hashing must be process-independent.
+
+Merge shards cross process boundaries (pickle over the pool pipe), so
+``Signature.__hash__`` cannot depend on the per-process
+``PYTHONHASHSEED`` salt: a worker-computed hash must still index the
+parent's intern table.  These tests pin the salt-free hash, the
+pickle round-trip that ships it, and the resulting cross-process
+intern hit rate of the parallel merge.
+"""
+
+import os
+import pickle
+import subprocess
+import sys
+
+sys.path.insert(0, "tests")
+from helpers import run_traced  # noqa: E402
+
+from repro.core.inter import InternTable, Signature, _stable_hash, merge_all  # noqa: E402
+
+KEY = ("MPI_Send", 3, -100, 0, 0, 64, 0, 0, -1, False, (), -1)
+
+
+class TestStableHash:
+    def test_deterministic_in_process(self):
+        assert _stable_hash(KEY) == _stable_hash(tuple(KEY))
+
+    def test_pickle_preserves_hash(self):
+        sig = Signature(KEY)
+        clone = pickle.loads(pickle.dumps(sig))
+        assert clone == sig
+        assert clone._hash == sig._hash
+        assert hash(clone) == hash(sig)
+
+    def test_unpickled_signature_indexes_intern_table(self):
+        table = InternTable()
+        local = table.intern(KEY)
+        shipped = pickle.loads(pickle.dumps(Signature(KEY)))
+        assert table.canon(shipped) is local
+        assert table.hits == 1
+
+    def test_hash_identical_across_hash_seeds(self):
+        # str/tuple hashing is salted per process; the signature hash
+        # must not be.  Compute it under two different PYTHONHASHSEEDs
+        # and compare with this process.
+        code = (
+            "from repro.core.inter import _stable_hash; "
+            f"print(_stable_hash({KEY!r}))"
+        )
+        values = {_stable_hash(KEY)}
+        for seed in ("0", "424242"):
+            env = dict(os.environ, PYTHONHASHSEED=seed)
+            env["PYTHONPATH"] = "src"
+            out = subprocess.run(
+                [sys.executable, "-c", code],
+                capture_output=True, text=True, check=True,
+                cwd=os.path.dirname(os.path.dirname(os.path.dirname(__file__))),
+                env=env,
+            )
+            values.add(int(out.stdout.strip()))
+        assert len(values) == 1
+
+
+class TestCrossProcessInternHitRate:
+    def test_parallel_merge_interns_hit(self):
+        # Ranks running the same SPMD loop produce identical signature
+        # keys; after a parallel merge (shards hashed in workers, then
+        # absorbed by the parent via pickled Signatures) the intern
+        # table must register hits — zero hits would mean every worker
+        # hash was discarded and re-derived, the bug the salt-free hash
+        # removed.
+        src = """
+        func main() {
+          var rank = mpi_comm_rank();
+          var size = mpi_comm_size();
+          for (var i = 0; i < 6; i = i + 1) {
+            if (rank < size - 1) { mpi_send(rank + 1, 64, 1); }
+            if (rank > 0) { mpi_recv(rank - 1, 64, 1); }
+            mpi_allreduce(8);
+          }
+        }
+        """
+        _, _, cyp, _ = run_traced(src, 4)
+        ctts = [cyp.ctt(r) for r in range(4)]
+        serial = merge_all([pickle.loads(pickle.dumps(c)) for c in ctts])
+        parallel = merge_all(
+            ctts, workers=2, parallel_threshold=2
+        )
+        assert parallel.interns.hits > 0
+        from repro.core import serialize
+
+        assert serialize.dumps(parallel) == serialize.dumps(serial)

@@ -35,7 +35,8 @@ class TestDifferentialCheck:
         assert report.ok, [d.format() for d in report.divergences]
         assert report.events > 0
         assert sorted(report.variants) == [
-            "fastpath", "inline", "parallel", "reference",
+            "fastpath", "inline", "packed", "parallel", "parallel_shm",
+            "reference",
         ]
         assert report.schedules == ["fold", "tree", "parallel"]
         d = report.to_dict()
