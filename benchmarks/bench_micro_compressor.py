@@ -19,7 +19,11 @@ through four ingestion modes
   fresh key per event (the pre-optimization code path);
 * ``callbacks``  — fast path, one ``on_*`` call per marker/event;
 * ``stream``     — fast path, batched :meth:`ingest_stream` over a
-  captured opcode stream (what the parallel workers run);
+  captured opcode stream;
+* ``packed_ingest`` — run-collapsed :meth:`ingest_runs` over a
+  pre-packed CYPK blob (what the parallel workers and
+  ``compress_streams`` run): columnar batch time decode plus
+  iteration-replay plans that walk the CTT once per repeated loop body;
 * ``parallel``   — **steady-state** shared-memory transport: pre-packed
   rank streams on a warm :class:`ShmCompressSession` pool, timed ingest
   only (pool fork/warmup is reported separately as
@@ -34,10 +38,13 @@ through four ingestion modes
 All modes must produce byte-identical serialized traces; the harness
 asserts this on every run.  ``python -m benchmarks.bench_micro_compressor``
 rewrites ``results/BENCH_intra.json`` including conservative regression
-floors (25% of measured); ``--smoke`` (CI) re-measures the fig11 shape
-and fails if throughput drops below the committed floor, the fast path
-stops beating the reference path, or steady-state ``parallel`` falls
-under 0.5× ``stream``.
+floors (25% of measured); ``--smoke`` (CI) re-measures every shape and
+fails if fig11 throughput drops below the committed floor, the fast
+path stops beating the reference path, steady-state ``parallel`` falls
+under 0.5× ``stream``, any shape's ``packed_ingest`` rate falls under
+1.5× that shape's pinned pre-PR ``stream`` rate
+(``STREAM_PRE_RUNS_PR``), or warm ``parallel`` falls under 0.85× of
+``parallel_serial_equiv`` on any shape.
 """
 
 from __future__ import annotations
@@ -54,6 +61,7 @@ from repro.core.intra import (
     CypressConfig,
     IntraProcessCompressor,
     ShmCompressSession,
+    close_shared_sessions,
     compress_streams,
 )
 from repro.core.respool import ShmPoolError
@@ -95,6 +103,24 @@ BASELINE_PRE_PR = 247_272
 # 5 rounds.  Committed at measurement time; the live single-run ratio is
 # also written to the JSON for comparison.
 PAIRED_SPEEDUP_VS_PRE_PR = 3.16
+
+# Serial ``stream`` (ingest_stream) rates per shape, measured on the
+# commit preceding the columnar run-length ingest engine (best of 3,
+# events/s, this box).  The --smoke ``packed_ingest`` gate is relative
+# to these pinned numbers — run-collapsed ingestion over a packed blob
+# must stay ≥ 1.5× the pre-PR streaming rate on every shape.
+STREAM_PRE_RUNS_PR = {
+    "fig11": 461_238,
+    "collectives": 644_497,
+    "nested": 583_889,
+    "irecv_waitall": 354_409,
+}
+PACKED_INGEST_MIN_SPEEDUP = 1.5
+
+# Warm shm ``parallel`` must keep at least this fraction of
+# ``parallel_serial_equiv`` (the same packed blobs ingested serially in
+# the parent) — the transport-overhead budget of the warm pool.
+WARM_PARALLEL_MIN_RATIO = 0.85
 
 # A loop over a branch pair — the paper's Fig. 11 shape.
 PROGRAM = """
@@ -327,47 +353,80 @@ def measure_shape(name: str, scale: int = 1, rounds: int = 3,
         comps["stream"] = c = IntraProcessCompressor(cst)
         c.ingest_stream(0, stream)
 
+    def run_packed_ingest():
+        comps["packed_ingest"] = c = IntraProcessCompressor(cst)
+        c.ingest_runs(0, blob_packed)
+
+    blob_packed = packed.encode_stream(stream).to_bytes()
     rates = {
         "reference": nevents / best(run_reference),
         "callbacks": nevents / best(run_callbacks),
         "stream": nevents / best(run_stream),
+        "packed_ingest": nevents / best(run_packed_ingest),
     }
 
     # Parallel executor over rank copies (per-rank independence).  Two
-    # numbers, measured honestly: ``parallel_cold`` is a one-shot
-    # compress_streams call and so includes pool fork/teardown plus the
+    # numbers, measured honestly: ``parallel_cold`` is a first-touch
+    # compress_streams call and so includes pool fork plus the
     # parent-side encode; ``parallel`` is steady-state — pre-packed
     # streams on a warm pool, timed ingest only (what a long-lived
-    # tracing service sees).  The pool may be unavailable in sandboxes —
-    # the cold call then falls back loudly to serial and the warm number
-    # reuses it, still a valid (if unflattering) measurement.
+    # tracing service sees).  Its yardstick ``parallel_serial_equiv``
+    # runs the *same* packed blobs serially in the parent (workers=None,
+    # run-collapsed ingest) so the two rates differ only by transport
+    # overhead — the --smoke gate holds warm parallel to ≥ 0.85× of it.
+    # The pool may be unavailable in sandboxes — the cold call then
+    # falls back loudly to serial and the warm number reuses it, still a
+    # valid (if unflattering) measurement.
     streams = {r: stream for r in range(parallel_ranks)}
     total = parallel_ranks * nevents
     t0 = time.perf_counter()
     par = compress_streams(cst, streams, workers=parallel_ranks)
     rates["parallel_cold"] = total / (time.perf_counter() - t0)
+    # The cold call parks its pool in the process-wide session cache;
+    # drop it so idle pollers don't contend with the measurements below
+    # (the warm-pool numbers use their own explicit session).
+    close_shared_sessions()
 
     t0 = time.perf_counter()
-    blob_packed = packed.encode_stream(stream).to_bytes()
+    packed.encode_stream(stream).to_bytes()
     rates["pack"] = nevents / (time.perf_counter() - t0)
     packed_streams = {r: blob_packed for r in range(parallel_ranks)}
+
+    def serial_equiv_once() -> float:
+        t0 = time.perf_counter()
+        comps["serial_equiv"] = compress_streams(
+            cst, packed_streams, workers=None)
+        return time.perf_counter() - t0
+
     setup_seconds = None
+    setup_components = None
     warm = None
+    best_serial = None
     for attempt in range(2):  # one retry absorbs a transient worker death
         try:
             t_setup = time.perf_counter()
             with ShmCompressSession(cst, workers=parallel_ranks) as session:
                 warm = session.compress(packed_streams)  # fork + 1st ingest
                 setup_seconds = time.perf_counter() - t_setup
+                setup_components = session.setup_components()
                 best_dt = None
-                # Two extra draws over the serial modes: the warm pool
-                # amortizes them, and best-of needs more samples to
-                # shake scheduler noise when workers share few cores.
+                best_serial = None
+                # Warm and serial-equivalent draws interleave so whole-
+                # machine drift hits both arms equally — their ratio is
+                # a --smoke gate, and sequential blocks let a mid-bench
+                # slowdown land on only one side.  Two extra draws over
+                # the serial modes: the warm pool amortizes them, and
+                # best-of needs more samples to shake scheduler noise
+                # when workers share few cores.
                 for _ in range(rounds + 2):
                     t0 = time.perf_counter()
                     warm = session.compress(packed_streams)
                     dt = time.perf_counter() - t0
                     best_dt = dt if best_dt is None else min(best_dt, dt)
+                    ds = serial_equiv_once()
+                    best_serial = (
+                        ds if best_serial is None else min(best_serial, ds)
+                    )
             rates["parallel"] = total / best_dt
             break
         except ShmPoolError:
@@ -375,16 +434,16 @@ def measure_shape(name: str, scale: int = 1, rounds: int = 3,
     if warm is None:
         warm = par  # no fork: report the (serial-fallback) cold number
         rates["parallel"] = rates["parallel_cold"]
-
-    t0 = time.perf_counter()
-    ser = compress_streams(cst, streams, workers=None)
-    rates["parallel_serial_equiv"] = (
-        total / (time.perf_counter() - t0)
-    )
+    if best_serial is None:
+        for _ in range(rounds):
+            ds = serial_equiv_once()
+            best_serial = ds if best_serial is None else min(best_serial, ds)
+    rates["parallel_serial_equiv"] = total / best_serial
+    ser = comps["serial_equiv"]
 
     # Byte-identity across every mode.
     blob = _merged_blob(comps["reference"])
-    for mode in ("callbacks", "stream"):
+    for mode in ("callbacks", "stream", "packed_ingest"):
         assert _merged_blob(comps[mode]) == blob, (
             f"{name}: {mode} trace differs from reference")
     ser_blob = _merged_blob(ser)
@@ -392,17 +451,27 @@ def measure_shape(name: str, scale: int = 1, rounds: int = 3,
         f"{name}: parallel trace differs from serial")
     assert ser_blob == _merged_blob(warm), (
         f"{name}: shm steady-state trace differs from serial")
-    publish_gauges(name, {f"{k}_events_per_s": v for k, v in rates.items()})
+    gauges = {f"{k}_events_per_s": v for k, v in rates.items()}
+    if setup_components is not None:
+        # Satellite gauges: the one-time pool cost by component, so the
+        # lazy-ring/fork wins stay visible instead of one opaque number.
+        for comp_name, secs in setup_components.items():
+            gauges[f"parallel_setup_{comp_name}_seconds"] = secs
+    publish_gauges(name, gauges)
     result = {
         "events": nevents,
         "rates": {k: round(v) for k, v in rates.items()},
     }
     if setup_seconds is not None:
         result["parallel_setup_seconds"] = round(setup_seconds, 4)
+    if setup_components is not None:
+        result["parallel_setup_components"] = {
+            k: round(v, 4) for k, v in setup_components.items()
+        }
     return result
 
 
-def measure_obs_overhead(scale: int = 1, rounds: int = 5,
+def measure_obs_overhead(scale: int = 1, rounds: int = 9,
                          reps: int = 3) -> dict:
     """Paired metrics-on vs metrics-off cost of the batched ingestion path
     (fig11 shape, ``ingest_stream`` + ``publish_metrics``).
@@ -411,8 +480,11 @@ def measure_obs_overhead(scale: int = 1, rounds: int = 5,
     two configurations back to back (best-of-``reps`` each) and takes
     their ratio; the arm order alternates per round so monotone drift
     cancels in the median, and garbage is collected before each arm.
-    The reported overhead is the median ratio across ``rounds``.  The
-    registry active on entry (if any) is restored."""
+    The reported overhead is the *trimmed* median across ``rounds``: the
+    top and bottom ``rounds // 4`` ratios are discarded before taking the
+    median, so a couple of scheduler-spiked rounds (observed up to ~1.15
+    on loaded CI boxes against a 1.03 limit) cannot drag the statistic
+    over the gate.  The registry active on entry (if any) is restored."""
     import gc
 
     from repro import obs
@@ -459,10 +531,13 @@ def measure_obs_overhead(scale: int = 1, rounds: int = 5,
         if outer is not None:
             obs.enable(outer)
     ratios.sort()
-    median = ratios[len(ratios) // 2]
+    trim = rounds // 4 if rounds >= 4 else 0
+    kept = ratios[trim:len(ratios) - trim] if trim else ratios
+    median = kept[len(kept) // 2]
     result = {
         "events": nevents,
         "rounds": rounds,
+        "trimmed": trim,
         "median_on_off_ratio": round(median, 4),
         "ratios": [round(r, 4) for r in ratios],
         "limit": OBS_OVERHEAD_LIMIT,
@@ -490,28 +565,50 @@ def run_harness(scale: int = 1) -> dict:
         "floors": {
             name: {
                 mode: int(shapes[name]["rates"][mode] * 0.25)
-                for mode in ("reference", "callbacks", "stream")
+                for mode in ("reference", "callbacks", "stream",
+                             "packed_ingest")
             }
+            for name in SHAPE_NAMES
+        },
+        # Machine-pinned acceptance ratios of the run-length ingest PR,
+        # recomputed live on every full run (smoke re-derives them).
+        "packed_ingest_vs_pre_pr_stream": {
+            name: round(
+                shapes[name]["rates"]["packed_ingest"]
+                / STREAM_PRE_RUNS_PR[name], 2)
+            for name in SHAPE_NAMES
+        },
+        "warm_parallel_vs_serial_equiv": {
+            name: round(
+                shapes[name]["rates"]["parallel"]
+                / shapes[name]["rates"]["parallel_serial_equiv"], 3)
             for name in SHAPE_NAMES
         },
     }
 
 
 def check_smoke() -> int:
-    """CI gate: re-measure fig11, compare against the committed floors."""
+    """CI gate: re-measure every shape, compare against the committed
+    floors (fig11) and the machine-pinned run-length ingest ratios (all
+    shapes)."""
     committed = json.loads(BENCH_JSON.read_text())
     floors = committed["floors"]["fig11"]
-    m = measure_shape("fig11", scale=1, rounds=3)
-    rates = m["rates"]
+    measured = {
+        name: measure_shape(name, scale=1, rounds=3)["rates"]
+        for name in SHAPE_NAMES
+    }
+    rates = measured["fig11"]
     print(f"fig11 smoke: reference {rates['reference']:,} ev/s, "
           f"callbacks {rates['callbacks']:,} ev/s, "
-          f"stream {rates['stream']:,} ev/s "
+          f"stream {rates['stream']:,} ev/s, "
+          f"packed_ingest {rates['packed_ingest']:,} ev/s "
           f"(floors: {floors})")
     failed = 0
-    for mode in ("reference", "callbacks", "stream"):
-        if rates[mode] < floors[mode]:
+    for mode in ("reference", "callbacks", "stream", "packed_ingest"):
+        floor = floors.get(mode)
+        if floor is not None and rates[mode] < floor:
             print(f"FAIL: {mode} {rates[mode]:,} ev/s below committed "
-                  f"floor {floors[mode]:,}")
+                  f"floor {floor:,}")
             failed = 1
     # Machine-independent check: the fast path must beat the reference
     # path measured on the same machine in the same process.
@@ -531,10 +628,32 @@ def check_smoke() -> int:
         print(f"FAIL: parallel steady-state ({rates['parallel']:,}) < 0.5x "
               f"stream ({rates['stream']:,}) — shm transport regressed")
         failed = 1
+    # Run-length ingest acceptance, per shape: packed ingest must beat
+    # the pinned pre-PR streaming rate by 1.5x, and the warm pool must
+    # keep 85% of its serial equivalent (same blobs, workers=None).
+    for name in SHAPE_NAMES:
+        r = measured[name]
+        need = PACKED_INGEST_MIN_SPEEDUP * STREAM_PRE_RUNS_PR[name]
+        ratio = r["parallel"] / r["parallel_serial_equiv"]
+        print(f"{name}: packed_ingest {r['packed_ingest']:,} ev/s "
+              f"(need {need:,.0f}), warm/serial-equiv {ratio:.3f} "
+              f"(need {WARM_PARALLEL_MIN_RATIO:.2f})")
+        if r["packed_ingest"] < need:
+            print(f"FAIL: {name} packed_ingest {r['packed_ingest']:,} < "
+                  f"{PACKED_INGEST_MIN_SPEEDUP}x pinned pre-PR stream "
+                  f"{STREAM_PRE_RUNS_PR[name]:,} — run-collapsed ingest "
+                  f"regressed")
+            failed = 1
+        if ratio < WARM_PARALLEL_MIN_RATIO:
+            print(f"FAIL: {name} warm parallel ({r['parallel']:,}) < "
+                  f"{WARM_PARALLEL_MIN_RATIO}x serial-equiv "
+                  f"({r['parallel_serial_equiv']:,}) — warm-pool "
+                  f"amortization regressed")
+            failed = 1
     ov = measure_obs_overhead()
-    print(f"fig11 metrics-on overhead: median paired ratio "
+    print(f"fig11 metrics-on overhead: trimmed-median paired ratio "
           f"{ov['median_on_off_ratio']:.4f} over {ov['rounds']} rounds "
-          f"(limit {OBS_OVERHEAD_LIMIT:.2f})")
+          f"(trim {ov['trimmed']}/side, limit {OBS_OVERHEAD_LIMIT:.2f})")
     if ov["median_on_off_ratio"] > OBS_OVERHEAD_LIMIT:
         print(f"FAIL: observability overhead {ov['median_on_off_ratio']:.4f} "
               f"exceeds {OBS_OVERHEAD_LIMIT:.2f} — a registry call leaked "
@@ -665,14 +784,17 @@ def main(argv: list[str] | None = None) -> int:
             obs.write_json(registry, metrics_out)
             print(f"metrics -> {metrics_out}")
     print("intra-process ingestion throughput (events/s, best of 3):")
-    header = f"  {'shape':16s}" + "".join(
-        f"{m:>12s}" for m in ("reference", "callbacks", "stream", "parallel"))
+    modes = ("reference", "callbacks", "stream", "packed_ingest", "parallel")
+    header = f"  {'shape':16s}" + "".join(f"{m:>14s}" for m in modes)
     print(header)
     for name, shape in result["shapes"].items():
         r = shape["rates"]
-        print(f"  {name:16s}" + "".join(
-            f"{r[m]:12,d}" for m in
-            ("reference", "callbacks", "stream", "parallel")))
+        print(f"  {name:16s}" + "".join(f"{r[m]:14,d}" for m in modes))
+    for name in SHAPE_NAMES:
+        print(f"  {name}: packed_ingest "
+              f"{result['packed_ingest_vs_pre_pr_stream'][name]:.2f}x "
+              f"pre-PR stream, warm/serial-equiv "
+              f"{result['warm_parallel_vs_serial_equiv'][name]:.3f}")
     print(f"  fig11 stream vs pre-PR baseline "
           f"({BASELINE_PRE_PR:,} ev/s): "
           f"{result['speedup_stream_vs_pre_pr_live']:.2f}x live, "

@@ -16,7 +16,15 @@ from .errors import (
     TraceFormatError,
 )
 from .inter import MergedCTT, merge_all
-from .intra import CompressionError, CypressConfig, IntraProcessCompressor
+from .intra import (
+    CompressionError,
+    CypressConfig,
+    IntraProcessCompressor,
+    ShmCompressSession,
+    close_shared_sessions,
+    compress_streams,
+    shared_compress_session,
+)
 from .quarantine import QuarantinedRank, QuarantineReport
 from .records import CompressedRecord
 from .sequences import IntSequence, SequenceCursor
@@ -42,6 +50,10 @@ __all__ = [
     "CompressionError",
     "CypressConfig",
     "IntraProcessCompressor",
+    "ShmCompressSession",
+    "close_shared_sessions",
+    "compress_streams",
+    "shared_compress_session",
     "QuarantinedRank",
     "QuarantineReport",
     "CompressedRecord",

@@ -59,13 +59,19 @@ class CypressRun:
         task_timeout: float | None = None,
         fault_plan=None,
         transport: str = "auto",
+        session=None,
     ) -> IntraProcessCompressor:
         """(Re-)compress the captured streams, optionally sharding ranks
         over ``workers`` processes — byte-identical to serial on every
         ``transport`` (``"shm"``, ``"pickle"``, or ``"auto"``).  Only
         available when the run traced with ``compress_workers=`` (the
         capture is kept); replaces ``compressor`` and drops any cached
-        merge."""
+        merge.
+
+        Repeated calls are cheap on the shm transport: they reuse the
+        process-wide warm pool for this CST (or an explicit
+        ``session=`` :class:`~repro.core.intra.ShmCompressSession`), so
+        only the first call pays fork + ring setup."""
         if self.capture is None:
             raise ValueError(
                 "no captured streams: run with compress_workers= to defer "
@@ -81,6 +87,7 @@ class CypressRun:
             task_timeout=task_timeout,
             fault_plan=fault_plan,
             transport=transport,
+            session=session,
         )
         self._merged = None
         return self.compressor
@@ -177,6 +184,7 @@ def run_cypress(
     task_timeout: float | None = None,
     fault_plan=None,
     transport: str = "auto",
+    session=None,
 ) -> CypressRun:
     """Compile (if needed) and execute a MiniMPI program with the CYPRESS
     tracer attached; returns the per-rank compressed traces.
@@ -193,7 +201,10 @@ def run_cypress(
     deferred compression wall time is reported as ``intra_seconds``.
     ``transport`` picks the parallel hand-off (``"shm"`` ring buffers /
     ``"pickle"`` fork+pipe / ``"auto"``); see
-    :func:`~repro.core.intra.compress_streams`.
+    :func:`~repro.core.intra.compress_streams`.  On the shm transport
+    the compression runs on a warm pool reused across calls in this
+    process (``session=`` supplies an explicit
+    :class:`~repro.core.intra.ShmCompressSession` instead).
 
     Fault tolerance (docs/INTERNALS.md §7): in the default lenient mode
     (``strict=False``) a rank whose captured stream mismatches the CST
@@ -258,6 +269,7 @@ def run_cypress(
                 task_timeout=task_timeout,
                 fault_plan=fault_plan,
                 transport=transport,
+                session=session,
             )
         if measure_overhead:
             intra_seconds = time.perf_counter() - t0

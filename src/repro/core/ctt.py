@@ -98,6 +98,12 @@ class CTTVertex:
         # without decoding the event record
         "last_params_raw",
         "last_params_raw_key",
+        # iteration-replay plans (loop vertices; transient compression
+        # state of repro.core.intra.ingest_runs): a small MRU list of
+        # validated loop-body plans, or False once plan building has
+        # repeatedly failed for this vertex and is disabled
+        "run_plans",
+        "run_plan_fails",
     )
 
     def __init__(self, cst_node: CSTNode) -> None:
@@ -148,6 +154,8 @@ class CTTVertex:
         self.last_record: CompressedRecord | None = None
         self.last_params_raw: bytes | None = None
         self.last_params_raw_key: tuple | None = None
+        self.run_plans = None
+        self.run_plan_fails = 0
 
     def _build_groups(self) -> list[BranchGroup]:
         groups: list[BranchGroup] = []

@@ -45,7 +45,7 @@ from __future__ import annotations
 import struct
 from array import array
 
-from repro.mpisim.events import CommEvent
+from repro.mpisim.events import NONBLOCKING_OPS, CommEvent
 from repro.mpisim.pmpi import (
     OP_BRANCH_ENTER,
     OP_BRANCH_EXIT,
@@ -83,6 +83,26 @@ EVENT_PARAMS_END = EVENT_PARAMS_OFF + 9 * 8 + 1 + 4
 #: ``(time_start, duration)`` doubles, directly after the window.
 EVENT_TIMES = struct.Struct("<dd")
 EVENT_TIMES_OFF = EVENT_PARAMS_END
+#: Byte offsets of the fields a run-eligibility test reads without a
+#: full decode: the wildcard flag and ``reqs_len`` inside the window,
+#: and ``gids_len`` at the record tail.
+EVENT_WILDCARD_OFF = EVENT_PARAMS_OFF + 9 * 8
+EVENT_REQSLEN_OFF = EVENT_WILDCARD_OFF + 1
+EVENT_GIDSLEN_OFF = EVENT_STRUCT.size - 4
+#: One-sweep decoder for the timing columns: skips to the ``<dd`` pair
+#: of each record so ``iter_unpack`` walks the whole event section at C
+#: speed without touching any other field.
+EVENT_TIMES_SWEEP = struct.Struct(
+    "<%dxdd%dx" % (EVENT_TIMES_OFF, EVENT_STRUCT.size - EVENT_TIMES_OFF - 16)
+)
+#: Cold-field offsets the run-collapsed ingest path reads individually:
+#: the request handle a nonblocking call registers, and the arena offset
+#: of a request-consuming call's ``reqs`` span (its length lives in the
+#: param window at ``EVENT_REQSLEN_OFF``).
+EVENT_REQ_OFF = EVENT_TIMES_OFF + 16 + 16  # after (start, dur), rank, seq
+EVENT_REQS_PTR_OFF = EVENT_REQ_OFF + 8
+EVENT_REQ = struct.Struct("<q")
+EVENT_REQS_PTR = struct.Struct("<Q")
 MARKER_STRUCT = struct.Struct("<qq")
 REQC_STRUCT = struct.Struct("<qqqd")
 _COUNTS = struct.Struct("<QQQQQ")
@@ -144,6 +164,9 @@ class PackedStream:
         "ops",
         "_op_index",
         "nevents",
+        "runs",
+        "_run_head",
+        "_run_open",
     )
 
     def __init__(self) -> None:
@@ -155,6 +178,15 @@ class PackedStream:
         self.ops: list[str] = []
         self._op_index: dict[str, int] = {}
         self.nevents = 0
+        #: Run descriptors ``(start_event_index, count)`` for maximal
+        #: chains (count ≥ 2) of *consecutive stream items* that are all
+        #: events with byte-equal heads (op index + param window) and
+        #: run-eligible: no wildcard, no requests, no request GIDs, and
+        #: a blocking op.  Any interleaved marker or request-complete
+        #: splits the chain, as does any ineligible event.
+        self.runs: list[tuple[int, int]] = []
+        self._run_head: bytes | None = None
+        self._run_open = False
 
     def __len__(self) -> int:
         return len(self.codes)
@@ -164,6 +196,8 @@ class PackedStream:
     def append_marker(self, code: int, ast_id: int, path: int = 0) -> None:
         self.codes.append(code)
         self.markers += MARKER_STRUCT.pack(ast_id, path)
+        self._run_head = None
+        self._run_open = False
 
     def append_finalize(self) -> None:
         self.append_marker(OP_FINALIZE, 0, 0)
@@ -191,7 +225,7 @@ class PackedStream:
         else:
             gids_off = gids_len = 0
         self.codes.append(OP_EVENT)
-        self.events += EVENT_STRUCT.pack(
+        rec = EVENT_STRUCT.pack(
             op_idx,
             ev.peer, ev.nbytes, ev.tag, ev.peer2, ev.tag2, ev.nbytes2,
             ev.comm, ev.root, ev.result_comm,
@@ -200,6 +234,31 @@ class PackedStream:
             ev.rank, ev.seq, ev.req,
             reqs_off, gids_off, gids_len,
         )
+        self.events += rec
+        # Incremental run detection: the head (op index + param window)
+        # is compared as raw bytes, exactly the test the ingest cache
+        # performs.  Wildcards, requests and nonblocking ops never join
+        # runs — each has per-event side effects beyond the stats fold.
+        if (
+            not reqs_len
+            and not gids_len
+            and not ev.wildcard
+            and ev.op not in NONBLOCKING_OPS
+        ):
+            head = rec[:EVENT_PARAMS_END]
+            if head == self._run_head:
+                if self._run_open:
+                    start, count = self.runs[-1]
+                    self.runs[-1] = (start, count + 1)
+                else:
+                    self.runs.append((self.nevents - 1, 2))
+                    self._run_open = True
+            else:
+                self._run_head = head
+                self._run_open = False
+        else:
+            self._run_head = None
+            self._run_open = False
         self.nevents += 1
 
     def append_request_complete(
@@ -207,6 +266,8 @@ class PackedStream:
     ) -> None:
         self.codes.append(OP_REQ_COMPLETE)
         self.reqc += REQC_STRUCT.pack(rid, source, nbytes, when)
+        self._run_head = None
+        self._run_open = False
 
     # -- serialization ---------------------------------------------------
 
@@ -239,10 +300,11 @@ class Columns:
 
     __slots__ = (
         "ops", "codes", "events", "markers", "reqc", "arena",
-        "nitems", "nevents",
+        "nitems", "nevents", "_runs", "events_buf", "events_off",
     )
 
-    def __init__(self, ops, codes, events, markers, reqc, arena):
+    def __init__(self, ops, codes, events, markers, reqc, arena, runs=None,
+                 events_buf=None, events_off=0):
         self.ops = ops
         self.codes = codes
         self.events = events
@@ -251,6 +313,24 @@ class Columns:
         self.arena = arena
         self.nitems = len(codes)
         self.nevents = len(events) // EVENT_STRUCT.size
+        self._runs = runs
+        #: Zero-copy alias of the events section for consumers that need
+        #: ``startswith``/slice compares (the run-collapsed ingest): a
+        #: bytes/bytearray object containing the section at offset
+        #: ``events_off`` — the whole source blob, or the encoder's live
+        #: buffer.  ``None`` when the source only offered a memoryview;
+        #: consumers then fall back to one ``bytes(events)`` copy.
+        self.events_buf = events_buf
+        self.events_off = events_off
+
+    @property
+    def runs(self) -> list[tuple[int, int]]:
+        """Run descriptors ``(start_event_index, count)``, count ≥ 2 —
+        either carried over from the encoder or recovered from the raw
+        columns on first access (one linear scan)."""
+        if self._runs is None:
+            self._runs = _scan_runs(self)
+        return self._runs
 
 
 def is_packed(source) -> bool:
@@ -272,6 +352,8 @@ def columns_of(source) -> Columns:
             memoryview(source.markers),
             memoryview(source.reqc),
             source.arena,
+            runs=list(source.runs),
+            events_buf=source.events,
         )
     buf = memoryview(source)
     if bytes(buf[:4]) != MAGIC:
@@ -302,13 +384,107 @@ def columns_of(source) -> Columns:
     pos += nitems
     markers = buf[pos:pos + nmarkers * MARKER_STRUCT.size]
     pos += nmarkers * MARKER_STRUCT.size
+    events_off = pos
     events = buf[pos:pos + nevents * EVENT_STRUCT.size]
     pos += nevents * EVENT_STRUCT.size
     reqc = buf[pos:pos + nreqc * REQC_STRUCT.size]
     pos += nreqc * REQC_STRUCT.size
     arena = array("q")
     arena.frombytes(buf[pos:pos + arena_len * 8])
-    return Columns(ops, codes, events, markers, reqc, arena)
+    events_buf = source if isinstance(source, (bytes, bytearray)) else None
+    return Columns(ops, codes, events, markers, reqc, arena,
+                   events_buf=events_buf, events_off=events_off)
+
+
+def _scan_runs(cols: Columns) -> list[tuple[int, int]]:
+    """Recover run descriptors from raw columns: one pass over the codes
+    column, comparing each event's head bytes against its predecessor —
+    the same raw-bytes test the encoder and the ingest cache use."""
+    runs: list[tuple[int, int]] = []
+    ebuf = cols.events
+    esize = EVENT_STRUCT.size
+    eligible_op = tuple(op not in NONBLOCKING_OPS for op in cols.ops)
+    zero4 = b"\x00\x00\x00\x00"
+    prev_head = None
+    open_run = False
+    ei = 0
+    for code in cols.codes:
+        if code == OP_EVENT:
+            off = ei * esize
+            (op_idx,) = _U16.unpack_from(ebuf, off)
+            if (
+                op_idx < len(eligible_op)
+                and eligible_op[op_idx]
+                and ebuf[off + EVENT_WILDCARD_OFF] == 0
+                and ebuf[off + EVENT_REQSLEN_OFF:off + EVENT_PARAMS_END] == zero4
+                and ebuf[off + EVENT_GIDSLEN_OFF:off + esize] == zero4
+            ):
+                head = ebuf[off:off + EVENT_PARAMS_END]
+                if prev_head is not None and head == prev_head:
+                    if open_run:
+                        start, count = runs[-1]
+                        runs[-1] = (start, count + 1)
+                    else:
+                        runs.append((ei - 1, 2))
+                        open_run = True
+                else:
+                    prev_head = head
+                    open_run = False
+            else:
+                prev_head = None
+                open_run = False
+            ei += 1
+        else:
+            prev_head = None
+            open_run = False
+    return runs
+
+
+def event_runs(source) -> list[tuple[int, int]]:
+    """Run descriptors ``(start_event_index, count)`` of ``source``
+    (a :class:`PackedStream`, :class:`Columns`, or a packed blob)."""
+    if isinstance(source, PackedStream):
+        return list(source.runs)
+    if isinstance(source, Columns):
+        return list(source.runs)
+    return list(columns_of(source).runs)
+
+
+def decode_times(cols: Columns):
+    """Decode the per-event timing columns in one C-speed sweep.
+
+    Returns ``(starts, durations)`` as two ``array('d')`` of length
+    ``cols.nevents`` — the padded sweep struct touches only the ``<dd``
+    pair of each record."""
+    starts = array("d")
+    durations = array("d")
+    sa = starts.append
+    da = durations.append
+    for start, dur in EVENT_TIMES_SWEEP.iter_unpack(cols.events):
+        sa(start)
+        da(dur)
+    return starts, durations
+
+
+def gap_columns(cols: Columns, last_end: float = 0.0):
+    """Per-event ``(durations, gaps)`` columns, computed with the exact
+    sequential recurrence the compressor uses (gap clamps at zero; the
+    running last-end is the max end time seen so far).  ``last_end``
+    seeds the recurrence for mid-stream chunks."""
+    durations = array("d")
+    gaps = array("d")
+    da = durations.append
+    ga = gaps.append
+    for start, dur in EVENT_TIMES_SWEEP.iter_unpack(cols.events):
+        gap = start - last_end
+        if gap < 0.0:
+            gap = 0.0
+        end = start + dur
+        if end > last_end:
+            last_end = end
+        da(dur)
+        ga(gap)
+    return durations, gaps
 
 
 def iter_column_chunks(cols: Columns, chunk_items: int = CHUNK_ITEMS):

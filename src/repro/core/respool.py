@@ -287,8 +287,10 @@ def run_tasks(
 #     b"I" <q key> <Q nbytes> bytes   one item (nitems times)
 #     ... next job ... | close_write() = shutdown (EOF)
 #
-# Results return over a per-worker pipe as ("ok", job_id, result) or
-# ("err", job_id, message).  Any protocol failure — worker death, ring
+# Results return over a per-worker pipe as ("batch", [frame, ...])
+# messages whose frames are ("ok", job_id, result) or
+# ("err", job_id, message); a worker holds frames only while its ring
+# already queues more work.  Any protocol failure — worker death, ring
 # timeout, worker-side exception — raises ShmPoolError in the parent;
 # callers fall back to run_tasks(), whose pool → retry → serial ladder
 # then owns recovery.  The shm pool itself never retries: one recovery
@@ -310,6 +312,12 @@ DEFAULT_RING_CAPACITY = 1 << 20
 #: die with the parent).
 _WORKER_FRAME_TIMEOUT = 600.0
 
+#: Result frames per pipe message.  A worker holds finished-job results
+#: while more work is already queued on its ring and ships them as one
+#: frame — one pickle header + one wakeup for a whole backlog instead
+#: of per job.
+_RESULT_BATCH = 32
+
 
 class ShmPoolError(RuntimeError):
     """The shm transport failed; the caller should fall back to the
@@ -319,15 +327,29 @@ class ShmPoolError(RuntimeError):
 def _shm_worker_main(ring, conn, func, stage, fault_plan, hang_seconds):
     """Worker body: loop over jobs arriving on ``ring``, feed each
     job's items to ``func`` as a lazy iterator (reads pull bytes from
-    the ring — natural backpressure), report one result per job."""
+    the ring — natural backpressure), report results in batched frames:
+    a frame flushes when the ring has no further job queued (so the
+    parent is never left waiting on a held result) or at
+    ``_RESULT_BATCH`` held results."""
+    outbox: list = []
+
+    def flush():
+        if outbox:
+            conn.send(("batch", outbox[:]))
+            outbox.clear()
+
     try:
         while True:
+            if outbox and (ring.pending() == 0 or len(outbox) >= _RESULT_BATCH):
+                flush()
             try:
                 tag = ring.read_exact(1)
             except RingClosed:
                 break  # orderly shutdown
             if tag != _TAG_JOB:
-                conn.send(("err", -1, f"protocol: expected job tag, got {tag!r}"))
+                outbox.append(
+                    ("err", -1, f"protocol: expected job tag, got {tag!r}")
+                )
                 break
             job_id, nitems = _JOB_HDR.unpack(
                 ring.read_exact(_JOB_HDR.size, timeout=_WORKER_FRAME_TIMEOUT)
@@ -368,7 +390,8 @@ def _shm_worker_main(ring, conn, func, stage, fault_plan, hang_seconds):
             while consumed < nitems:
                 read_item()
                 consumed += 1
-            conn.send(msg)
+            outbox.append(msg)
+        flush()
     except (RingClosed, RingTimeout, EOFError, OSError, RuntimeError):
         pass  # parent gone or stream broken: nothing useful left to do
     finally:
@@ -382,7 +405,15 @@ class ShmPool:
     """Persistent fork-inherited worker pool fed over shared-memory
     rings.  ``func`` receives an iterator of ``(key, payload_bytes)``
     per job and returns one picklable result (results still return
-    over a pipe — they are small; the payloads were the problem)."""
+    over a pipe — they are small; the payloads were the problem).
+
+    Workers allocate **lazily**: construction only checks that the
+    platform can fork, and a worker's ring + process come into being
+    the first time a :meth:`run` call actually routes a job to it.  A
+    pool sized for the worst case therefore costs nothing until (and
+    unless) that much parallelism is used, and ``setup_seconds`` breaks
+    the amortized one-time cost into its ``ring_alloc`` and ``fork``
+    components for the bench gauges."""
 
     def __init__(
         self,
@@ -397,29 +428,49 @@ class ShmPool:
         ctx = _fork_context()
         if ctx is None:
             raise ShmPoolError("fork start method unavailable")
+        self._ctx = ctx
         self.stage = stage
         self.workers = max(1, workers)
+        self._func = func
+        self._ring_capacity = ring_capacity
+        self._fault_plan = fault_plan
+        self._hang_seconds = hang_seconds
         self._rings: list[ShmRing] = []
         self._procs: list = []
         self._conns: list = []
         self._closed = False
+        #: One-time setup cost actually paid so far, by component.
+        self.setup_seconds: dict[str, float] = {"ring_alloc": 0.0, "fork": 0.0}
+
+    def ensure_workers(self, n: int) -> None:
+        """Raise the pool's worker capacity to at least ``n``.  Free
+        until jobs are routed there — allocation stays lazy."""
+        if n > self.workers:
+            self.workers = n
+
+    def _materialize(self, n: int) -> None:
+        """Fork workers ``len(self._procs)`` .. ``n-1`` (with their
+        rings), so the next :meth:`run` can feed them."""
         try:
-            for _ in range(self.workers):
-                ring = ShmRing(ring_capacity)
+            while len(self._procs) < n:
+                t0 = time.perf_counter()
+                ring = ShmRing(self._ring_capacity)
+                t1 = time.perf_counter()
+                self.setup_seconds["ring_alloc"] += t1 - t0
                 self._rings.append(ring)
-                parent_conn, child_conn = ctx.Pipe(duplex=False)
-                proc = ctx.Process(
+                parent_conn, child_conn = self._ctx.Pipe(duplex=False)
+                proc = self._ctx.Process(
                     target=_shm_worker_main,
-                    args=(ring, child_conn, func, stage, fault_plan,
-                          hang_seconds),
+                    args=(ring, child_conn, self._func, self.stage,
+                          self._fault_plan, self._hang_seconds),
                     daemon=True,
                 )
                 proc.start()
+                self.setup_seconds["fork"] += time.perf_counter() - t1
                 child_conn.close()
                 self._procs.append(proc)
                 self._conns.append(parent_conn)
         except (OSError, ValueError, ImportError) as exc:
-            self.close()
             raise ShmPoolError(f"could not start shm pool: {exc}") from exc
 
     # ------------------------------------------------------------------
@@ -435,25 +486,30 @@ class ShmPool:
         njobs = len(jobs)
         if njobs == 0:
             return []
+        # Only as many workers as there are jobs ever materialize — a
+        # 2-shard run on an 8-wide pool forks two processes, not eight.
+        used = min(self.workers, njobs)
+        self._materialize(used)
         # Queue the wire pieces per worker: headers interleaved with
         # zero-copy payload views.
-        queues: list[deque] = [deque() for _ in range(self.workers)]
+        queues: list[deque] = [deque() for _ in range(used)]
         for j, items in enumerate(jobs):
-            q = queues[j % self.workers]
+            q = queues[j % used]
             q.append(_TAG_JOB + _JOB_HDR.pack(j, len(items)))
             for key, payload in items:
                 q.append(_TAG_ITEM + _ITEM_HDR.pack(key, len(payload)))
                 q.append(memoryview(payload))
-        offsets = [0] * self.workers
+        offsets = [0] * used
         deadline = None
         if timeout is not None:
-            waves = (njobs + self.workers - 1) // self.workers
+            waves = (njobs + used - 1) // used
             deadline = time.monotonic() + timeout * max(1, waves)
         results: dict[int, object] = {}
-        live = dict(zip(self._conns, self._procs))
+        live = dict(zip(self._conns[:used], self._procs[:used]))
         while len(results) < njobs:
             progress = False
-            for w, ring in enumerate(self._rings):
+            for w in range(used):
+                ring = self._rings[w]
                 q = queues[w]
                 while q:
                     wrote = ring.try_write(q[0], offsets[w])
@@ -471,19 +527,21 @@ class ShmPool:
             for conn in ready:
                 proc = live[conn]
                 try:
-                    kind, job_id, value = conn.recv()
+                    frame = conn.recv()
                 except (EOFError, OSError):
                     proc.join(timeout=1.0)
                     raise ShmPoolError(
                         f"{self.stage}: shm worker died "
                         f"(exit code {proc.exitcode})"
                     ) from None
-                if kind != "ok":
-                    raise ShmPoolError(
-                        f"{self.stage}: shm worker failed job {job_id}: "
-                        f"{value}"
-                    )
-                results[job_id] = value
+                entries = frame[1] if frame[0] == "batch" else [frame]
+                for kind, job_id, value in entries:
+                    if kind != "ok":
+                        raise ShmPoolError(
+                            f"{self.stage}: shm worker failed job {job_id}: "
+                            f"{value}"
+                        )
+                    results[job_id] = value
             if deadline is not None and time.monotonic() > deadline:
                 raise ShmPoolError(
                     f"{self.stage}: shm pool exceeded {timeout}s per-wave "
@@ -492,6 +550,10 @@ class ShmPool:
         return [results[j] for j in range(njobs)]
 
     # ------------------------------------------------------------------
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
 
     def close(self) -> None:
         """Shut workers down (EOF on each ring), join, free segments."""

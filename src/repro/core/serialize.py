@@ -7,7 +7,7 @@ varint-coded integers, zigzag for signed values, an interned string table
 for op names, stride terms for every integer sequence, and sparse
 histogram bins.
 
-Container layout (version 5, crash-safe — docs/INTERNALS.md §7)::
+Container layout (version 6, crash-safe — docs/INTERNALS.md §7)::
 
     magic "CYTR" | version | sections...
 
@@ -15,7 +15,7 @@ Container layout (version 5, crash-safe — docs/INTERNALS.md §7)::
 
     kind 1 HEADER   : nranks | string table
     kind 2 TOPOLOGY : tree (pre-order): kind, [op/name idx],
-                      [branch_path], nchildren
+                      [branch_path, branch ast id], nchildren
     kind 3 PAYLOAD  : first vertex index | nvertices | per vertex,
                       ngroups, then each group:
                       rankset terms | payload (counts / visits / records)
@@ -52,7 +52,12 @@ from .sequences import IntSequence
 from .timing import HIST, MEANSTD, TimeStats
 
 _MAGIC = b"CYTR"
-_VERSION = 5
+_VERSION = 6
+# Version 5 differs only in topology: branch vertices carried no ast id,
+# so adjacent sibling branch groups could not be told apart at replay
+# (they fused when their taken paths happened to differ).  Still
+# readable; replay of a v5 tree keeps the old (fusing) behavior.
+_V5 = 5
 
 # Section kinds of the v5 container.
 _SEC_END = 0
@@ -253,7 +258,10 @@ def _read_record(r: ByteReader, ops: list[str]) -> CompressedRecord:
 # Shared body encoding (identical bytes in v4 and inside v5 sections).
 
 
-def _write_topology(w: ByteWriter, vertices, strings: dict[str, int]) -> None:
+def _write_topology(
+    w: ByteWriter, vertices, strings: dict[str, int],
+    with_ast: bool = False,
+) -> None:
     for v in vertices:
         w.u(_KIND_CODE[v.kind])
         if v.kind == CALL:
@@ -261,10 +269,18 @@ def _write_topology(w: ByteWriter, vertices, strings: dict[str, int]) -> None:
             w.u(strings[v.name] if v.name is not None else len(strings))
         elif v.kind == BRANCH:
             w.u(v.branch_path if v.branch_path is not None else 0)
+            if with_ast:
+                # Replay groups consecutive same-ast branch children;
+                # without the ast id, two adjacent sibling branches that
+                # took different paths are indistinguishable from one
+                # two-path group.
+                w.z(v.ast_id if v.ast_id is not None else -1)
         w.u(len(v.children))
 
 
-def _read_topology_vertex(r: ByteReader, strings: list[str]) -> MergedVertex:
+def _read_topology_vertex(
+    r: ByteReader, strings: list[str], with_ast: bool = False,
+) -> MergedVertex:
     v = MergedVertex.__new__(MergedVertex)
     kind = _CODE_KIND[r.u()]
     v.gid = -1
@@ -282,8 +298,13 @@ def _read_topology_vertex(r: ByteReader, strings: list[str]) -> MergedVertex:
         v.name = strings[name_idx] if name_idx < len(strings) else None
     elif kind == BRANCH:
         v.branch_path = r.u()
+        if with_ast:
+            ast = r.z()
+            v.ast_id = None if ast == -1 else ast
     nchildren = r.u()
-    v.children = [_read_topology_vertex(r, strings) for _ in range(nchildren)]
+    v.children = [
+        _read_topology_vertex(r, strings, with_ast) for _ in range(nchildren)
+    ]
     return v
 
 
@@ -450,7 +471,7 @@ def _dumps(merged: MergedCTT, gzip: bool, chunk_bytes: int) -> bytes:
     for text in strings:  # dict preserves insertion order
         hw.s(text)
     tw = ByteWriter()
-    _write_topology(tw, vertices, strings)
+    _write_topology(tw, vertices, strings, with_ast=True)
     # Payload, pre-order, chunked so a truncated file salvages to the
     # longest checksum-valid prefix of vertices instead of losing the
     # whole payload.
@@ -557,10 +578,12 @@ def _loads(data: bytes, salvage: bool) -> MergedCTT:
         # Legacy container: one unframed body, no checksums — nothing
         # to salvage against, so the flag is ignored.
         return _loads_v4_body(r)
-    if version != _VERSION:
+    if version not in (_V5, _VERSION):
         raise TraceFormatError(f"unsupported trace version {version}")
     sections, complete, error = _read_sections(data, r._pos, salvage)
-    return _assemble_v5(sections, complete, error, salvage)
+    return _assemble_v5(
+        sections, complete, error, salvage, with_ast=version >= _VERSION
+    )
 
 
 def _loads_v4_body(r: ByteReader) -> MergedCTT:
@@ -581,6 +604,7 @@ def _assemble_v5(
     complete: bool,
     error: str | None,
     salvage: bool,
+    with_ast: bool = True,
 ) -> MergedCTT:
     if not sections or sections[0][0] != _SEC_HEADER:
         raise TraceFormatError(
@@ -596,7 +620,7 @@ def _assemble_v5(
     nranks = hr.u()
     strings = [hr.s() for _ in range(hr.u())]
     tr = ByteReader(sections[1][1])
-    root = _read_topology_vertex(tr, strings)
+    root = _read_topology_vertex(tr, strings, with_ast)
     vertices = list(root.preorder())
     for gid, v in enumerate(vertices):
         v.gid = gid

@@ -53,6 +53,14 @@ HEADER_SIZE = 192
 #: Poll interval for blocking waits (seconds).
 _POLL = 0.0002
 
+#: After ``_IDLE_AFTER`` seconds with no data, a blocking read backs its
+#: poll interval off exponentially up to this ceiling.  Keeps a parked
+#: warm-pool worker near-free (≤200 wakeups/s instead of 5000) while
+#: active transfers — whose stalls last well under ``_IDLE_AFTER`` —
+#: always poll at full rate.
+_POLL_IDLE_MAX = 0.005
+_IDLE_AFTER = 0.05
+
 
 class RingClosed(Exception):
     """The writer closed the ring and fewer bytes than requested remain."""
@@ -157,6 +165,8 @@ class ShmRing:
         deadline = time.monotonic() + timeout if timeout is not None else None
         out = bytearray(n)
         got = 0
+        delay = _POLL
+        idle = 0.0
         while got < n:
             tail = self.tail
             avail = self.head - tail
@@ -169,8 +179,13 @@ class ShmRing:
                     raise RingTimeout(
                         f"ring read stalled ({n - got} bytes wanted)"
                     )
-                time.sleep(_POLL)
+                time.sleep(delay)
+                idle += delay
+                if idle >= _IDLE_AFTER:
+                    delay = min(delay * 2, _POLL_IDLE_MAX)
                 continue
+            delay = _POLL
+            idle = 0.0
             take = min(avail, n - got)
             pos = tail % self.capacity
             first = min(take, self.capacity - pos)

@@ -10,6 +10,10 @@ equivalent:
 * the packed codec + columnar ingest == the list-stream path, both
   serially (``packed``) and over the shared-memory transport
   (``parallel_shm``, ``transport="shm"``);
+* run-collapsed ingestion (:meth:`ingest_runs` — batch time decode +
+  iteration-replay plans) == event-at-a-time ingestion, from both a
+  packed blob (``packed_runs``) and a live :class:`PackedStream`
+  (``packed_runs_live``, the zero-copy ``events_buf`` path);
 * fold merge == tree merge == parallel tree merge (byte-identical);
 * every rank's replay is the same before and after the merge, and equals
   the ground-truth recorded sequence.
@@ -136,7 +140,19 @@ def differential_check(
         rank: packed.encode_stream(stream).to_bytes()
         for rank, stream in capture.streams.items()
     }
+    # Run-collapsed ingestion called directly (not via compress_streams
+    # routing, which may change): once over serialized blobs, once over
+    # live PackedStream objects whose events live in a bytearray the
+    # zero-copy plan matcher slices without snapshotting.
+    packed_runs = IntraProcessCompressor(compiled.cst)
+    for rank, blob in packed_streams.items():
+        packed_runs.ingest_runs(rank, blob)
+    packed_runs_live = IntraProcessCompressor(compiled.cst)
+    for rank, stream in capture.streams.items():
+        packed_runs_live.ingest_runs(rank, packed.encode_stream(stream))
     variants = {
+        "packed_runs": packed_runs,
+        "packed_runs_live": packed_runs_live,
         "inline": inline,
         "fastpath": compress_streams(compiled.cst, capture.streams),
         "reference": compress_streams(
@@ -170,6 +186,26 @@ def differential_check(
         for rank in range(nprocs):
             note(first_divergence(
                 name, "fastpath", rank, replays[name][rank], base[rank]
+            ))
+
+    # -- byte identity across the variant matrix --------------------------
+    # Replay diffs above catch semantic divergence; this catches encoding
+    # divergence (e.g. run-collapsed ingestion producing equal replays
+    # from different record/timing layouts — the bulk add_occurrences
+    # path must be bit-for-bit the same as N single adds).
+    def variant_blob(comp):
+        return serialize.dumps(merge_all(
+            [comp.ctt(r) for r in range(nprocs)], nranks=nprocs))
+
+    base_blob = variant_blob(variants["fastpath"])
+    for name in sorted(variants):
+        if name == "fastpath":
+            continue
+        vb = variant_blob(variants[name])
+        if vb != base_blob:
+            note(Divergence(
+                f"bytes:{name}", "bytes:fastpath", -1, -1,
+                (len(vb), "bytes"), (len(base_blob), "bytes"),
             ))
 
     # -- merge schedules, all from the fastpath CTTs ----------------------

@@ -1,0 +1,277 @@
+"""Run-length ingest properties: run detection, bulk-update equivalence,
+and byte-identity of run-collapsed ingestion.
+
+Three layers of the columnar ingest engine, each pinned independently:
+
+* ``packed.event_runs`` — run descriptors must split at every marker,
+  req-complete, wildcard receive and request-carrying event, and be
+  maximal between splits (checked against a pure-Python reference over
+  the original capture list);
+* ``CompressedRecord.add_occurrences`` / ``TimeStats.add_many`` — the
+  bulk folds must be *bit-for-bit* identical to their per-element
+  loops (Welford is float-order sensitive; any reassociation shows up
+  here);
+* ``IntraProcessCompressor.ingest_runs`` — run-collapsed ingestion of
+  random structured programs must serialize byte-identically to
+  event-at-a-time ``ingest_stream``, from both a packed blob and a live
+  :class:`PackedStream`, with the window both unbounded (plan machinery
+  on) and bounded (conservative per-event fallback).
+"""
+
+import dataclasses
+import struct
+import sys
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+sys.path.insert(0, "tests")
+from generators import program  # noqa: E402
+
+from repro.core import packed, serialize  # noqa: E402
+from repro.core.inter import merge_all  # noqa: E402
+from repro.core.intra import CypressConfig, IntraProcessCompressor  # noqa: E402
+from repro.core.packed import NONBLOCKING_OPS  # noqa: E402
+from repro.core.records import CompressedRecord  # noqa: E402
+from repro.core.timing import HIST, MEANSTD, TimeStats  # noqa: E402
+from repro.driver import run_compiled  # noqa: E402
+from repro.mpisim.pmpi import (  # noqa: E402
+    OP_BRANCH_ENTER,
+    OP_BRANCH_EXIT,
+    OP_EVENT,
+    OP_LOOP_ITER,
+    OP_LOOP_POP,
+    OP_LOOP_PUSH,
+    OP_REQ_COMPLETE,
+    StreamCaptureSink,
+)
+from repro.static.instrument import compile_minimpi  # noqa: E402
+
+from .test_packed import events, streams  # noqa: E402
+
+SETTINGS = dict(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+
+
+# ---------------------------------------------------------------------------
+# Run detection.
+
+
+def _eligible(ev) -> bool:
+    """Mirror of the encoder's run-eligibility test, phrased over the
+    CommEvent instead of the packed bytes."""
+    return (
+        ev.op not in NONBLOCKING_OPS
+        and not ev.wildcard
+        and not ev.reqs
+        and not ev.req_gids
+    )
+
+
+def _head_key(ev):
+    """The fields covered by the packed param-window head compare."""
+    return (
+        ev.op, ev.peer, ev.nbytes, ev.tag, ev.peer2, ev.tag2,
+        ev.nbytes2, ev.comm, ev.root, ev.result_comm,
+    )
+
+
+def reference_runs(stream):
+    """Pure-Python reference for ``packed.event_runs``: maximal runs of
+    ≥2 consecutive eligible events with equal heads, split by any
+    non-event item (marker / req-complete) in between."""
+    runs = []
+    prev = None
+    open_run = False
+    ei = 0
+    for item in stream:
+        if item[0] == OP_EVENT:
+            ev = item[1]
+            if _eligible(ev):
+                key = _head_key(ev)
+                if prev is not None and key == prev:
+                    if open_run:
+                        start, count = runs[-1]
+                        runs[-1] = (start, count + 1)
+                    else:
+                        runs.append((ei - 1, 2))
+                        open_run = True
+                else:
+                    prev = key
+                    open_run = False
+            else:
+                prev = None
+                open_run = False
+            ei += 1
+        else:
+            prev = None
+            open_run = False
+    return runs
+
+
+@st.composite
+def runny_streams(draw):
+    """Streams biased toward runs: a small pool of base events sampled
+    repeatedly, interleaved with the splitters run detection must honor
+    — loop/branch markers, req-completes, and wildcard twins of the very
+    events that were running."""
+    base = draw(st.lists(events(), min_size=1, max_size=3))
+    items = []
+    for _ in range(draw(st.integers(0, 50))):
+        kind = draw(st.integers(0, 9))
+        if kind <= 5:
+            items.append((OP_EVENT, draw(st.sampled_from(base))))
+        elif kind == 6:
+            items.append((
+                draw(st.sampled_from(
+                    [OP_LOOP_PUSH, OP_LOOP_ITER, OP_LOOP_POP,
+                     OP_BRANCH_EXIT])),
+                draw(st.integers(0, 5)),
+            ))
+        elif kind == 7:
+            items.append((OP_BRANCH_ENTER, draw(st.integers(0, 5)), 0))
+        elif kind == 8:
+            items.append((OP_REQ_COMPLETE, 1, 2, 3, 0.5))
+        else:
+            ev = draw(st.sampled_from(base))
+            items.append((OP_EVENT, dataclasses.replace(ev, wildcard=True)))
+    return items
+
+
+class TestEventRuns:
+    @settings(**SETTINGS)
+    @given(runny_streams())
+    def test_runs_match_reference_on_runny_streams(self, stream):
+        expected = reference_runs(stream)
+        ps = packed.encode_stream(stream)
+        # Encoder-tracked descriptors (live PackedStream) and the
+        # post-hoc column scan (blob) must agree with the reference —
+        # and therefore with each other.
+        assert packed.event_runs(ps) == expected
+        assert packed.event_runs(ps.to_bytes()) == expected
+
+    @settings(**SETTINGS)
+    @given(streams)
+    def test_runs_match_reference_on_arbitrary_streams(self, stream):
+        expected = reference_runs(stream)
+        ps = packed.encode_stream(stream)
+        assert packed.event_runs(ps) == expected
+        assert packed.event_runs(ps.to_bytes()) == expected
+
+    @settings(**SETTINGS)
+    @given(runny_streams())
+    def test_runs_are_well_formed(self, stream):
+        nevents = sum(1 for it in stream if it[0] == OP_EVENT)
+        prev_end = 0
+        for start, count in packed.event_runs(packed.encode_stream(stream)):
+            assert count >= 2
+            assert start >= prev_end  # disjoint, ordered
+            assert start + count <= nevents
+            prev_end = start + count
+
+
+# ---------------------------------------------------------------------------
+# Bulk updates bit-for-bit equal to their per-element loops.
+
+
+def _bits(x: float) -> bytes:
+    return struct.pack("<d", x)
+
+
+def _stats_bits(ts: TimeStats):
+    return (
+        ts.count, _bits(ts.mean), _bits(ts.m2),
+        _bits(ts.minimum), _bits(ts.maximum),
+        None if ts.bins is None else tuple(ts.bins),
+    )
+
+
+finite = st.floats(allow_nan=False, allow_infinity=False, width=64)
+# Durations/gaps as the compressor produces them: non-negative, but keep
+# a few raw exotic floats (subnormals, huge magnitudes) in the mix.
+samples = st.one_of(
+    st.floats(min_value=0.0, max_value=1e9, allow_nan=False),
+    finite.map(abs),
+)
+
+
+class TestBulkEqualsLoop:
+    @settings(**SETTINGS)
+    @given(st.sampled_from([MEANSTD, HIST]), st.lists(samples, max_size=80),
+           st.lists(samples, max_size=200))
+    def test_add_many_equals_add_loop(self, mode, prefix, values):
+        one = TimeStats(mode=mode)
+        many = TimeStats(mode=mode)
+        for v in prefix:  # arbitrary pre-existing state
+            one.add(v)
+            many.add(v)
+        many.add_many(values)
+        for v in values:
+            one.add(v)
+        assert _stats_bits(many) == _stats_bits(one)
+
+    @settings(**SETTINGS)
+    @given(
+        st.lists(st.tuples(st.integers(0, 2**40), samples, samples),
+                 max_size=30),
+        st.integers(0, 2**40),
+        st.lists(st.tuples(samples, samples), max_size=150),
+    )
+    def test_add_occurrences_equals_loop(self, prefix, start, pairs):
+        key = ("MPI_Send", 1, 4096, 7)
+        bulk = CompressedRecord(key=key)
+        loop = CompressedRecord(key=key)
+        for idx, d, g in prefix:  # arbitrary occurrence-term state
+            bulk.add_occurrence(idx, d, g)
+            loop.add_occurrence(idx, d, g)
+        durations = [d for d, _ in pairs]
+        gaps = [g for _, g in pairs]
+        bulk.add_occurrences(start, durations, gaps)
+        for i, (d, g) in enumerate(pairs):
+            loop.add_occurrence(start + i, d, g)
+        assert bulk.occurrences.terms == loop.occurrences.terms
+        assert bulk.occurrences.length == loop.occurrences.length
+        assert _stats_bits(bulk.duration) == _stats_bits(loop.duration)
+        assert _stats_bits(bulk.pre_gap) == _stats_bits(loop.pre_gap)
+
+
+# ---------------------------------------------------------------------------
+# Run-collapsed ingestion == event-at-a-time ingestion, byte for byte.
+
+
+NPROCS = 2
+
+
+def _trace_blob(comp):
+    return serialize.dumps(merge_all(
+        [comp.ctt(r) for r in range(NPROCS)], nranks=NPROCS))
+
+
+class TestIngestRunsByteIdentity:
+    @settings(max_examples=10, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow,
+                                     HealthCheck.data_too_large])
+    @given(program(allow_functions=True),
+           st.sampled_from([None, 1, 4]))
+    def test_ingest_runs_matches_stream(self, source, window):
+        compiled = compile_minimpi(source)
+        capture = StreamCaptureSink()
+        run_compiled(compiled, NPROCS, tracer=capture)
+        cfg = CypressConfig(window=window)
+        by_stream = IntraProcessCompressor(compiled.cst, cfg)
+        by_blob = IntraProcessCompressor(compiled.cst, cfg)
+        by_live = IntraProcessCompressor(compiled.cst, cfg)
+        for rank in range(NPROCS):
+            stream = capture.streams.get(rank, [])
+            ps = packed.encode_stream(stream)
+            by_stream.ingest_stream(rank, stream)
+            by_blob.ingest_runs(rank, ps.to_bytes())
+            by_live.ingest_runs(rank, ps)
+        want = _trace_blob(by_stream)
+        assert _trace_blob(by_blob) == want, (
+            f"window={window}: packed-blob ingest_runs diverged")
+        assert _trace_blob(by_live) == want, (
+            f"window={window}: live PackedStream ingest_runs diverged")
