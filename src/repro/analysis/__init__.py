@@ -1,4 +1,21 @@
-"""Trace analytics: communication patterns and measurement harness."""
+"""Trace analytics: communication patterns and measurement harness.
+
+The decompression-free query layer lives in :mod:`repro.query`; its
+public entry points are re-exported here so analysis callers have one
+import surface.
+"""
+
+from repro.query import (
+    CriticalLeaf,
+    OrderingResult,
+    RankProfile,
+    Traffic,
+    critical_leaves,
+    ordering,
+    rank_profile,
+    traffic,
+    vertex_path,
+)
 
 from .patterns import ascii_heatmap, communication_matrix, message_sizes, neighbor_sets
 from .diff import RankDiff, TraceDiff, diff_traces
@@ -7,6 +24,15 @@ from .report import OpSummary, TraceReport, summarize
 from .stats import MethodResult, RunMeasurement, measure_all_methods, APP_MEMORY_BASELINE
 
 __all__ = [
+    "CriticalLeaf",
+    "OrderingResult",
+    "RankProfile",
+    "Traffic",
+    "critical_leaves",
+    "ordering",
+    "rank_profile",
+    "traffic",
+    "vertex_path",
     "ascii_heatmap",
     "communication_matrix",
     "message_sizes",

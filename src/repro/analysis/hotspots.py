@@ -13,6 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.core.inter import MergedCTT, MergedVertex
+from repro.query.engine import critical_leaves, leaf_time as _leaf_time
 from repro.static.cst import BRANCH, CALL, LOOP
 
 
@@ -40,18 +41,6 @@ class Hotspot:
         return "\n".join(lines)
 
 
-def _leaf_time(vertex: MergedVertex) -> tuple[float, int]:
-    total = 0.0
-    calls = 0
-    for group in vertex.groups.values():
-        if not group.records:
-            continue
-        for record in group.records:
-            total += record.duration.mean * record.duration.count
-            calls += record.count * len(group.ranks)
-    return total, calls
-
-
 def hotspots(merged: MergedCTT) -> Hotspot:
     """Aggregate communication time bottom-up over the merged CTT."""
 
@@ -75,15 +64,12 @@ def hotspots(merged: MergedCTT) -> Hotspot:
 
 
 def top_leaves(merged: MergedCTT, n: int = 10) -> list[Hotspot]:
-    """The n most expensive MPI call sites."""
-    root = hotspots(merged)
-    leaves: list[Hotspot] = []
-
-    def collect(h: Hotspot) -> None:
-        if h.kind == CALL:
-            leaves.append(h)
-        for c in h.children:
-            collect(c)
-
-    collect(root)
-    return sorted(leaves, key=lambda h: -h.total_us)[:n]
+    """The n most expensive MPI call sites (delegates to the query
+    engine's :func:`repro.query.engine.critical_leaves`)."""
+    return [
+        Hotspot(
+            gid=c.gid, kind=CALL, label=c.op, depth=c.depth,
+            total_us=c.total_us, calls=c.calls,
+        )
+        for c in critical_leaves(merged, n)
+    ]

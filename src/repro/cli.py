@@ -695,6 +695,82 @@ def cmd_diff(args: argparse.Namespace) -> int:
     return 0 if result.identical else 1
 
 
+def cmd_query(args: argparse.Namespace) -> int:
+    """Run one decompression-free query over a stored trace; optionally
+    cross-check it against the replay oracle (`--oracle`) and/or dump the
+    result as JSON (`-o`)."""
+    import json
+
+    from repro import query
+    from repro.core import serialize
+
+    merged = serialize.load(args.trace)
+
+    def _require(flag: str, value) -> None:
+        if value is None:
+            raise SystemExit(f"repro query {args.query}: {flag} is required")
+
+    if args.query == "traffic":
+        result = query.traffic(merged, group_by=args.group_by,
+                               nprocs=args.nprocs)
+        oracle = (query.traffic_via_replay(merged, group_by=args.group_by,
+                                           nprocs=args.nprocs)
+                  if args.oracle else None)
+    elif args.query == "ordering":
+        _require("--gid-a", args.gid_a)
+        _require("--gid-b", args.gid_b)
+        _require("--rank", args.rank)
+        result = query.ordering(merged, args.gid_a, args.gid_b, args.rank)
+        oracle = (query.ordering_via_replay(merged, args.gid_a, args.gid_b,
+                                            args.rank)
+                  if args.oracle else None)
+    elif args.query == "rank-profile":
+        _require("--rank", args.rank)
+        result = query.rank_profile(merged, args.rank)
+        oracle = (query.rank_profile_via_replay(merged, args.rank)
+                  if args.oracle else None)
+    else:  # critical-leaves
+        result = query.critical_leaves(merged, k=args.top)
+        oracle = (query.critical_leaves_via_replay(merged, k=args.top)
+                  if args.oracle else None)
+
+    if args.oracle:
+        errors = query.agreement_errors(result, oracle, args.query)
+        if errors:
+            print(f"ORACLE MISMATCH ({len(errors)} differences):",
+                  file=sys.stderr)
+            for e in errors[:20]:
+                print(f"  {e}", file=sys.stderr)
+            return 1
+        print(f"oracle check: engine == replay ({args.query})",
+              file=sys.stderr)
+
+    if args.output:
+        payload = json.dumps(query.to_jsonable(result), indent=2,
+                             sort_keys=True)
+        if args.output == "-":
+            print(payload)
+        else:
+            with open(args.output, "w") as fh:
+                fh.write(payload + "\n")
+            print(f"wrote {args.output}")
+        return 0
+
+    if args.query == "traffic":
+        print(f"{'key':>24s} {'messages':>10s} {'bytes':>14s}")
+        for key in sorted(result, key=repr):
+            cell = result[key]
+            shown = "->".join(map(str, key)) if isinstance(key, tuple) else key
+            print(f"{shown!s:>24s} {cell.messages:10d} {cell.nbytes:14d}")
+    elif args.query in ("ordering", "rank-profile"):
+        print(result.format())
+    else:
+        for c in result:
+            print(f"  gid={c.gid:4d} {c.op:<16s} {c.total_us / 1e3:10.2f} ms "
+                  f"({c.calls} calls)  {c.path}")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(prog="repro", description=__doc__)
     sub = parser.add_subparsers(dest="command", required=True)
@@ -814,6 +890,37 @@ def main(argv: list[str] | None = None) -> int:
     p.add_argument("a")
     p.add_argument("b")
     p.set_defaults(func=cmd_diff)
+
+    p = sub.add_parser(
+        "query",
+        help="decompression-free queries over a stored trace",
+        description="Answer traffic/ordering/profile/hotspot questions "
+                    "straight from the compressed structure — no replay. "
+                    "--oracle cross-checks the answer against the replay "
+                    "twin (exit 1 on mismatch).",
+    )
+    p.add_argument("trace")
+    p.add_argument("query", choices=("traffic", "ordering", "rank-profile",
+                                     "critical-leaves"))
+    p.add_argument("--group-by", choices=("vertex", "op", "rank_pair"),
+                   default="op", help="traffic aggregation key")
+    p.add_argument("--gid-a", type=int, default=None,
+                   help="first call-site GID (ordering)")
+    p.add_argument("--gid-b", type=int, default=None,
+                   help="second call-site GID (ordering)")
+    p.add_argument("--rank", type=int, default=None,
+                   help="rank to query (ordering, rank-profile)")
+    p.add_argument("--top", type=int, default=10,
+                   help="number of leaves (critical-leaves)")
+    p.add_argument("--nprocs", type=int, default=None,
+                   help="rank-space size for peer validation "
+                        "(default: inferred from the trace)")
+    p.add_argument("--oracle", action="store_true",
+                   help="cross-check against the replay oracle")
+    p.add_argument("-o", "--output", default=None, metavar="PATH",
+                   help="write the result as JSON ('-' for stdout)")
+    _add_metrics_args(p)
+    p.set_defaults(func=cmd_query)
 
     p = sub.add_parser("export", help="flatten a trace file")
     p.add_argument("trace")

@@ -94,6 +94,25 @@ class IntSequence:
     def to_list(self) -> list[int]:
         return list(self)
 
+    def total(self) -> int:
+        """Sum of all values — O(terms), not O(length).  (For a loop
+        vertex's iteration counts this is the total number of body
+        executions; the query engine's cost model leans on it.)"""
+        return sum(
+            count * start + stride * (count * (count - 1) // 2)
+            for start, count, stride in self.terms
+        )
+
+    def value_at(self, pos: int) -> int:
+        """The ``pos``-th value (0-based) — O(terms) random access."""
+        if pos < 0 or pos >= self.length:
+            raise IndexError(f"position {pos} out of range [0, {self.length})")
+        for start, count, stride in self.terms:
+            if pos < count:
+                return start + pos * stride
+            pos -= count
+        raise IndexError(f"position {pos} beyond terms")  # pragma: no cover
+
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, IntSequence):
             return NotImplemented

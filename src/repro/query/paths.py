@@ -1,0 +1,119 @@
+"""Structural addressing of merged-CTT vertices.
+
+Every query result that points at program structure does so through a
+*vertex path* — the chain of control structures from the program root
+down to a vertex, rendered like::
+
+    loop#4/branch#7.0/MPI_Send@9
+
+(`#` is followed by the vertex GID; branch segments also carry the
+taken path index; leaf segments name the MPI op).  Paths are static
+structure: the same for every rank and every merge schedule, cheap to
+compute from the compressed form, and far more useful in a report than
+a raw replayed-event index ("event 48237 differs" vs "the send inside
+the halo-exchange loop differs").
+
+:class:`TreeIndex` is the one-pass O(compressed-size) index the query
+engine builds over a merged CTT: ``gid → vertex``, parent links, child
+positions and depths.  Build it once and pass it to repeated queries to
+amortize the walk.
+"""
+
+from __future__ import annotations
+
+from repro.static.cst import BRANCH, CALL, LOOP
+
+
+class QueryError(ValueError):
+    """A query was asked about structure the merged tree does not have
+    (unknown GID, non-leaf GID for a leaf query, inconsistent payload)."""
+
+
+class TreeIndex:
+    """gid-addressable view of a merged CTT (or a single-rank CTT —
+    anything with ``.root`` whose vertices expose ``gid``/``kind``/
+    ``children``)."""
+
+    __slots__ = ("root", "by_gid", "parent_gid", "child_pos", "depth")
+
+    def __init__(self, merged) -> None:
+        self.root = merged.root
+        self.by_gid: dict[int, object] = {}
+        self.parent_gid: dict[int, int | None] = {}
+        self.child_pos: dict[int, int] = {}
+        self.depth: dict[int, int] = {}
+        stack = [(merged.root, None, 0, 0)]
+        while stack:
+            vertex, parent_gid, pos, depth = stack.pop()
+            self.by_gid[vertex.gid] = vertex
+            self.parent_gid[vertex.gid] = parent_gid
+            self.child_pos[vertex.gid] = pos
+            self.depth[vertex.gid] = depth
+            for i, child in enumerate(reversed(vertex.children)):
+                stack.append(
+                    (child, vertex.gid, len(vertex.children) - 1 - i,
+                     depth + 1)
+                )
+
+    # -- lookups ---------------------------------------------------------
+
+    def vertex(self, gid: int):
+        try:
+            return self.by_gid[gid]
+        except KeyError:
+            raise QueryError(f"no vertex with gid {gid} in this trace") from None
+
+    def call_leaf(self, gid: int):
+        vertex = self.vertex(gid)
+        if vertex.kind != CALL:
+            raise QueryError(
+                f"gid {gid} is a {vertex.kind} vertex, not an MPI call leaf"
+            )
+        return vertex
+
+    def parent(self, gid: int):
+        pg = self.parent_gid[gid]
+        return None if pg is None else self.by_gid[pg]
+
+    def chain(self, gid: int) -> list:
+        """Vertices from ``gid`` up to (and including) the root."""
+        out = [self.vertex(gid)]
+        pg = self.parent_gid[gid]
+        while pg is not None:
+            out.append(self.by_gid[pg])
+            pg = self.parent_gid[pg]
+        return out
+
+    def lca_gid(self, gid_a: int, gid_b: int) -> int:
+        """Lowest common ancestor of two vertices."""
+        a, b = self.vertex(gid_a).gid, self.vertex(gid_b).gid
+        while self.depth[a] > self.depth[b]:
+            a = self.parent_gid[a]
+        while self.depth[b] > self.depth[a]:
+            b = self.parent_gid[b]
+        while a != b:
+            a = self.parent_gid[a]
+            b = self.parent_gid[b]
+        return a
+
+    # -- rendering -------------------------------------------------------
+
+    def path(self, gid: int) -> str:
+        """Vertex path string, root (excluded) to ``gid``."""
+        segments = []
+        for vertex in reversed(self.chain(gid)):
+            kind = vertex.kind
+            if kind == LOOP:
+                segments.append(f"loop#{vertex.gid}")
+            elif kind == BRANCH:
+                segments.append(f"branch#{vertex.gid}.{vertex.branch_path}")
+            elif kind == CALL:
+                segments.append(f"{vertex.op or vertex.name or '?'}@{vertex.gid}")
+            # the virtual root contributes no segment
+        return "/".join(segments) if segments else "<root>"
+
+
+def vertex_path(merged, gid: int) -> str:
+    """One-shot vertex path (builds a throwaway :class:`TreeIndex`;
+    reuse an index for repeated lookups)."""
+    return TreeIndex(merged).path(gid)

@@ -62,6 +62,53 @@ class TestDiff:
         assert result.only_in_a == [2, 3]
         assert not result.identical
 
+    def test_divergence_carries_vertex_paths(self):
+        a = merged_of(BASE, 2, {"n": 3})
+        b = merged_of(BASE.replace("512", "1024"), 2, {"n": 3})
+        d = diff_traces(a, b).diverged[0]
+        # Same program structure: both paths name the send inside the loop.
+        assert d.path_a == d.path_b
+        assert "MPI_Send@" in d.path_a and d.path_a.startswith("loop#")
+        assert d.where() == f"at {d.path_a}"
+        assert d.path_a in diff_traces(a, b).format()
+
+    def test_empty_trees_are_identical(self):
+        a = merged_of("func main() { }", 2)
+        b = merged_of("func main() { }", 2)
+        result = diff_traces(a, b)
+        assert result.identical
+        assert result.diverged == [] and result.only_in_a == []
+
+    def test_empty_vs_nonempty(self):
+        # An event-free tree has no rank groups at all, so every rank of
+        # the non-empty trace shows up as "only in B".
+        a = merged_of("func main() { }", 2)
+        b = merged_of(BASE, 2, {"n": 1})
+        result = diff_traces(a, b)
+        assert not result.identical
+        assert result.only_in_b == [0, 1]
+        assert result.diverged == []
+
+    def test_single_rank_traces(self):
+        src = """
+        func main() {
+          mpi_init();
+          for (var i = 0; i < n; i = i + 1) {
+            mpi_bcast(0, 128);
+          }
+          mpi_finalize();
+        }
+        """
+        a = merged_of(src, 1, {"n": 2})
+        assert diff_traces(a, merged_of(src, 1, {"n": 2})).identical
+        result = diff_traces(a, merged_of(src, 1, {"n": 4}))
+        assert not result.identical
+        [d] = result.diverged
+        assert d.rank == 0
+        assert (d.len_a, d.len_b) == (4, 6)
+        # B's extra events are bcasts inside the loop.
+        assert "MPI_Bcast@" in d.path_b or "MPI_Bcast@" in d.path_a
+
     def test_cli_diff(self, tmp_path, capsys):
         from repro.cli import main
 

@@ -1,0 +1,243 @@
+"""Analysis + query functions on *hand-built* merged trees.
+
+Everything else in this package traces real MiniMPI programs; here the
+merged CTT is constructed payload by payload (CST skeleton → per-rank
+CTT → ``MergedCTT.from_rank`` → absorb → finalize), so every expected
+number is written down literally rather than derived from a second
+implementation.  This pins the aggregation formulas (count × members,
+send+recv bytes, mean × count time) to known inputs."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    communication_matrix,
+    diff_traces,
+    hotspots,
+    message_sizes,
+    neighbor_sets,
+    summarize,
+    top_leaves,
+)
+from repro import query
+from repro.core.ctt import CTT
+from repro.core.inter import MergedCTT
+from repro.core.records import CompressedRecord, make_key
+from repro.mpisim.events import NO_PEER
+from repro.static.cst import CALL, LOOP, ROOT, CSTNode, assign_gids
+
+_NOPEER = ("abs", NO_PEER)
+
+
+def _skeleton() -> CSTNode:
+    """root ─ loop#1(ast 1) ─ mpi_send@2 ; mpi_allreduce@3"""
+    cst = CSTNode(kind=ROOT, children=[
+        CSTNode(kind=LOOP, ast_id=1, children=[
+            CSTNode(kind=CALL, ast_id=2, name="mpi_send"),
+        ]),
+        CSTNode(kind=CALL, ast_id=3, name="mpi_allreduce"),
+    ])
+    assign_gids(cst)
+    return cst
+
+
+def _send_record(delta: int, nbytes: int, iters: int,
+                 duration_us: float) -> CompressedRecord:
+    rec = CompressedRecord(key=make_key(
+        "MPI_Send", ("rel", delta), _NOPEER, 7, 0, nbytes, 0, 0, -1,
+        False, (),
+    ))
+    for i in range(iters):
+        rec.add_occurrence(i, duration_us, 1.0)
+    return rec
+
+
+def _coll_record(nbytes: int, duration_us: float) -> CompressedRecord:
+    rec = CompressedRecord(key=make_key(
+        "MPI_Allreduce", _NOPEER, _NOPEER, 0, 0, nbytes, 0, 0, -1,
+        False, (),
+    ))
+    rec.add_occurrence(0, duration_us, 2.0)
+    return rec
+
+
+def build_merged(nranks: int = 2, iters: int = 3,
+                 nbytes: int = 512) -> MergedCTT:
+    """Each rank sends ``iters`` × ``nbytes`` around the ring, then one
+    allreduce.  Rank r's send takes (r+1)×10 µs per call."""
+    cst = _skeleton()
+    merged = None
+    for rank in range(nranks):
+        ctt = CTT(cst, rank)
+        loop, leaf = ctt.vertex(1), ctt.vertex(2)
+        coll = ctt.vertex(3)
+        loop.loop_counts.append(iters)
+        delta = 1 if rank + 1 < nranks else 1 - nranks  # ring wraparound
+        leaf.records.append(
+            _send_record(delta, nbytes, iters, 10.0 * (rank + 1)))
+        coll.records.append(_coll_record(8, 5.0))
+        part = MergedCTT.from_rank(ctt)
+        merged = part if merged is None else merged.absorb(part)
+    return merged.finalize()
+
+
+NRANKS, ITERS, NBYTES = 3, 4, 256
+
+
+@pytest.fixture(scope="module")
+def merged():
+    return build_merged(NRANKS, ITERS, NBYTES)
+
+
+class TestPatternsOnHandbuilt:
+    def test_matrix_is_exact_ring(self, merged):
+        m = communication_matrix(merged, NRANKS)
+        want = np.zeros((NRANKS, NRANKS), dtype=np.int64)
+        for r in range(NRANKS):
+            want[r, (r + 1) % NRANKS] = ITERS * NBYTES
+        assert (m == want).all()
+
+    def test_message_sizes(self, merged):
+        assert message_sizes(merged) == {NBYTES: NRANKS * ITERS}
+
+    def test_neighbor_sets(self, merged):
+        # Symmetric union: ring rank r talks to both r+1 (sends) and
+        # r-1 (receives from).
+        m = communication_matrix(merged, NRANKS)
+        assert neighbor_sets(m) == {
+            r: sorted({(r + 1) % NRANKS, (r - 1) % NRANKS})
+            for r in range(NRANKS)
+        }
+
+    def test_out_of_range_peer_warns_and_counts(self):
+        from repro import obs
+
+        # No wraparound: the last rank's +1 send exits the rank space.
+        cst = _skeleton()
+        ctt = CTT(cst, 1)
+        ctt.vertex(1).loop_counts.append(2)
+        ctt.vertex(2).records.append(_send_record(+1, 64, 2, 1.0))
+        broken = MergedCTT.from_rank(ctt).finalize()
+        registry = obs.enable()
+        try:
+            with pytest.warns(RuntimeWarning, match="out-of-range"):
+                m = communication_matrix(broken, nprocs=2)
+        finally:
+            obs.disable()
+        assert m.sum() == 0
+        # One record x one rank = one dropped entry (the counter tracks
+        # dropped records, unlike query.out_of_range_peers which tracks
+        # messages).
+        assert registry.counters["patterns.out_of_range_peers"] == 1
+
+
+class TestSummarizeOnHandbuilt:
+    def test_per_op_totals(self, merged):
+        report = summarize(merged)
+        assert report.nranks == NRANKS
+        send = report.ops["MPI_Send"]
+        assert send.calls == NRANKS * ITERS
+        assert send.nbytes == NRANKS * ITERS * NBYTES
+        # Rank r's sends: ITERS calls x 10(r+1) µs.
+        assert send.time_us == pytest.approx(
+            sum(ITERS * 10.0 * (r + 1) for r in range(NRANKS)))
+        coll = report.ops["MPI_Allreduce"]
+        assert coll.calls == NRANKS
+        assert coll.nbytes == NRANKS * 8
+        assert report.total_events == NRANKS * (ITERS + 1)
+        assert report.total_gap_us == pytest.approx(
+            NRANKS * ITERS * 1.0 + NRANKS * 2.0)
+        assert report.p2p_volume() == NRANKS * ITERS * NBYTES
+        assert report.collective_volume() == NRANKS * 8
+
+    def test_format_mentions_every_op(self, merged):
+        text = summarize(merged).format()
+        assert "MPI_Send" in text and "MPI_Allreduce" in text
+
+
+class TestHotspotsOnHandbuilt:
+    def test_leaf_weights_exact(self, merged):
+        leaves = {h.gid: h for h in top_leaves(merged, 10)}
+        send_total = sum(ITERS * 10.0 * (r + 1) for r in range(NRANKS))
+        assert leaves[2].total_us == pytest.approx(send_total)
+        assert leaves[2].calls == NRANKS * ITERS
+        assert leaves[3].total_us == pytest.approx(NRANKS * 5.0)
+        # The send loop dominates the allreduce.
+        assert top_leaves(merged, 1)[0].gid == 2
+
+    def test_tree_rollup(self, merged):
+        root = hotspots(merged)
+        assert root.total_us == pytest.approx(
+            sum(c.total_us for c in root.children))
+        assert root.calls == NRANKS * (ITERS + 1)
+
+
+class TestQueriesOnHandbuilt:
+    def test_traffic_by_op(self, merged):
+        t = query.traffic(merged, group_by="op")
+        assert t["MPI_Send"] == query.Traffic(
+            messages=NRANKS * ITERS, nbytes=NRANKS * ITERS * NBYTES)
+
+    def test_ordering_loop_before_collective(self, merged):
+        r = query.ordering(merged, 2, 3, 0)
+        assert r.relation == "before"
+        assert (r.count_a, r.count_b) == (ITERS, 1)
+
+    def test_rank_profile_exact_time(self, merged):
+        p = query.rank_profile(merged, 2)
+        assert p.ops["MPI_Send"].time_us == pytest.approx(ITERS * 30.0)
+        assert p.events == ITERS + 1
+
+
+class TestDiffOnHandbuilt:
+    def test_iteration_count_diff_names_the_loop_send(self):
+        a = build_merged(2, iters=3)
+        b = build_merged(2, iters=5)
+        d = diff_traces(a, b)
+        assert not d.identical
+        for rd in d.diverged:
+            # After 3 common sends, A is at the allreduce while B is
+            # still in the loop — both sides named structurally.
+            assert rd.first_divergence == 3
+            assert rd.path_a == "MPI_Allreduce@3"
+            assert rd.path_b == "loop#1/MPI_Send@2"
+            assert rd.where() == (
+                "at MPI_Allreduce@3 (A) vs loop#1/MPI_Send@2 (B)")
+        assert "loop#1/MPI_Send@2" in d.format()
+
+    def test_pure_tail_growth_points_at_extra_event(self):
+        # Trailing loop: allreduce first, then the send loop.  Different
+        # iteration counts then share a full common prefix and only the
+        # lengths differ — the report points at B's first extra event.
+        def trailing_loop(iters: int) -> MergedCTT:
+            cst = CSTNode(kind=ROOT, children=[
+                CSTNode(kind=CALL, ast_id=3, name="mpi_allreduce"),
+                CSTNode(kind=LOOP, ast_id=1, children=[
+                    CSTNode(kind=CALL, ast_id=2, name="mpi_send"),
+                ]),
+            ])
+            assign_gids(cst)
+            ctt = CTT(cst, 0)
+            ctt.vertex(1).records.append(_coll_record(8, 5.0))
+            ctt.vertex(2).loop_counts.append(iters)
+            ctt.vertex(3).records.append(_send_record(0, 64, iters, 1.0))
+            return MergedCTT.from_rank(ctt).finalize()
+
+        d = diff_traces(trailing_loop(2), trailing_loop(3))
+        assert not d.identical
+        [rd] = d.diverged
+        assert rd.first_divergence == -1
+        assert (rd.len_a, rd.len_b) == (3, 4)
+        assert rd.path_a == ""
+        assert rd.path_b == "loop#2/MPI_Send@3"
+        assert rd.where() == "at loop#2/MPI_Send@3"
+
+    def test_payload_diff_carries_both_paths(self):
+        a = build_merged(2, nbytes=128)
+        b = build_merged(2, nbytes=4096)
+        d = diff_traces(a, b)
+        assert not d.identical
+        rd = d.diverged[0]
+        assert rd.first_divergence == 0
+        assert rd.path_a == rd.path_b == "loop#1/MPI_Send@2"
+        assert rd.where() == "at loop#1/MPI_Send@2"

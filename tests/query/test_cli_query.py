@@ -1,0 +1,79 @@
+"""`repro query` CLI: every query, JSON output, the --oracle cross-check
+and its failure mode, and required-flag validation."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture(scope="module")
+def trace(tmp_path_factory):
+    path = str(tmp_path_factory.mktemp("query") / "cg.cyp")
+    assert main(["trace", "cg", "-n", "4", "--scale", "0.3",
+                 "-o", path]) == 0
+    return path
+
+
+class TestQueryCLI:
+    def test_traffic_table_and_oracle(self, trace, capsys):
+        assert main(["query", trace, "traffic", "--oracle"]) == 0
+        captured = capsys.readouterr()
+        assert "messages" in captured.out and "MPI_" in captured.out
+        assert "oracle check: engine == replay" in captured.err
+
+    def test_traffic_rank_pair_json(self, trace, tmp_path, capsys):
+        out = str(tmp_path / "traffic.json")
+        assert main(["query", trace, "traffic", "--group-by", "rank_pair",
+                     "-o", out]) == 0
+        data = json.loads(open(out).read())
+        assert data  # non-empty matrix
+        for key, cell in data.items():
+            src, dst = key.split("->")
+            assert src.isdigit() and dst.isdigit()
+            assert cell["messages"] > 0
+
+    def test_ordering(self, trace, capsys):
+        assert main(["query", trace, "ordering", "--gid-a", "5",
+                     "--gid-b", "7", "--rank", "0", "--oracle"]) == 0
+        assert "rank 0" in capsys.readouterr().out
+
+    def test_ordering_requires_flags(self, trace):
+        with pytest.raises(SystemExit, match="--gid-a is required"):
+            main(["query", trace, "ordering"])
+
+    def test_rank_profile(self, trace, capsys):
+        assert main(["query", trace, "rank-profile", "--rank", "1",
+                     "--oracle"]) == 0
+        out = capsys.readouterr().out
+        assert "rank 1" in out and "events" in out
+
+    def test_critical_leaves_json_stdout(self, trace, capsys):
+        assert main(["query", trace, "critical-leaves", "--top", "3",
+                     "-o", "-"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert len(data) == 3
+        assert all("path" in leaf and "total_us" in leaf for leaf in data)
+
+    def test_oracle_mismatch_exits_nonzero(self, trace, tmp_path, capsys,
+                                           monkeypatch):
+        from repro import query as q
+
+        real = q.traffic
+
+        def skewed(merged, group_by="op", nprocs=None):
+            out = real(merged, group_by=group_by, nprocs=nprocs)
+            key = next(iter(out))
+            out[key] = q.Traffic(messages=out[key].messages + 1,
+                                 nbytes=out[key].nbytes)
+            return out
+
+        monkeypatch.setattr(q, "traffic", skewed)
+        assert main(["query", trace, "traffic", "--oracle"]) == 1
+        assert "ORACLE MISMATCH" in capsys.readouterr().err
+
+    def test_metrics_flag_reports_query_spans(self, trace, capsys):
+        assert main(["query", trace, "critical-leaves", "--metrics"]) == 0
+        out = capsys.readouterr().out
+        assert "query.critical_leaves" in out

@@ -1,0 +1,128 @@
+"""Differential property: random programs × compression variants ×
+merge schedules — every query equals its replay oracle.
+
+Two tiers:
+
+* a light always-on property (fastpath compression, tree merge) that
+  rides in tier-1;
+* the full sweep over {reference, fastpath, packed} compression ×
+  {fold, tree, parallel} merge schedules, marked ``slow``.  It runs a
+  small number of examples by default (tier-1 has no marker filter) and
+  CI's query-differential job raises ``QUERY_SWEEP_EXAMPLES`` for a
+  deeper pass.
+"""
+
+import itertools
+import os
+import sys
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+
+sys.path.insert(0, "tests")
+from generators import program  # noqa: E402
+
+from repro import query  # noqa: E402
+from repro.core import packed  # noqa: E402
+from repro.core.decompress import decompress_all  # noqa: E402
+from repro.core.inter import merge_all  # noqa: E402
+from repro.core.intra import (  # noqa: E402
+    CypressConfig,
+    IntraProcessCompressor,
+    compress_streams,
+)
+from repro.driver import run_compiled  # noqa: E402
+from repro.mpisim.pmpi import MultiSink, StreamCaptureSink  # noqa: E402
+from repro.static.cst import CALL  # noqa: E402
+from repro.static.instrument import compile_minimpi  # noqa: E402
+
+NPROCS = 4
+
+SWEEP_EXAMPLES = int(os.environ.get("QUERY_SWEEP_EXAMPLES", "10"))
+
+SETTINGS = dict(
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+
+
+def _captured_streams(source: str):
+    compiled = compile_minimpi(source)
+    capture = StreamCaptureSink()
+    run_compiled(compiled, NPROCS, tracer=MultiSink([capture]))
+    return compiled, capture.streams
+
+
+def _compress(compiled, streams, variant: str) -> IntraProcessCompressor:
+    if variant == "reference":
+        return compress_streams(compiled.cst, streams,
+                                config=CypressConfig(fastpath=False))
+    if variant == "packed":
+        blobs = {rank: packed.encode_stream(stream).to_bytes()
+                 for rank, stream in streams.items()}
+        return compress_streams(compiled.cst, blobs)
+    return compress_streams(compiled.cst, streams)  # fastpath
+
+
+def _merge(compressor, schedule: str):
+    ctts = [compressor.ctt(r) for r in range(NPROCS)]
+    if schedule == "parallel":
+        return merge_all(ctts, schedule="tree", workers=2,
+                         parallel_threshold=2)
+    return merge_all(ctts, schedule=schedule)
+
+
+def _check_all_queries(merged, label: str) -> None:
+    traces = decompress_all(merged)
+    for group_by in ("vertex", "op", "rank_pair"):
+        query.assert_agrees(
+            query.traffic(merged, group_by=group_by),
+            query.traffic_via_replay(merged, group_by=group_by,
+                                     traces=traces),
+            f"{label}/traffic.{group_by}",
+        )
+    for rank in range(NPROCS):
+        query.assert_agrees(
+            query.rank_profile(merged, rank),
+            query.rank_profile_via_replay(merged, rank,
+                                          events=traces.get(rank, [])),
+            f"{label}/rank_profile.{rank}",
+        )
+    query.assert_agrees(
+        sorted(query.critical_leaves(merged, k=10**9), key=lambda c: c.gid),
+        sorted(query.critical_leaves_via_replay(merged, k=10**9,
+                                                traces=traces),
+               key=lambda c: c.gid),
+        f"{label}/critical_leaves",
+    )
+    index = query.TreeIndex(merged)
+    leaves = [v.gid for v in merged.root.preorder() if v.kind == CALL][:6]
+    for rank in range(min(NPROCS, 2)):
+        events = traces.get(rank, [])
+        for gid_a, gid_b in itertools.product(leaves, repeat=2):
+            query.assert_agrees(
+                query.ordering(merged, gid_a, gid_b, rank, index=index),
+                query.ordering_via_replay(merged, gid_a, gid_b, rank,
+                                          events=events),
+                f"{label}/ordering.{gid_a}-{gid_b}.r{rank}",
+            )
+
+
+class TestQueryDifferential:
+    @settings(max_examples=10, **SETTINGS)
+    @given(program(allow_functions=True))
+    def test_fastpath_tree_light(self, source):
+        compiled, streams = _captured_streams(source)
+        merged = _merge(_compress(compiled, streams, "fastpath"), "tree")
+        _check_all_queries(merged, "fastpath/tree")
+
+    @pytest.mark.slow
+    @settings(max_examples=SWEEP_EXAMPLES, **SETTINGS)
+    @given(program(allow_functions=True, allow_subcomms=True))
+    def test_full_variant_matrix(self, source):
+        compiled, streams = _captured_streams(source)
+        for variant in ("reference", "fastpath", "packed"):
+            compressor = _compress(compiled, streams, variant)
+            for schedule in ("fold", "tree", "parallel"):
+                merged = _merge(compressor, schedule)
+                _check_all_queries(merged, f"{variant}/{schedule}")
