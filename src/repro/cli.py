@@ -30,6 +30,27 @@ import sys
 
 from repro.workloads import WORKLOADS
 
+#: Exit code for a corrupted/unreadable trace file (distinct from the
+#: generic failure 1 and argparse's 2) so scripts can tell "the data is
+#: damaged — retry with --salvage" apart from every other failure.
+EXIT_CORRUPT_TRACE = 3
+
+
+def _load_trace(path: str, salvage: bool = False):
+    """Load a trace for replay/query/info; a damaged file exits with
+    :data:`EXIT_CORRUPT_TRACE` and a one-line ``--salvage`` hint."""
+    from repro.core import serialize
+    from repro.core.errors import TraceFormatError
+
+    try:
+        return serialize.load(path, salvage=salvage)
+    except TraceFormatError as exc:
+        print(f"error: corrupted trace {path!r}: {exc}", file=sys.stderr)
+        if not salvage:
+            print("hint: retry with --salvage to recover the longest "
+                  "checksum-valid prefix", file=sys.stderr)
+        raise SystemExit(EXIT_CORRUPT_TRACE)
+
 
 def _add_workload_args(p: argparse.ArgumentParser) -> None:
     p.add_argument("workload", choices=sorted(WORKLOADS))
@@ -191,10 +212,10 @@ def _report_salvage(merged) -> None:
 
 
 def cmd_replay(args: argparse.Namespace) -> int:
-    from repro.core import decompress_merged_rank, serialize
+    from repro.core import decompress_merged_rank
     from repro.core.export import format_peer
 
-    merged = serialize.load(args.trace, salvage=args.salvage)
+    merged = _load_trace(args.trace, salvage=args.salvage)
     _report_salvage(merged)
     events = decompress_merged_rank(merged, args.rank)
     print(f"rank {args.rank}: {len(events)} events")
@@ -260,9 +281,8 @@ def cmd_patterns(args: argparse.Namespace) -> int:
 
 def cmd_info(args: argparse.Namespace) -> int:
     from repro.analysis.report import summarize
-    from repro.core import serialize
 
-    merged = serialize.load(args.trace, salvage=args.salvage)
+    merged = _load_trace(args.trace, salvage=args.salvage)
     _report_salvage(merged)
     print(summarize(merged).format())
     return 0
@@ -370,6 +390,68 @@ def cmd_verify(args: argparse.Namespace) -> int:
     return 1 if bad_ranks else 0
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Run the online ingest daemon (docs/INTERNALS.md §14)."""
+    import asyncio
+    import os
+
+    from repro.server.daemon import CypressTraceServer, ServerConfig
+
+    config = ServerConfig(
+        state_dir=args.state_dir,
+        out_dir=args.out_dir,
+        host=args.host,
+        port=args.port,
+        high_watermark=args.high_watermark,
+        low_watermark=args.low_watermark,
+        session_watermark=args.session_watermark,
+        checkpoint_interval=args.checkpoint_interval,
+        idle_timeout=args.idle_timeout,
+        kill_after_batches=args.kill_after_batches,
+        kill_after_checkpoints=args.kill_after_checkpoints,
+        metrics_json=args.metrics_json,
+    )
+    server = CypressTraceServer(config)
+    recovered = server.recover()
+    if recovered:
+        print(f"recovered {recovered} session(s) from {args.state_dir}")
+
+    def _started(srv: CypressTraceServer) -> None:
+        print(f"LISTENING {srv.port}", flush=True)
+        if args.port_file:
+            tmp = args.port_file + ".tmp"
+            with open(tmp, "w") as fh:
+                fh.write(str(srv.port))
+            os.replace(tmp, args.port_file)
+
+    asyncio.run(server.serve(on_started=_started))
+    print("drained cleanly")
+    return 0
+
+
+def cmd_submit(args: argparse.Namespace) -> int:
+    """Capture a workload locally and stream it to a running daemon."""
+    from repro.server.client import ClientError, submit_workload
+
+    try:
+        summary = submit_workload(
+            args.host, args.port,
+            job=args.job, workload=args.workload, nprocs=args.nprocs,
+            scale=args.scale, batch_events=args.batch_events,
+            window=args.window, max_attempts=args.max_attempts,
+        )
+    except ClientError as exc:
+        print(f"submit failed: {exc}", file=sys.stderr)
+        return 1
+    print(f"{args.job}: {summary['batches']} batches "
+          f"({summary['bytes']} bytes) across {args.nprocs} ranks")
+    if summary["reconnects"]:
+        print(f"  reconnects     : {summary['reconnects']}")
+    if summary["throttles_seen"]:
+        print(f"  throttles seen : {summary['throttles_seen']}")
+    return 0
+
+
 def cmd_faultsmoke(args: argparse.Namespace) -> int:
     """Seeded fault-injection matrix: every degraded mode must recover.
 
@@ -381,6 +463,11 @@ def cmd_faultsmoke(args: argparse.Namespace) -> int:
     """
     import json
     import warnings
+
+    if args.server:
+        from repro.server.faultsmoke import run_server_faultsmoke
+
+        return run_server_faultsmoke(args)
 
     from repro.core import TraceFormatError, run_cypress, serialize
     from repro.core.inter import merge_all
@@ -702,9 +789,9 @@ def cmd_query(args: argparse.Namespace) -> int:
     import json
 
     from repro import query
-    from repro.core import serialize
 
-    merged = serialize.load(args.trace)
+    merged = _load_trace(args.trace, salvage=args.salvage)
+    _report_salvage(merged)
 
     def _require(flag: str, value) -> None:
         if value is None:
@@ -850,10 +937,87 @@ def main(argv: list[str] | None = None) -> int:
                    help="FaultPlan seed (default: 20260807)")
     p.add_argument("--flips", type=int, default=64,
                    help="random single-bit flips to test (default: 64)")
+    p.add_argument("--server", action="store_true",
+                   help="run the online-ingest matrix instead: seeded "
+                        "daemon kills, client disconnects, torn frames, "
+                        "stalled ranks, drain — each asserting the "
+                        "recovered trace is byte-identical to the batch "
+                        "pipeline")
+    p.add_argument("--soak", action="store_true",
+                   help="with --server: endurance mode (concurrent client "
+                        "waves, seeded kills/drops) for the CI soak job")
+    p.add_argument("--duration", type=float, default=60.0,
+                   help="soak duration in seconds (default: 60)")
+    p.add_argument("--clients", type=int, default=8,
+                   help="concurrent soak clients per wave (default: 8)")
     p.add_argument("-o", "--out", default=None, metavar="PATH",
                    help="write the JSON report (incl. the QuarantineReport) "
                         "to PATH")
     p.set_defaults(func=cmd_faultsmoke)
+
+    p = sub.add_parser(
+        "serve",
+        help="run the online ingest daemon (many clients, one live "
+             "compressor per job, crash-safe checkpoints)",
+    )
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=0,
+                   help="TCP port (0 = pick an ephemeral port; the bound "
+                        "port is printed as 'LISTENING <port>')")
+    p.add_argument("--state-dir", default="server-state",
+                   help="checkpoint directory (batch logs + session meta); "
+                        "recovery scans it on startup (default: "
+                        "server-state)")
+    p.add_argument("--out-dir", default="server-out",
+                   help="where finalized merged traces land as <job>.cyp "
+                        "(default: server-out)")
+    p.add_argument("--high-watermark", type=int, default=8 << 20,
+                   help="global buffered-bytes level that throttles "
+                        "clients (default: 8 MiB)")
+    p.add_argument("--low-watermark", type=int, default=2 << 20,
+                   help="buffered-bytes level that resumes reading "
+                        "(default: 2 MiB)")
+    p.add_argument("--session-watermark", type=int, default=2 << 20,
+                   help="per-session buffered-bytes level that forces an "
+                        "inline spill (default: 2 MiB)")
+    p.add_argument("--checkpoint-interval", type=float, default=0.25,
+                   help="seconds between incremental checkpoints of dirty "
+                        "sessions (default: 0.25)")
+    p.add_argument("--idle-timeout", type=float, default=30.0,
+                   help="seconds of rank silence before quarantine "
+                        "(default: 30)")
+    p.add_argument("--port-file", default=None, metavar="PATH",
+                   help="atomically write the bound port to PATH (test "
+                        "harness hand-off)")
+    p.add_argument("--metrics-json", default=None, metavar="PATH",
+                   help="write the server.* metrics snapshot to PATH at "
+                        "drain")
+    p.add_argument("--kill-after-batches", type=int, default=None,
+                   help="fault injection: hard-exit after the Nth ingested "
+                        "batch (faultsmoke --server)")
+    p.add_argument("--kill-after-checkpoints", type=int, default=None,
+                   help="fault injection: hard-exit after the Nth "
+                        "checkpoint (faultsmoke --server)")
+    p.set_defaults(func=cmd_serve)
+
+    p = sub.add_parser(
+        "submit",
+        help="capture a workload and stream it to a running ingest daemon "
+             "(retry/reconnect/resume, exactly-once)",
+    )
+    _add_workload_args(p)
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, required=True)
+    p.add_argument("--job", required=True,
+                   help="job id (also the output trace name, <job>.cyp)")
+    p.add_argument("--batch-events", type=int, default=512,
+                   help="callback tuples per batch frame (default: 512)")
+    p.add_argument("--window", type=int, default=32,
+                   help="max unacked batches in flight (default: 32)")
+    p.add_argument("--max-attempts", type=int, default=30,
+                   help="connection attempts before giving up "
+                        "(default: 30)")
+    p.set_defaults(func=cmd_submit)
 
     p = sub.add_parser(
         "check",
@@ -917,6 +1081,9 @@ def main(argv: list[str] | None = None) -> int:
                         "(default: inferred from the trace)")
     p.add_argument("--oracle", action="store_true",
                    help="cross-check against the replay oracle")
+    p.add_argument("--salvage", action="store_true",
+                   help="recover the longest checksum-valid prefix of a "
+                        "damaged trace instead of failing")
     p.add_argument("-o", "--output", default=None, metavar="PATH",
                    help="write the result as JSON ('-' for stdout)")
     _add_metrics_args(p)

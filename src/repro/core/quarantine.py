@@ -50,6 +50,18 @@ class QuarantinedRank:
             "raw_captured": self.raw_stream is not None,
         }
 
+    @classmethod
+    def from_dict(cls, data: dict) -> "QuarantinedRank":
+        """Inverse of :meth:`to_dict`.  The raw stream is an in-memory
+        artifact and never serialized, so the round-tripped rank has
+        ``raw_stream=None`` (``raw_captured`` records that it existed)."""
+        return cls(
+            rank=int(data["rank"]),
+            stage=str(data["stage"]),
+            error=str(data["error"]),
+            events=int(data["events"]),
+        )
+
 
 class QuarantineReport:
     """Every rank a run quarantined, in rank order."""
@@ -94,6 +106,14 @@ class QuarantineReport:
 
     def to_json(self, indent: int | None = 2) -> str:
         return json.dumps(self.to_dict(), indent=indent, sort_keys=True) + "\n"
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "QuarantineReport":
+        return cls([QuarantinedRank.from_dict(d) for d in data["items"]])
+
+    @classmethod
+    def from_json(cls, text: str) -> "QuarantineReport":
+        return cls.from_dict(json.loads(text))
 
     def summary(self) -> str:
         if not self.items:

@@ -569,6 +569,8 @@ def loads(data: bytes, salvage: bool = False) -> MergedCTT:
 def _loads(data: bytes, salvage: bool) -> MergedCTT:
     if data[:2] == b"\x1f\x8b":
         data = _gunzip(data, salvage)
+    if salvage and _torn_in_container_header(data):
+        return _empty_salvage(len(data))
     if data[:4] != _MAGIC:
         raise TraceFormatError("not a CYPRESS trace file")
     r = ByteReader(data)
@@ -665,6 +667,49 @@ def _assemble_v5(
             "vertices_with_payload": covered,
             "error": error,
         }
+    return merged
+
+
+def _torn_in_container_header(data: bytes) -> bool:
+    """Whether ``data`` is a trace torn at or before the end of the
+    5-byte container header (magic + version) — zero sections ever made
+    it to disk.  Anything longer reached the framed-section region and
+    takes the normal per-section salvage path (where a torn *header
+    section* stays fatal); anything that is not a prefix of a real
+    trace was never a trace and stays fatal too."""
+    if len(data) < 4:
+        return data == _MAGIC[: len(data)]
+    if data[:4] != _MAGIC:
+        return False
+    if len(data) == 4:
+        return True
+    return len(data) == 5 and data[4] in (_V5, _VERSION)
+
+
+def _empty_salvage(nbytes: int) -> MergedCTT:
+    """The clean "nothing survived" salvage result: an empty tree whose
+    ``salvage_info`` records that the file tore inside the container
+    header, so callers can report recovery stats without special-casing
+    the degenerate truncations (0-byte files, torn first write)."""
+    root = MergedVertex.__new__(MergedVertex)
+    root.gid = 0
+    root.kind = ROOT
+    root.ast_id = None
+    root.name = None
+    root.op = None
+    root.branch_path = None
+    root.children = []
+    root.groups = {}
+    root._by_rank = None
+    merged = MergedCTT(root, 0, InternTable())
+    merged.salvage_info = {
+        "complete": False,
+        "sections_recovered": 0,
+        "vertices_total": 0,
+        "vertices_with_payload": 0,
+        "error": f"truncated inside the container header "
+                 f"({nbytes} byte(s)): nothing recoverable",
+    }
     return merged
 
 

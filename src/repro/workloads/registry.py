@@ -4,6 +4,7 @@ from __future__ import annotations
 
 from .amr import WORKLOAD as AMR
 from .base import Workload
+from .fig11 import WORKLOAD as FIG11
 from .leslie3d import WORKLOAD as LESLIE3D
 from .npb_bt import WORKLOAD as BT
 from .npb_cg import WORKLOAD as CG
@@ -17,7 +18,8 @@ from .npb_sp import WORKLOAD as SP
 from .taskfarm import WORKLOAD as FARM
 
 WORKLOADS: dict[str, Workload] = {
-    w.name: w for w in (BT, CG, DT, EP, FT, IS, LU, MG, SP, LESLIE3D, FARM, AMR)
+    w.name: w
+    for w in (BT, CG, DT, EP, FT, IS, LU, MG, SP, LESLIE3D, FARM, AMR, FIG11)
 }
 
 NPB_NAMES = ("bt", "cg", "dt", "ep", "ft", "lu", "mg", "sp")

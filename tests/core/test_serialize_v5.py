@@ -213,3 +213,33 @@ class TestAtomicSave:
             serialize.load(str(path))
         got = serialize.load(str(path), salvage=True)
         assert got.salvage_info["complete"] is False
+
+
+class TestHeaderTruncationSalvage:
+    """Satellite: files torn at or before the end of the 5-byte
+    container header (magic + version) hold zero section bytes, so
+    ``loads(salvage=True)`` returns a clean *empty* salvage result with
+    ``salvage_info`` instead of raising — while strict mode, torn
+    header *sections* (blob[:6], pinned above), and never-a-trace
+    garbage all still fail loudly."""
+
+    @pytest.mark.parametrize("n", [0, 1, 4, 5])
+    def test_boundary_truncations_salvage_to_empty(self, blob, n):
+        got = serialize.loads(blob[:n], salvage=True)
+        info = got.salvage_info
+        assert info["complete"] is False
+        assert info["sections_recovered"] == 0
+        assert info["vertices_with_payload"] == 0
+        assert info["error"]
+        assert got.nranks_merged == 0
+
+    @pytest.mark.parametrize("n", [0, 1, 4, 5])
+    def test_boundary_truncations_strict_still_raise(self, blob, n):
+        with pytest.raises(TraceFormatError):
+            serialize.loads(blob[:n])
+
+    def test_garbage_stays_fatal_even_in_salvage(self):
+        with pytest.raises(TraceFormatError):
+            serialize.loads(b"???", salvage=True)
+        with pytest.raises(TraceFormatError):
+            serialize.loads(b"NOPE" + bytes(16), salvage=True)

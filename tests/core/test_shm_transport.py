@@ -8,6 +8,9 @@ byte-identical merged trace; failures must degrade *loudly* — a
 
 import dataclasses
 import multiprocessing
+import os
+import signal
+import time
 import warnings
 
 import pytest
@@ -20,7 +23,12 @@ from repro.core.intra import (
     _resolve_transport,
     compress_streams,
 )
-from repro.core.respool import fork_available, run_tasks
+from repro.core.respool import (
+    ShmPool,
+    ShmPoolError,
+    fork_available,
+    run_tasks,
+)
 from repro.driver import run_compiled
 from repro.faults import FaultPlan, WorkerFault
 from repro.mpisim.pmpi import OP_EVENT, StreamCaptureSink
@@ -57,6 +65,11 @@ def registry():
 
 def _blob(comp):
     return serialize.dumps(merge_all([comp.ctt(r) for r in comp.ranks()]))
+
+
+def _die_mid_job(items):
+    next(items)  # consume one item, then die mid-job (SIGKILL: no
+    os.kill(os.getpid(), signal.SIGKILL)  # cleanup, no error frame)
 
 
 class TestByteIdentity:
@@ -124,6 +137,23 @@ class TestLoudFallback:
         # The pickle fallback (with its own retry ladder) still delivers
         # the exact serial result.
         assert _blob(comp) == serial
+
+    def test_shm_worker_sigkill_mid_job_raises_promptly(self):
+        # Regression: a worker SIGKILLed mid-job while the parent sits
+        # in ``run()`` leaves the ring counters frozen — the parent must
+        # see the result pipe's EOF and raise ShmPoolError within
+        # seconds, never wedge waiting on a ring a dead process owns.
+        if not fork_available():
+            pytest.skip("fork start method unavailable")
+        pool = ShmPool(_die_mid_job, stage="intra", workers=1)
+        try:
+            jobs = [[(0, b"x" * 100), (1, b"y" * 100)]]
+            t0 = time.monotonic()
+            with pytest.raises(ShmPoolError, match="died"):
+                pool.run(jobs, timeout=30.0)
+            assert time.monotonic() - t0 < 20.0
+        finally:
+            pool.close()
 
     def test_auto_routes_intra_fault_plans_to_pickle(self):
         plan = FaultPlan(

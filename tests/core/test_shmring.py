@@ -14,7 +14,10 @@ pool protocol leans on:
   deadlines raise ``RingTimeout`` instead of hanging.
 """
 
+import os
+import signal
 import threading
+import time
 
 import pytest
 
@@ -136,3 +139,61 @@ class TestCloseAndTimeout:
     def test_zero_capacity_rejected(self):
         with pytest.raises(ValueError):
             ShmRing(0)
+
+
+class TestPeerDeath:
+    """Regression: one side of the ring SIGKILLed mid-frame while the
+    other blocks in ``read_exact``/``write``.  A dead peer leaves the
+    shared counters frozen — no EOF, no closed flag — so the only way
+    out is the deadline: the blocked side must raise ``RingTimeout``
+    within its timeout, never hang.  This is why every mid-frame ring
+    operation in :mod:`repro.core.respool` carries a timeout."""
+
+    def _fork_ctx(self):
+        import multiprocessing
+
+        if "fork" not in multiprocessing.get_all_start_methods():
+            pytest.skip("fork start method unavailable")
+        return multiprocessing.get_context("fork")
+
+    def test_writer_killed_mid_frame_read_fails_within_timeout(self):
+        ctx = self._fork_ctx()
+        ring = ShmRing(256)
+
+        def _writer():
+            ring.write(b"\xab" * 10)  # 10 of a 64-byte frame, then die
+            os.kill(os.getpid(), signal.SIGKILL)
+
+        try:
+            proc = ctx.Process(target=_writer)
+            proc.start()
+            t0 = time.monotonic()
+            with pytest.raises(RingTimeout):
+                ring.read_exact(64, timeout=1.0)
+            assert time.monotonic() - t0 < 10.0
+            proc.join(timeout=10.0)
+        finally:
+            ring.close()
+            ring.unlink()
+
+    def test_reader_killed_mid_drain_write_fails_within_timeout(self):
+        ctx = self._fork_ctx()
+        ring = ShmRing(64)
+
+        def _reader():
+            ring.read_exact(16)  # start draining, then die
+            os.kill(os.getpid(), signal.SIGKILL)
+
+        try:
+            proc = ctx.Process(target=_reader)
+            proc.start()
+            t0 = time.monotonic()
+            with pytest.raises(RingTimeout):
+                # 4x the capacity: must block on the dead reader after
+                # at most capacity + 16 bytes land.
+                ring.write(b"\x01" * 256, timeout=1.0)
+            assert time.monotonic() - t0 < 10.0
+            proc.join(timeout=10.0)
+        finally:
+            ring.close()
+            ring.unlink()

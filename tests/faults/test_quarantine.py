@@ -135,6 +135,30 @@ class TestQuarantineReport:
         assert [i["rank"] for i in data["items"]] == [1, 2]
         assert all(i["raw_captured"] for i in data["items"])
 
+    def test_from_json_full_roundtrip(self):
+        # Satellite: the report must survive a to_json -> from_json trip
+        # intact (the server persists quarantine state this way across
+        # daemon restarts).  The raw stream is in-memory only, so the
+        # round-tripped items carry raw_stream=None by contract.
+        report = _corrupted_run(victims=(1, 3)).quarantine
+        again = QuarantineReport.from_json(report.to_json())
+        assert again.ranks() == report.ranks() == [1, 3]
+        assert bool(again) and len(again) == 2
+        for orig, back in zip(report, again):
+            assert back.rank == orig.rank
+            assert back.stage == orig.stage
+            assert back.error == orig.error
+            assert back.events == orig.events
+            assert back.raw_stream is None
+        # A second trip is byte-stable except the raw_captured flag,
+        # which records the (now dropped) in-memory stream.
+        twice = QuarantineReport.from_json(again.to_json())
+        assert twice.to_json() == again.to_json()
+
+    def test_from_json_empty_report(self):
+        again = QuarantineReport.from_json(QuarantineReport().to_json())
+        assert not again and again.ranks() == []
+
     def test_summary(self):
         assert QuarantineReport().summary() == "no ranks quarantined"
         report = QuarantineReport([

@@ -85,13 +85,55 @@ class TestFaultFlags:
         data = open(trace, "rb").read()
         with open(trace, "wb") as fh:
             fh.write(data[:-6])
-        from repro.core import TraceFormatError
+        from repro.cli import EXIT_CORRUPT_TRACE
 
-        with pytest.raises(TraceFormatError):
+        with pytest.raises(SystemExit) as excinfo:
             main(["replay", trace, "-r", "0"])
+        assert excinfo.value.code == EXIT_CORRUPT_TRACE
+        err = capsys.readouterr().err
+        assert "--salvage" in err
         assert main(["replay", trace, "-r", "0", "--salvage"]) == 0
         err = capsys.readouterr().err
         assert "salvaged" in err
+
+    def test_corrupt_trace_exit_codes_replay_and_query(
+        self, tmp_path, capsys
+    ):
+        # Satellite: a corrupted trace without --salvage exits with the
+        # *distinct* code 3 (not the generic 1, not argparse's 2) and a
+        # one-line hint naming --salvage, for both replay and query.
+        from repro.cli import EXIT_CORRUPT_TRACE
+
+        trace = str(tmp_path / "t.cyp")
+        assert main(
+            ["trace", "ep", "-n", "4", "--scale", "0.5", "-o", trace]
+        ) == 0
+        capsys.readouterr()
+        data = open(trace, "rb").read()
+        bad = bytearray(data)
+        bad[len(bad) // 2] ^= 0xFF  # mid-file bit damage
+        with open(trace, "wb") as fh:
+            fh.write(bytes(bad))
+        for argv in (
+            ["replay", trace, "-r", "0"],
+            ["query", trace, "traffic"],
+        ):
+            with pytest.raises(SystemExit) as excinfo:
+                main(argv)
+            assert excinfo.value.code == EXIT_CORRUPT_TRACE
+            err = capsys.readouterr().err
+            assert "hint" in err and "--salvage" in err
+
+    def test_query_salvage_flag_recovers(self, tmp_path, capsys):
+        trace = str(tmp_path / "t.cyp")
+        assert main(
+            ["trace", "ep", "-n", "4", "--scale", "0.5", "-o", trace]
+        ) == 0
+        capsys.readouterr()
+        data = open(trace, "rb").read()
+        with open(trace, "wb") as fh:
+            fh.write(data[:-6])
+        assert main(["query", trace, "traffic", "--salvage"]) == 0
 
     def test_info_salvage_flag(self, tmp_path, capsys):
         trace = str(tmp_path / "t.cyp")

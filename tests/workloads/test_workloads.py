@@ -19,6 +19,7 @@ from repro.workloads import WORKLOADS, get, grid_2d, grid_3d  # noqa: E402
 SMALL_PROCS = {
     "bt": 9, "cg": 8, "dt": 9, "ep": 8, "ft": 8, "is": 8,
     "lu": 8, "mg": 8, "sp": 9, "leslie3d": 8, "farm": 7, "amr": 16,
+    "fig11": 8,
 }
 
 
