@@ -52,6 +52,20 @@ def _load_trace(path: str, salvage: bool = False):
         raise SystemExit(EXIT_CORRUPT_TRACE)
 
 
+def _parse_bytes(value: str) -> int:
+    """``'64M'`` / ``'512K'`` / ``'2G'`` / plain integer -> bytes
+    (binary units)."""
+    s = value.strip().upper()
+    mult = 1
+    if s and s[-1] in "KMG":
+        mult = {"K": 1 << 10, "M": 1 << 20, "G": 1 << 30}[s[-1]]
+        s = s[:-1]
+    try:
+        return int(s) * mult
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"invalid byte size {value!r}")
+
+
 def _add_workload_args(p: argparse.ArgumentParser) -> None:
     p.add_argument("workload", choices=sorted(WORKLOADS))
     p.add_argument("-n", "--nprocs", type=int, required=True)
@@ -160,9 +174,20 @@ def cmd_trace(args: argparse.Namespace) -> int:
 
     w = WORKLOADS[args.workload]
     w.check_procs(args.nprocs)
+    config = None
+    compress_workers = _compress_workers(args)
+    if args.memory_budget is not None:
+        from repro.core.intra import CypressConfig
+
+        config = CypressConfig(memory_budget_bytes=args.memory_budget)
+        if compress_workers is None:
+            # The incremental fold runs on the deferred (captured-stream)
+            # path; budget mode is serial anyway, so one worker.
+            compress_workers = 1
     run = run_cypress(
         w.source, args.nprocs, defines=w.defines(args.nprocs, args.scale),
-        compress_workers=_compress_workers(args),
+        config=config,
+        compress_workers=compress_workers,
         strict=args.strict, retries=args.retry,
         task_timeout=args.task_timeout,
         transport=getattr(args, "transport", "auto"),
@@ -230,10 +255,11 @@ def cmd_replay(args: argparse.Namespace) -> int:
 
 
 def cmd_predict(args: argparse.Namespace) -> int:
-    from repro.core import decompress_all, serialize
+    from repro.core import decompress_all
     from repro.replay import fit_loggp, predict
 
-    merged = serialize.load(args.trace)
+    merged = _load_trace(args.trace, salvage=args.salvage)
+    _report_salvage(merged)
     traces = decompress_all(merged)
     params = fit_loggp()
     result = predict(traces, params)
@@ -289,9 +315,10 @@ def cmd_info(args: argparse.Namespace) -> int:
 
 
 def cmd_export(args: argparse.Namespace) -> int:
-    from repro.core import export, serialize
+    from repro.core import export
 
-    merged = serialize.load(args.trace)
+    merged = _load_trace(args.trace, salvage=args.salvage)
+    _report_salvage(merged)
     ranks = [int(r) for r in args.ranks.split(",")] if args.ranks else None
     if args.format == "csv":
         text = export.to_csv(merged, ranks)
@@ -308,9 +335,9 @@ def cmd_export(args: argparse.Namespace) -> int:
 
 def cmd_hotspots(args: argparse.Namespace) -> int:
     from repro.analysis.hotspots import hotspots, top_leaves
-    from repro.core import serialize
 
-    merged = serialize.load(args.trace)
+    merged = _load_trace(args.trace, salvage=args.salvage)
+    _report_salvage(merged)
     tree = hotspots(merged)
     print(tree.format())
     print("\ntop call sites:")
@@ -410,6 +437,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
         kill_after_batches=args.kill_after_batches,
         kill_after_checkpoints=args.kill_after_checkpoints,
         metrics_json=args.metrics_json,
+        memory_budget=args.memory_budget,
     )
     server = CypressTraceServer(config)
     recovered = server.recover()
@@ -642,6 +670,7 @@ def cmd_check(args: argparse.Namespace) -> int:
     import json
 
     from repro import obs
+    from repro.core.errors import TraceFormatError
     from repro.core.inter import merge_all
     from repro.core.intra import compress_streams
     from repro.driver import run_compiled
@@ -719,10 +748,18 @@ def cmd_check(args: argparse.Namespace) -> int:
             failed = True
 
         if args.differential:
-            diff = differential_check(
-                w.source, nprocs, w.defines(nprocs, args.scale),
-                workload=name, schedules=schedules,
-            )
+            try:
+                diff = differential_check(
+                    w.source, nprocs, w.defines(nprocs, args.scale),
+                    workload=name, schedules=schedules,
+                )
+            except TraceFormatError as exc:
+                # Same contract as replay/query: a corrupt container is
+                # exit code 3, not a generic failure.
+                print(f"error: corrupted trace container during "
+                      f"differential check of {name!r}: {exc}",
+                      file=sys.stderr)
+                return EXIT_CORRUPT_TRACE
             entry["differential"] = diff.to_dict()
             if diff.ok:
                 print(f"       differential: ok ({diff.events} events, "
@@ -735,10 +772,15 @@ def cmd_check(args: argparse.Namespace) -> int:
                     print(f"         {d.format()}", file=sys.stderr)
 
         if args.fault_matrix:
-            matrix = run_fault_matrix(
-                w.source, nprocs, w.defines(nprocs, args.scale),
-                workload=name, seed=args.seed,
-            )
+            try:
+                matrix = run_fault_matrix(
+                    w.source, nprocs, w.defines(nprocs, args.scale),
+                    workload=name, seed=args.seed,
+                )
+            except TraceFormatError as exc:
+                print(f"error: corrupted trace container during fault "
+                      f"matrix of {name!r}: {exc}", file=sys.stderr)
+                return EXIT_CORRUPT_TRACE
             entry["fault_matrix"] = matrix.to_dict()
             missed = [
                 e for e in matrix.entries if not e.detected and not e.skipped
@@ -775,9 +817,11 @@ def cmd_check(args: argparse.Namespace) -> int:
 
 def cmd_diff(args: argparse.Namespace) -> int:
     from repro.analysis.diff import diff_traces
-    from repro.core import serialize
 
-    result = diff_traces(serialize.load(args.a), serialize.load(args.b))
+    result = diff_traces(
+        _load_trace(args.a, salvage=args.salvage),
+        _load_trace(args.b, salvage=args.salvage),
+    )
     print(result.format())
     return 0 if result.identical else 1
 
@@ -870,6 +914,13 @@ def main(argv: list[str] | None = None) -> int:
     _add_fault_args(p)
     p.add_argument("-o", "--output", default="trace.cyp")
     p.add_argument("--gzip", action="store_true")
+    p.add_argument("--memory-budget", type=_parse_bytes, default=None,
+                   metavar="BYTES",
+                   help="bounded-memory streaming compression: keep the "
+                        "live compressor under this many bytes by folding "
+                        "finished ranks into the merge and spilling cold "
+                        "ranks to disk (suffixes K/M/G); the output is "
+                        "byte-identical to the unbudgeted pipeline")
     p.add_argument("--selfcheck", action="store_true",
                    help="run the structural invariant checker on the "
                         "CST and merged trace before reporting success")
@@ -891,6 +942,9 @@ def main(argv: list[str] | None = None) -> int:
 
     p = sub.add_parser("predict", help="SIM-MPI prediction from a trace")
     p.add_argument("trace")
+    p.add_argument("--salvage", action="store_true",
+                   help="recover the longest checksum-valid prefix of a "
+                        "damaged trace instead of failing")
     p.set_defaults(func=cmd_predict)
 
     p = sub.add_parser("cst", help="print a MiniMPI program's CST")
@@ -911,6 +965,9 @@ def main(argv: list[str] | None = None) -> int:
     p = sub.add_parser("hotspots", help="communication-time hotspots by structure")
     p.add_argument("trace")
     p.add_argument("--top", type=int, default=10)
+    p.add_argument("--salvage", action="store_true",
+                   help="recover the longest checksum-valid prefix of a "
+                        "damaged trace instead of failing")
     p.set_defaults(func=cmd_hotspots)
 
     p = sub.add_parser("verify", help="end-to-end sequence-preservation check")
@@ -998,6 +1055,13 @@ def main(argv: list[str] | None = None) -> int:
     p.add_argument("--kill-after-checkpoints", type=int, default=None,
                    help="fault injection: hard-exit after the Nth "
                         "checkpoint (faultsmoke --server)")
+    p.add_argument("--memory-budget", type=_parse_bytes, default=None,
+                   metavar="BYTES",
+                   help="per-job compressor memory budget (suffixes "
+                        "K/M/G): finalized ranks fold into the merge "
+                        "incrementally, cold ranks spill under "
+                        "<state-dir>/spill/, and the ingest watermark "
+                        "shrinks under unevictable pressure")
     p.set_defaults(func=cmd_serve)
 
     p = sub.add_parser(
@@ -1053,6 +1117,9 @@ def main(argv: list[str] | None = None) -> int:
     p = sub.add_parser("diff", help="compare two trace files")
     p.add_argument("a")
     p.add_argument("b")
+    p.add_argument("--salvage", action="store_true",
+                   help="recover the longest checksum-valid prefix of "
+                        "damaged traces instead of failing")
     p.set_defaults(func=cmd_diff)
 
     p = sub.add_parser(
@@ -1094,6 +1161,9 @@ def main(argv: list[str] | None = None) -> int:
     p.add_argument("-f", "--format", choices=("text", "csv"), default="text")
     p.add_argument("-o", "--output", default="-")
     p.add_argument("--ranks", default="", help="comma-separated rank filter")
+    p.add_argument("--salvage", action="store_true",
+                   help="recover the longest checksum-valid prefix of a "
+                        "damaged trace instead of failing")
     p.set_defaults(func=cmd_export)
 
     args = parser.parse_args(argv)

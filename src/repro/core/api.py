@@ -88,6 +88,7 @@ class CypressRun:
             fault_plan=fault_plan,
             transport=transport,
             session=session,
+            nranks=self.nprocs,
         )
         self._merged = None
         return self.compressor
@@ -103,7 +104,14 @@ class CypressRun:
         """Inter-process merge (cached).  ``workers`` > 1 (or ``"auto"``)
         runs the reduction tree on a process pool for large rank counts.
         Quarantined ranks are left out — the merge covers the healthy
-        survivors (their bytes are unaffected by the victims)."""
+        survivors (their bytes are unaffected by the victims).
+
+        Under a memory budget the compressor has already folded completed
+        ranks into a partial merge; finishing that merge is the only
+        valid path (folded ranks no longer have a per-rank CTT), and its
+        bytes are identical to the unbudgeted ``merge_all``."""
+        if self._merged is None and self.compressor.has_partial_merge():
+            self._merged = self.compressor.merged(nranks=self.nprocs)
         if self._merged is None:
             bad = self.quarantine.rank_set()
             ctts = [
@@ -270,6 +278,7 @@ def run_cypress(
                 fault_plan=fault_plan,
                 transport=transport,
                 session=session,
+                nranks=nprocs,
             )
         if measure_overhead:
             intra_seconds = time.perf_counter() - t0

@@ -48,6 +48,22 @@ from repro.static.cst import BRANCH, CALL, LOOP, ROOT, CSTNode
 from .records import CompressedRecord
 from .sequences import IntSequence
 
+# ---------------------------------------------------------------------------
+# CPython live-memory cost model (64-bit).  Deliberately coarse: the
+# budget trigger needs to track the real footprint to within a small
+# factor, not byte-perfectly — but it must *see* the transient state
+# (interned dicts, raw byte caches, run plans) that the serialized-size
+# estimate ignores, because under budget pressure that state dominates.
+_PTR = 8
+_VERTEX_BASE = 360       # CTTVertex slots + dispatch-table headers
+_SEQ_BASE = 120          # IntSequence object + terms list header
+_SEQ_LIVE_FACTOR = 3     # boxed terms vs packed varint estimate
+_DICT_ENTRY = 104        # amortized dict slot (hash + key + value + growth)
+_LIST_BASE = 64
+_BYTES_BASE = 33
+_TUPLE_BASE = 56
+_RUN_PLAN_BYTES = 256    # one validated loop-body replay plan (MRU slot)
+
 
 @dataclass
 class BranchGroup:
@@ -240,8 +256,10 @@ class CTTVertex:
 
     # ------------------------------------------------------------------
 
-    def approx_bytes(self) -> int:
-        """Serialized size estimate of this vertex's payload + topology."""
+    def serialized_bytes(self) -> int:
+        """Serialized size estimate of this vertex's payload + topology
+        (what the on-disk container would take — NOT the live footprint;
+        see :meth:`live_bytes` for that)."""
         total = 6  # gid + kind + child count
         if self.loop_counts is not None:
             total += self.loop_counts.approx_bytes()
@@ -249,6 +267,37 @@ class CTTVertex:
             total += self.visits.approx_bytes()
         if self.records is not None:
             total += 2 + sum(r.approx_bytes() for r in self.records)
+        return total
+
+    #: Backwards-compatible alias — the historical name for the
+    #: *serialized* estimate (analysis/baselines size accounting).
+    approx_bytes = serialized_bytes
+
+    def live_bytes(self) -> int:
+        """Estimated *live* in-RAM footprint of this vertex: the payload
+        as boxed CPython objects plus the transient compression state the
+        serialized estimate ignores — the key/record interning dicts, the
+        packed-ingest raw byte cache, and the run-plan MRU.  This is the
+        budget mode's eviction trigger."""
+        total = _VERTEX_BASE
+        if self.loop_counts is not None:
+            total += _SEQ_BASE + _SEQ_LIVE_FACTOR * self.loop_counts.approx_bytes()
+        if self.visits is not None:
+            total += _SEQ_BASE + _SEQ_LIVE_FACTOR * self.visits.approx_bytes()
+        if self.records is not None:
+            total += _LIST_BASE + _PTR * len(self.records)
+            for r in self.records:
+                total += r.live_bytes()
+        if self.record_index:
+            # Interned key -> record map: one slot per distinct key (the
+            # key tuples themselves are shared with the records).
+            total += _LIST_BASE + _DICT_ENTRY * len(self.record_index)
+        if self.last_params is not None:
+            total += _TUPLE_BASE + _PTR * len(self.last_params)
+        if self.last_params_raw is not None:
+            total += _BYTES_BASE + len(self.last_params_raw)
+        if self.run_plans:
+            total += _LIST_BASE + _RUN_PLAN_BYTES * len(self.run_plans)
         return total
 
 
@@ -285,5 +334,14 @@ class CTT:
             len(v.records) for v in self.vertices() if v.records is not None
         )
 
-    def approx_bytes(self) -> int:
-        return sum(v.approx_bytes() for v in self.vertices())
+    def serialized_bytes(self) -> int:
+        """Serialized-size estimate of the whole tree (container bytes)."""
+        return sum(v.serialized_bytes() for v in self.vertices())
+
+    #: Historical name for the serialized estimate.
+    approx_bytes = serialized_bytes
+
+    def live_bytes(self) -> int:
+        """Estimated live in-RAM footprint of the whole tree, transient
+        compression state included (the budget mode's trigger)."""
+        return sum(v.live_bytes() for v in self.vertices())

@@ -484,6 +484,23 @@ class MergedCTT:
                 group.finalize()
         return self
 
+    def fold_rank(self, ctt: CTT, nranks: int | None = None) -> "MergedCTT":
+        """Incrementally fold one completed rank into this partial tree
+        (the budget mode's streaming merge, docs/INTERNALS.md §15).
+
+        Byte-identity invariant: folding ranks one at a time **in
+        ascending rank order**, finalizing after each fold, performs the
+        exact float-op sequence of :func:`merge_all` — each fold's eager
+        stats merge (:meth:`Group._absorb_records_eager`) replays the
+        copy-then-merge-ascending recurrence that deferred
+        materialization (:meth:`Group._materialize`) runs at the end.
+        Folding out of ascending order would reassociate the Welford
+        combines and break bit-identity; callers (``IntraProcessCompressor
+        .merged``) enforce the ordering.
+        """
+        self.absorb(MergedCTT.from_rank(ctt, self.interns, nranks=nranks))
+        return self.finalize()
+
     # -- inspection -----------------------------------------------------------
 
     def vertex_count(self) -> int:

@@ -90,8 +90,14 @@ from repro.mpisim.pmpi import (
 from repro.static.cst import CALL, LOOP, CSTNode
 
 from . import packed
+from .budget import (
+    BudgetCounters,
+    SpillStore,
+    decode_rank_state,
+    encode_rank_state,
+)
 from .ctt import CTT, CTTVertex
-from .errors import StreamMismatchError
+from .errors import MergeError, StreamMismatchError
 from .quarantine import QuarantinedRank, QuarantineReport
 from .ranks import encode_peer
 from .records import CompressedRecord, make_key
@@ -128,12 +134,24 @@ class CypressConfig:
     per-leaf key-interning cache, running the generic reference path
     instead (same output bytes, used by the equivalence tests and the
     ingestion benchmarks).
+
+    ``memory_budget_bytes`` arms the bounded-memory streaming mode
+    (docs/INTERNALS.md §15): the compressor keeps its total live
+    footprint (:meth:`IntraProcessCompressor.total_live_bytes`) under
+    the budget by folding completed ranks into a partial merged tree and
+    spilling cold rank states to crash-safe containers under
+    ``spill_dir`` (a private temp dir when None).  Budgeted output is
+    byte-identical to the unbudgeted pipeline; budgeted compression runs
+    the serial path (eager sharded merging would reassociate the
+    schedule-invariant stats fold).
     """
 
     window: int | None = None  # None = unbounded keyed merge
     timing_mode: str = MEANSTD  # 'meanstd' or 'hist'
     relative_ranks: bool = True  # relative peer encoding (paper §IV-B)
     fastpath: bool = True  # monomorphic dispatch + key interning
+    memory_budget_bytes: int | None = None  # None = unbounded (no budget)
+    spill_dir: str | None = None  # spill-container home (budget mode)
 
 
 # Cursor frames are plain three-slot lists ``[kind, vertex, iters]`` —
@@ -287,6 +305,20 @@ class _RankState:
         return self.stack[-1][_F_VERTEX]
 
 
+def _state_live_bytes(st: _RankState) -> int:
+    """Live footprint of one rank: the CTT plus the state-level maps the
+    tree-level estimate cannot see (frame stack, recursion save-slots,
+    request table, pending-wildcard entries — each pending entry pins a
+    record, an event object and a frame tuple)."""
+    total = st.ctt.live_bytes() + 96
+    total += 88 * len(st.stack)
+    for saved in st.recursion_saved:
+        total += 32 + (88 * len(saved) if saved else 0)
+    total += 120 * len(st.req_gid)
+    total += 400 * len(st.pending)
+    return total
+
+
 class IntraProcessCompressor(TraceSink):
     """CYPRESS dynamic module, intra-process phase."""
 
@@ -322,28 +354,75 @@ class IntraProcessCompressor(TraceSink):
         self.m_run_collapsed = 0  # events committed via adjacent-run bulk
         self.m_plan_replays = 0  # loop-body iteration-plan replays
         self.m_plan_bodies = 0  # loop bodies consumed by plan replays
+        # Bounded-memory streaming mode (docs/INTERNALS.md §15).
+        self._budget = self.config.memory_budget_bytes
+        self.budget_counters = (
+            BudgetCounters() if self._budget is not None else None
+        )
+        self._spill: SpillStore | None = None
+        self._spilled: set[int] = set()  # ranks currently on disk
+        self._partial = None  # incrementally-folded MergedCTT
+        self._folded: set[int] = set()  # ranks absorbed into _partial
+        self._sealed: set[int] = set()  # stream ended, fold-eligible
+        self._fold_enabled = False
+        self._fold_nranks: int | None = None
+        self._fold_domain: list[int] | None = None
+        self._fold_skip: set[int] = set()  # quarantined (never folds)
+        self._touch_clock = 0
+        self._touch: dict[int, int] = {}  # rank -> LRU stamp
+        self._event_tick = 0
+        # Event/record totals of folded+spilled ranks, so the derived
+        # metrics stay exact after their CTT state leaves memory.
+        self._archived_events = 0
+        self._archived_records = 0
 
     # ------------------------------------------------------------------
 
     def state(self, rank: int) -> _RankState:
         st = self._states.get(rank)
         if st is None:
+            if rank in self._folded:
+                raise CompressionError(
+                    f"rank {rank} was folded into the partial merged tree "
+                    "(memory budget mode); per-rank state is gone — use "
+                    "merged() / merged replay instead"
+                )
+            if rank in self._spilled:
+                return self._reload_rank(rank)
             st = _RankState(ctt=CTT(self.cst, rank), rank=rank)
             self._states[rank] = st
         return st
 
     def ranks(self) -> list[int]:
-        return sorted(self._states)
+        return sorted({*self._states, *self._spilled, *self._folded})
 
     def ctt(self, rank: int) -> CTT:
         return self.state(rank).ctt
 
     def approx_bytes(self, rank: int) -> int:
-        """Per-rank memory/size estimate of the compressed trace."""
-        return self.state(rank).ctt.approx_bytes()
+        """Per-rank *serialized* size estimate of the compressed trace —
+        container bytes, not live memory (see :meth:`live_bytes` for the
+        in-RAM footprint the budget mode tracks)."""
+        return self.state(rank).ctt.serialized_bytes()
+
+    def serialized_bytes(self, rank: int) -> int:
+        """Alias of :meth:`approx_bytes` under its precise name."""
+        return self.state(rank).ctt.serialized_bytes()
+
+    def live_bytes(self, rank: int) -> int:
+        """Estimated live in-RAM footprint of one rank's compression
+        state: the CTT (transient caches included) plus the rank-state
+        overheads (frame stack, pending wildcards, request table).
+        Reloads the rank if it was spilled."""
+        return _state_live_bytes(self.state(rank))
 
     def total_bytes(self) -> int:
         return sum(self.approx_bytes(r) for r in self._states)
+
+    def total_live_bytes(self) -> int:
+        """Live footprint of every in-memory rank (spilled ranks cost
+        nothing — that is the point; they are not reloaded here)."""
+        return sum(_state_live_bytes(st) for st in self._states.values())
 
     # ------------------------------------------------------------------
     # Observability (docs/INTERNALS.md §6).
@@ -353,8 +432,8 @@ class IntraProcessCompressor(TraceSink):
         from CTT state rather than sampled on the hot path: every
         dispatched event increments exactly one leaf's ``leaf_visits``,
         so cache *hits* are ``events - misses`` at zero per-event cost."""
-        events = 0
-        records = 0
+        events = self._archived_events
+        records = self._archived_records
         for st in self._states.values():
             for v in st.ctt.vertices():
                 events += v.leaf_visits
@@ -363,7 +442,9 @@ class IntraProcessCompressor(TraceSink):
         return {
             "intra.events": events,
             "intra.records": records,
-            "intra.ranks": len(self._states),
+            "intra.ranks": (
+                len(self._states) + len(self._spilled) + len(self._folded)
+            ),
             "intra.mono_cache_miss": self.m_mono_miss,
             "intra.key_builds": self.m_key_build,
             "intra.stream_fallback": self.m_stream_fallback,
@@ -407,6 +488,274 @@ class IntraProcessCompressor(TraceSink):
                 "intra.key_cache_hit_rate",
                 1.0 - counters["intra.key_builds"] / events,
             )
+        bc = self.budget_counters
+        if bc is not None:
+            for name, value in bc.as_metrics().items():
+                if name in ("budget.live_bytes", "budget.peak_live_bytes"):
+                    registry.gauge_max(name, value)
+                else:
+                    registry.counter_add(name, value)
+
+    # ------------------------------------------------------------------
+    # Bounded-memory streaming mode (docs/INTERNALS.md §15): incremental
+    # fold of completed ranks into a partial merged tree + LRU spill of
+    # cold rank states to crash-safe containers.  Off unless
+    # ``config.memory_budget_bytes`` is set (or a caller arms the fold
+    # explicitly); every method here is a no-op on the default path.
+
+    def _ensure_spill(self) -> SpillStore:
+        if self._spill is None:
+            self._spill = SpillStore(self.config.spill_dir)
+        return self._spill
+
+    def _touch_rank(self, rank: int) -> None:
+        self._touch_clock += 1
+        self._touch[rank] = self._touch_clock
+
+    def _archive_rank_counts(self, ctt: CTT, sign: int) -> None:
+        """Move a rank's derived metric totals between the live tree and
+        the archived tally as the tree leaves (+1) or re-enters (-1)
+        memory, keeping ``metrics_counters`` exact throughout."""
+        events = 0
+        records = 0
+        for v in ctt.vertices():
+            events += v.leaf_visits
+            if v.records is not None:
+                records += len(v.records)
+        self._archived_events += sign * events
+        self._archived_records += sign * records
+
+    def _reload_rank(self, rank: int) -> _RankState:
+        """Bring a spilled rank back: decode the snapshot, discard the
+        container, re-enter the live accounting.  The reloaded state is
+        cursor-exact; only the warm-up caches (dispatch, key interning,
+        run plans) start cold — same output bytes, slower first batch."""
+        payload = self._ensure_spill().load(rank)
+        st = decode_rank_state(
+            payload,
+            lambda r: _RankState(ctt=CTT(self.cst, r), rank=r),
+            rebuild_index=self._window_unbounded,
+        )
+        self._states[rank] = st
+        self._spilled.discard(rank)
+        self._spill.discard(rank)
+        self._archive_rank_counts(st.ctt, -1)
+        bc = self.budget_counters
+        if bc is not None:
+            bc.reloads += 1
+            bc.reload_bytes += len(payload)
+        self._touch_rank(rank)
+        return st
+
+    def _spill_rank(self, rank: int) -> bool:
+        """Evict one cold rank to disk.  Refused (returns False) when
+        the rank holds unresolved wildcard receives — their pending
+        records pin live event objects the resolution path needs."""
+        st = self._states.get(rank)
+        if st is None or st.pending:
+            return False
+        payload = encode_rank_state(st)
+        nbytes = self._ensure_spill().spill(rank, payload)
+        self._archive_rank_counts(st.ctt, +1)
+        del self._states[rank]
+        self._spilled.add(rank)
+        bc = self.budget_counters
+        if bc is not None:
+            bc.spills += 1
+            bc.spill_bytes += nbytes
+        return True
+
+    def _enforce_budget(self, active_rank: int | None = None) -> None:
+        """Bring the live footprint back under the budget by spilling
+        the coldest evictable ranks (never the one currently ingesting).
+        Called from the batched entry points and the periodic event
+        tick; one call is O(live tree), so the cadence is per batch, not
+        per event."""
+        budget = self._budget
+        if budget is None:
+            return
+        bc = self.budget_counters
+        total = self.total_live_bytes()
+        if total > bc.peak_live_bytes:
+            bc.peak_live_bytes = total
+        if total > budget:
+            touch = self._touch
+            order = sorted(
+                (r for r in self._states if r != active_rank),
+                key=lambda r: touch.get(r, 0),
+            )
+            for rank in order:
+                if total <= budget:
+                    break
+                st = self._states.get(rank)
+                if st is None or st.pending:
+                    continue
+                freed = _state_live_bytes(st)
+                if self._spill_rank(rank):
+                    total -= freed
+        bc.live_bytes = total
+
+    def _budget_prologue(self, rank: int) -> None:
+        """Per-batch budget bookkeeping: stamp the rank hot and make
+        room for its growth by evicting colder ranks first."""
+        self._touch_rank(rank)
+        self._enforce_budget(rank)
+
+    # -- incremental fold ----------------------------------------------
+
+    def enable_incremental_fold(
+        self,
+        nranks: int | None = None,
+        domain=None,
+    ) -> None:
+        """Arm the streaming merge: sealed ranks fold into a partial
+        :class:`~repro.core.inter.MergedCTT` as soon as every preceding
+        rank is folded (or permanently excluded), releasing their
+        per-rank state while ingest continues.
+
+        ``nranks`` is forwarded to the merge's damaged-delta repair
+        (must match what an unbudgeted ``merge_all(..., nranks=...)``
+        would get, or bytes diverge on *damaged* traces).  ``domain`` is
+        the full rank set expected to stream; without it, folding
+        happens only at :meth:`merged` time.
+        """
+        self._fold_enabled = True
+        if nranks is not None:
+            self._fold_nranks = nranks
+        if domain is not None:
+            self._fold_domain = sorted(domain)
+
+    def seal_rank(self, rank: int) -> None:
+        """Mark one rank's stream complete: its CTT is final and
+        eligible for incremental folding.  No-op unless the fold is
+        armed."""
+        if not self._fold_enabled or rank in self._fold_skip:
+            return
+        bc = self.budget_counters
+        if bc is not None:
+            # Sample the high-water mark before the fold releases the
+            # sealed rank — this is the peak the soak gate tracks.
+            total = self.total_live_bytes()
+            bc.live_bytes = total
+            if total > bc.peak_live_bytes:
+                bc.peak_live_bytes = total
+        self._sealed.add(rank)
+        self._try_fold()
+        self._enforce_budget()
+
+    def has_partial_merge(self) -> bool:
+        """Whether any rank has been folded — callers must then use
+        :meth:`merged` instead of per-rank ``ctt()`` + ``merge_all``."""
+        return self._partial is not None or bool(
+            self._fold_enabled and (self._sealed or self._folded)
+        )
+
+    def _try_fold(self) -> None:
+        """Fold every fold-eligible rank, in ascending rank order.  A
+        rank is eligible when sealed and every lower rank in the domain
+        is already folded or permanently excluded — the ordering that
+        makes the incremental fold byte-identical to ``merge_all``
+        (see :meth:`~repro.core.inter.MergedCTT.fold_rank`)."""
+        domain = self._fold_domain
+        if domain is None:
+            return
+        for rank in domain:
+            if rank in self._folded or rank in self._fold_skip:
+                continue
+            if rank not in self._sealed:
+                break  # ascending-order barrier
+            self._fold_rank(rank)
+
+    def _fold_rank(self, rank: int) -> None:
+        st = self.state(rank)  # reloads a spilled rank
+        if st.pending:
+            raise CompressionError(
+                f"rank {rank}: cannot fold with {len(st.pending)} "
+                "unresolved wildcard receive(s)"
+            )
+        from .inter import MergedCTT
+
+        ctt = st.ctt
+        self._archive_rank_counts(ctt, +1)
+        if self._partial is None:
+            self._partial = MergedCTT.from_rank(
+                ctt, nranks=self._fold_nranks
+            ).finalize()
+        else:
+            self._partial.fold_rank(ctt, nranks=self._fold_nranks)
+        del self._states[rank]
+        self._folded.add(rank)
+        self._sealed.discard(rank)
+        self._touch.pop(rank, None)
+        bc = self.budget_counters
+        if bc is not None:
+            bc.folds += 1
+
+    def merged(self, nranks: int | None = None, ranks=None):
+        """Finalize the incremental fold and return the job-wide merged
+        tree — byte-identical to ``merge_all([ctt(r) for r in ranks],
+        nranks=...)`` on the unbudgeted pipeline.
+
+        ``ranks`` restricts the merge (the server passes its healthy,
+        non-quarantined set); default is every rank seen.  Remaining
+        live or spilled ranks fold now, ascending."""
+        if nranks is not None:
+            self._fold_nranks = nranks
+        self._fold_enabled = True
+        if ranks is None:
+            quarantined = {q.rank for q in self.quarantine}
+            ranks = [r for r in self.ranks() if r not in quarantined]
+        ranks = sorted(ranks)
+        stray = self._folded.difference(ranks)
+        if stray:
+            raise MergeError(
+                f"rank(s) {sorted(stray)} were already folded but are "
+                "excluded from the requested merge — a fold cannot be "
+                "undone"
+            )
+        for rank in ranks:
+            if rank not in self._folded:
+                self._fold_rank(rank)
+        if self._partial is None:
+            raise MergeError("no ranks to merge")
+        self._enforce_budget()
+        return self._partial
+
+    def discard_rank(self, rank: int) -> None:
+        """Drop every trace of a rank (quarantine path): live state,
+        spill container, fold bookkeeping.  Folding of later ranks is
+        unblocked by marking the rank permanently excluded."""
+        st = self._states.pop(rank, None)
+        if st is None and rank in self._spilled:
+            # Its archived totals were added at spill time; the rank is
+            # leaving for good, so take them back out.
+            payload = None
+            try:
+                payload = self._ensure_spill().load(rank)
+            except Exception:
+                pass
+            if payload is not None:
+                reloaded = decode_rank_state(
+                    payload,
+                    lambda r: _RankState(ctt=CTT(self.cst, r), rank=r),
+                    rebuild_index=False,
+                )
+                self._archive_rank_counts(reloaded.ctt, -1)
+        if rank in self._spilled:
+            self._spilled.discard(rank)
+            self._ensure_spill().discard(rank)
+        self._sealed.discard(rank)
+        self._touch.pop(rank, None)
+        if self._fold_enabled:
+            self._fold_skip.add(rank)
+            self._try_fold()
+
+    def close_spill(self) -> None:
+        """Delete every spill container (end of job)."""
+        if self._spill is not None:
+            self._spill.close()
+            self._spill = None
+            self._spilled.clear()
 
     # ------------------------------------------------------------------
     # Structural markers.  Public callbacks resolve the rank state once
@@ -558,10 +907,18 @@ class IntraProcessCompressor(TraceSink):
 
     def on_event(self, rank: int, ev: CommEvent) -> None:
         self._ingest(self.state(rank), ev)
+        if self._budget is not None:
+            # Inline-tracing budget tick: enforcement is O(live tree),
+            # so it runs every 4096 events, not per event.
+            self._event_tick += 1
+            if not self._event_tick & 4095:
+                self._budget_prologue(rank)
 
     def on_events(self, rank: int, events) -> None:
         """Batched ingestion: resolve the rank state and the ingest
         binding once for a run of consecutive events."""
+        if self._budget is not None:
+            self._budget_prologue(rank)
         st = self.state(rank)
         ingest = self._ingest
         for ev in events:
@@ -874,6 +1231,8 @@ class IntraProcessCompressor(TraceSink):
         the rank state and all handler bindings hoisted out of the loop —
         this is the entry point the parallel compression workers and the
         ingestion benchmarks use."""
+        if self._budget is not None:
+            self._budget_prologue(rank)
         st = self.state(rank)
         ingest = self._ingest
         loop_push = self._loop_push
@@ -1117,6 +1476,8 @@ class IntraProcessCompressor(TraceSink):
         if not self._fastpath:
             self.ingest_stream(rank, packed.decode_stream(cols))
             return
+        if self._budget is not None:
+            self._budget_prologue(rank)
         st = self.state(rank)
         ingest = self._ingest
         loop_push = self._loop_push
@@ -1385,6 +1746,8 @@ class IntraProcessCompressor(TraceSink):
         if not self._fastpath:
             self.ingest_stream(rank, packed.decode_stream(cols))
             return
+        if self._budget is not None:
+            self._budget_prologue(rank)
         st = self.state(rank)
         ingest = self._ingest
         loop_push = self._loop_push
@@ -2234,7 +2597,7 @@ def _ingest_or_quarantine(
     except StreamMismatchError as exc:
         if strict:
             raise
-        comp._states.pop(rank, None)
+        comp.discard_rank(rank)
         report.add(
             QuarantinedRank(
                 rank=rank,
@@ -2478,9 +2841,12 @@ class ShmCompressSession:
         self.close()
 
 
-#: Process-wide warm sessions, keyed by ``(id(cst), strict)``.  Each
-#: entry keeps a strong reference to its CST so the id can never alias
-#: a collected object; ``atexit`` tears the pools down.
+#: Process-wide warm sessions, keyed by ``(id(cst), config, strict)``.
+#: Each entry keeps a strong reference to its CST so the id can never
+#: alias a collected object; ``atexit`` tears the pools down.  The
+#: config is part of the key so callers alternating configs on one CST
+#: (the differential matrix, ``repro verify``) each keep their own warm
+#: pool instead of re-forking on every alternation.
 _shared_sessions: dict[tuple, tuple] = {}
 
 
@@ -2498,16 +2864,17 @@ def shared_compress_session(
     This is what makes repeated :func:`compress_streams` calls cheap by
     default: one CLI invocation (``repro verify`` compresses more than
     once; the differential matrix dozens of times) forks its shm
-    workers once.  A config change on the same CST replaces the cached
-    session.  Raises :class:`~repro.core.respool.ShmPoolError` when the
-    platform cannot fork.
+    workers once — and each distinct config on a CST keeps its *own*
+    warm session, so alternating configs never thrash the pool.  Raises
+    :class:`~repro.core.respool.ShmPoolError` when the platform cannot
+    fork.
     """
     cfg = config if config is not None else CypressConfig()
-    key = (id(cst), bool(strict))
+    key = (id(cst), cfg, bool(strict))
     entry = _shared_sessions.get(key)
     if entry is not None:
         e_cst, sess = entry
-        if e_cst is cst and sess.config == cfg and not sess.closed:
+        if e_cst is cst and not sess.closed:
             sess.ensure_workers(workers)
             return sess
         sess.close()
@@ -2517,8 +2884,10 @@ def shared_compress_session(
     return sess
 
 
-def _discard_shared_session(cst: CSTNode, strict: bool) -> None:
-    entry = _shared_sessions.pop((id(cst), bool(strict)), None)
+def _discard_shared_session(
+    cst: CSTNode, config: CypressConfig, strict: bool
+) -> None:
+    entry = _shared_sessions.pop((id(cst), config, bool(strict)), None)
     if entry is not None:
         entry[1].close()
 
@@ -2546,6 +2915,7 @@ def compress_streams(
     fault_plan=None,
     transport: str = "auto",
     session: "ShmCompressSession | None" = None,
+    nranks: int | None = None,
 ) -> IntraProcessCompressor:
     """Compress captured per-rank streams into an
     :class:`IntraProcessCompressor`, optionally sharding ranks over a
@@ -2585,10 +2955,26 @@ def compress_streams(
     PackedStream` objects, or packed blobs (``bytes``) — packed sources
     skip the encode step on the shm path and decode columnar on every
     path.
+
+    With ``config.memory_budget_bytes`` set the call runs the bounded
+    serial path regardless of ``workers``: each rank is sealed and
+    incrementally folded into a partial merged tree as its stream ends,
+    cold ranks spill under budget pressure, and the result is read via
+    ``comp.merged(...)`` — byte-identical to the unbudgeted pipeline
+    (``nranks`` is forwarded to the merge's damaged-delta repair and
+    must match the eventual ``merge_all(..., nranks=...)``).
     """
     comp = IntraProcessCompressor(cst, config=config)
     items = sorted(streams.items())
     nworkers = _resolve_workers(workers)
+    if comp.config.memory_budget_bytes is not None:
+        # Bounded-memory mode is serial by construction: the incremental
+        # fold must absorb ranks in ascending order through the shared
+        # partial tree, which sharded eager merging cannot reproduce.
+        nworkers = 1
+        comp.enable_incremental_fold(
+            nranks=nranks, domain=[rank for rank, _ in items]
+        )
     registry = obs.active()
     if nworkers > 1 and len(items) >= max(2, parallel_threshold):
         nworkers = min(nworkers, len(items))
@@ -2631,7 +3017,7 @@ def compress_streams(
                     # The shared session is now suspect (dead worker,
                     # poisoned ring): drop it so the next call starts
                     # clean instead of inheriting the failure.
-                    _discard_shared_session(cst, strict)
+                    _discard_shared_session(cst, comp.config, strict)
                 warnings.warn(
                     f"intra: shm transport failed ({exc}); falling back to "
                     "the pickle transport",
@@ -2664,6 +3050,7 @@ def compress_streams(
     else:
         for rank, stream in items:
             _ingest_or_quarantine(comp, rank, stream, strict, comp.quarantine)
+            comp.seal_rank(rank)  # no-op unless the fold is armed
     if comp.quarantine and registry is not None:
         registry.counter_add("faults.quarantined_ranks", len(comp.quarantine))
     return comp

@@ -229,6 +229,7 @@ class CompressedRecord:
         return rec
 
     def approx_bytes(self) -> int:
+        # Serialized estimate (container bytes):
         # op string + numeric params + sequences + two stat blocks
         key_bytes = len(self.key[0]) + 6 * (len(self.key) - 1)
         gid_bytes = 4 * len(self.key[10]) if len(self.key) > 10 else 0
@@ -238,6 +239,20 @@ class CompressedRecord:
             + self.occurrences.approx_bytes()
             + self.duration.approx_bytes()
             + self.pre_gap.approx_bytes()
+        )
+
+    def live_bytes(self) -> int:
+        """Estimated live in-RAM footprint: the record, key tuple, and
+        stats as boxed CPython objects rather than packed varints.  The
+        key tuple is shared with the leaf's ``record_index``, so it is
+        charged once, here."""
+        # record object + key tuple (12 slots + op string + gid tuple)
+        # + two TimeStats + occurrence terms as boxed 3-tuples
+        return (
+            200
+            + 8 * len(self.key)
+            + 3 * self.occurrences.approx_bytes()
+            + 2 * 144
         )
 
 

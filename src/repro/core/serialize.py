@@ -427,6 +427,14 @@ def _read_sections(
     return sections, True, None
 
 
+#: Public aliases of the section framing: the server's session store
+#: (:mod:`repro.server.session`) and the budget spill store
+#: (:mod:`repro.core.budget`) build their own crash-safe containers from
+#: the same CRC-framed primitives.
+write_section = _write_section
+read_sections = _read_sections
+
+
 # ---------------------------------------------------------------------------
 
 

@@ -48,7 +48,7 @@ from repro import obs
 from repro.core import packed, serialize
 from repro.core.errors import StreamMismatchError
 from repro.core.inter import merge_all
-from repro.core.intra import IntraProcessCompressor
+from repro.core.intra import CypressConfig, IntraProcessCompressor
 from repro.core.quarantine import QuarantinedRank, QuarantineReport
 from repro.static.instrument import compile_minimpi
 from repro.workloads import get as get_workload
@@ -80,6 +80,12 @@ class ServerConfig:
     kill_after_batches: int | None = None
     kill_after_checkpoints: int | None = None
     metrics_json: str | None = None
+    #: Per-job compressor memory budget (bytes).  Arms the bounded
+    #: streaming mode: finalized ranks fold incrementally into a partial
+    #: merge, cold ranks spill under ``state_dir/spill/<job>/``, and the
+    #: ingest watermark shrinks by any unevictable overage so TCP
+    #: backpressure slows clients instead of the daemon ballooning.
+    memory_budget: int | None = None
 
 
 @dataclass
@@ -104,10 +110,30 @@ class JobState:
         )
 
 
-def _build_compressor(workload: str) -> IntraProcessCompressor:
+def _build_compressor(
+    workload: str,
+    nranks: int | None = None,
+    server_config: ServerConfig | None = None,
+    jobid: str | None = None,
+) -> IntraProcessCompressor:
     w = get_workload(workload)
     compiled = compile_minimpi(w.source)
-    return IntraProcessCompressor(compiled.cst)
+    config = None
+    if server_config is not None and server_config.memory_budget is not None:
+        config = CypressConfig(
+            memory_budget_bytes=server_config.memory_budget,
+            spill_dir=os.path.join(
+                server_config.state_dir, "spill", jobid or "job"
+            ),
+        )
+    comp = IntraProcessCompressor(compiled.cst, config=config)
+    if config is not None and nranks is not None:
+        # The fold domain is every rank of the job — quarantined ranks
+        # simply never seal; finalize folds around them explicitly.
+        comp.enable_incremental_fold(
+            nranks=nranks, domain=range(nranks)
+        )
+    return comp
 
 
 class CypressTraceServer:
@@ -159,7 +185,33 @@ class CypressTraceServer:
         )
         snap["server.jobs"] = len(self.jobs)
         snap["server.buffered_bytes"] = self._buffered
+        budget: dict[str, int] = {}
+        for job in self.jobs.values():
+            bc = job.compressor.budget_counters
+            if bc is not None:
+                for key, value in bc.as_metrics().items():
+                    budget[key] = budget.get(key, 0) + value
+        snap.update(budget)
         return snap
+
+    def _effective_high_watermark(self) -> int:
+        """The high watermark, shrunk by any compressor live-bytes
+        overage the budget enforcer could not evict (pending wildcard
+        receives pin their ranks in memory).  Never below the low
+        watermark: gating ingest entirely on unevictable state would
+        deadlock the very batches that resolve the wildcards."""
+        cfg = self.config
+        high = cfg.high_watermark
+        if cfg.memory_budget is None:
+            return high
+        over = 0
+        for job in self.jobs.values():
+            bc = job.compressor.budget_counters
+            if bc is not None:
+                over += max(0, bc.live_bytes - cfg.memory_budget)
+        if over:
+            high = max(cfg.low_watermark, high - over)
+        return high
 
     # -- recovery --------------------------------------------------------
 
@@ -175,6 +227,10 @@ class CypressTraceServer:
             job.sessions[session.rank] = session
             for _seq, blob in rec.batches:
                 self._ingest_blob(job, session, blob)
+            if session.finalized and session.quarantined is None:
+                # Recovered ranks whose streams already ended fold into
+                # the partial merge exactly as their live EOS did.
+                job.compressor.seal_rank(session.rank)
             recovered += 1
             self._count("server.recoveries")
         for job in self.jobs.values():
@@ -189,7 +245,10 @@ class CypressTraceServer:
                 workload=session.workload,
                 scale=session.scale,
                 nranks=session.nranks,
-                compressor=_build_compressor(session.workload),
+                compressor=_build_compressor(
+                    session.workload, nranks=session.nranks,
+                    server_config=self.config, jobid=session.job,
+                ),
             )
             self.jobs[session.job] = job
         return job
@@ -210,7 +269,10 @@ class CypressTraceServer:
                 session.rank, packed.decode_stream(blob)
             )
         except StreamMismatchError as exc:
-            job.compressor._states.pop(session.rank, None)
+            # A mismatch quarantine is permanent (never revived), so the
+            # rank also leaves the fold domain — this unstalls the
+            # ascending fold barrier for the ranks behind it.
+            job.compressor.discard_rank(session.rank)
             session.quarantined = QuarantinedRank(
                 rank=session.rank, stage="intra", error=str(exc),
                 events=packed.event_count(blob),
@@ -344,10 +406,18 @@ class CypressTraceServer:
         for session in job.sessions.values():
             if session.dirty:
                 self._checkpoint_session(session)
-        merged = merge_all(
-            [job.compressor.ctt(r) for r in healthy],
-            schedule="tree", nranks=job.nranks,
-        )
+        if self.config.memory_budget is not None:
+            # Budgeted path: finish the incremental fold over the healthy
+            # survivors — byte-identical to the merge_all below.
+            merged = job.compressor.merged(
+                nranks=job.nranks, ranks=healthy
+            )
+            job.compressor.close_spill()
+        else:
+            merged = merge_all(
+                [job.compressor.ctt(r) for r in healthy],
+                schedule="tree", nranks=job.nranks,
+            )
         serialize.save(merged, self.out_path(job.job))
         report = QuarantineReport()
         for session in job.sessions.values():
@@ -392,7 +462,13 @@ class CypressTraceServer:
                     writer.write(proto.control_frame(
                         proto.ERROR, error="HELLO required first"
                     ))
-                    break
+                    if kind in (proto.HEARTBEAT, proto.STATUS):
+                        # A probe before HELLO is harmless — answer the
+                        # ERROR and keep the reader task alive so the
+                        # client can still identify itself.
+                        await writer.drain()
+                        continue
+                    break  # data frames without identity are fatal
                 elif kind == proto.BATCH:
                     self._on_batch(job, session, payload, writer)
                 elif kind == proto.EOS:
@@ -502,13 +578,14 @@ class CypressTraceServer:
             cfg = self.config
             if session.buffered_bytes >= cfg.session_watermark:
                 self._checkpoint_session(session)
-            if self._buffered >= cfg.high_watermark and not self._throttled:
+            high = self._effective_high_watermark()
+            if self._buffered >= high and not self._throttled:
                 self._throttled = True
                 self._gate.clear()
                 self._count("server.throttles")
                 self._broadcast(proto.control_frame(
                     proto.THROTTLE, buffered=self._buffered,
-                    high=cfg.high_watermark,
+                    high=high,
                 ))
         else:
             self._count("server.dup_batches")
@@ -539,6 +616,10 @@ class CypressTraceServer:
             proto.EOS_ACK, acked_seq=session.acked_seq, final=final,
         ))
         if final:
+            if session.quarantined is None:
+                # Stream complete and durable: fold it into the partial
+                # merge (no-op unless the budget armed the fold).
+                job.compressor.seal_rank(session.rank)
             self._maybe_finalize_job(job)
 
     # -- lifecycle -------------------------------------------------------

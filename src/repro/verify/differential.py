@@ -247,4 +247,33 @@ def differential_check(
              for e in decompress_merged_rank(merged, rank, nranks=nprocs)],
             base[rank],
         ))
+
+    # -- budgeted streaming mode (PR-5 invariant) --------------------------
+    # A separate section, not a `variants` entry: folded compressors no
+    # longer expose per-rank CTTs (the fold is one-way), so the
+    # comparison is over the merged container bytes and merged replay.
+    # A 1-byte budget maximizes pressure — every rank folds, and any
+    # eviction/reload the interleaving triggers must not change a byte.
+    budgeted = compress_streams(
+        compiled.cst, capture.streams,
+        config=CypressConfig(memory_budget_bytes=1),
+        nranks=nprocs,
+    )
+    report.variants.append("budgeted")
+    budget_blob = serialize.dumps(budgeted.merged(nranks=nprocs))
+    budgeted.close_spill()
+    ref_blob = serialize.dumps(merge_all(ctts, nranks=nprocs))
+    if budget_blob != ref_blob:
+        merged_budget = serialize.loads(budget_blob)
+        for rank in range(nprocs):
+            note(first_divergence(
+                "budgeted-replay", "per-rank-replay", rank,
+                [e.call_tuple() for e in
+                 decompress_merged_rank(merged_budget, rank, nranks=nprocs)],
+                base[rank],
+            ))
+        note(Divergence(
+            "bytes:budgeted", "bytes:merge_all", -1, -1,
+            (len(budget_blob), "bytes"), (len(ref_blob), "bytes"),
+        ))
     return report

@@ -1,0 +1,380 @@
+"""Bounded-memory streaming compression (docs/INTERNALS.md §15).
+
+The contract under test: with ``memory_budget_bytes`` set, the
+compressor folds finished ranks into a partial merge and spills cold
+ranks to disk, yet the merged container is **byte-identical** to the
+unbudgeted pipeline under every merge schedule — across deterministic
+bench shapes, random hypothesis programs, and explicit spill/evict/
+reload round-trips.  Plus the two satellite bugfixes: the live-memory
+estimator split and the config-keyed warm shm sessions.
+"""
+
+import sys
+import types
+import warnings
+
+import pytest
+from hypothesis import HealthCheck, assume, given, settings
+from hypothesis import strategies as st
+
+sys.path.insert(0, "tests")
+from generators import program  # noqa: E402
+
+from repro.core import serialize
+from repro.core.budget import (
+    BudgetCounters,
+    SpillFormatError,
+    SpillStore,
+    encode_rank_state,
+)
+from repro.core.errors import MergeError, StreamMismatchError
+from repro.core.inter import merge_all
+from repro.core.intra import (
+    CypressConfig,
+    IntraProcessCompressor,
+    compress_streams,
+)
+from repro.driver import run_compiled
+from repro.mpisim.pmpi import StreamCaptureSink
+from repro.static.instrument import compile_minimpi
+from repro.workloads import WORKLOADS
+
+SETTINGS = dict(
+    max_examples=15,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+
+#: The four bench shapes of the budget-pressure matrix.
+SHAPES = ("fig11", "cg", "farm", "amr")
+
+
+def _capture(source, nprocs, defines=None):
+    compiled = compile_minimpi(source)
+    capture = StreamCaptureSink()
+    run_compiled(compiled, nprocs, defines=defines, tracer=capture)
+    return compiled, capture.streams
+
+
+def _schedule_blobs(cst, streams, nprocs):
+    """Reference container bytes per merge schedule, unbudgeted."""
+    ref = compress_streams(cst, streams)
+    ctts = [ref.ctt(r) for r in sorted(streams)]
+    blobs = {}
+    for sched in ("fold", "tree", "parallel"):
+        if sched == "parallel":
+            m = merge_all(ctts, schedule="tree", workers=2,
+                          parallel_threshold=2, nranks=nprocs)
+        else:
+            m = merge_all(ctts, schedule=sched, nranks=nprocs)
+        blobs[sched] = serialize.dumps(m)
+    return blobs
+
+
+def _interleaved_budget_compress(cst, streams, nprocs, budget=1, chunk=24):
+    """Server-style ingest: round-robin small batches across ranks under
+    a tiny budget, sealing each rank at end of stream.  Interleaving is
+    what forces spill/evict/reload — several ranks are live at once and
+    only the active one is unevictable."""
+    comp = IntraProcessCompressor(
+        cst, config=CypressConfig(memory_budget_bytes=budget)
+    )
+    comp.enable_incremental_fold(nranks=nprocs, domain=range(nprocs))
+    cursors = {r: 0 for r in streams}
+    live = sorted(streams)
+    while live:
+        for r in list(live):
+            s = streams[r]
+            if cursors[r] >= len(s):
+                comp.seal_rank(r)
+                live.remove(r)
+                continue
+            comp.ingest_stream(r, s[cursors[r]:cursors[r] + chunk])
+            cursors[r] += chunk
+    return comp
+
+
+class TestBudgetPressure:
+    """Eviction under a 1-byte budget on all four bench shapes."""
+
+    @pytest.mark.parametrize("name", SHAPES)
+    def test_pressure_byte_identical_with_real_spills(self, name):
+        w = WORKLOADS[name]
+        nprocs = 4 if 4 in w.valid_procs else min(w.valid_procs)
+        compiled, streams = _capture(
+            w.source, nprocs, w.defines(nprocs, 0.3)
+        )
+        blobs = _schedule_blobs(compiled.cst, streams, nprocs)
+        comp = _interleaved_budget_compress(
+            compiled.cst, streams, nprocs
+        )
+        try:
+            budget_blob = serialize.dumps(comp.merged(nranks=nprocs))
+            bc = comp.budget_counters
+            # The 1-byte budget must actually drive eviction...
+            assert bc.spills > 0 and bc.reloads > 0
+            assert bc.folds == nprocs
+            assert bc.spill_bytes > 0 and bc.reload_bytes > 0
+            assert bc.peak_live_bytes > 0
+            # ...and every rank's state must be released by the fold.
+            assert not comp._states
+            assert bc.live_bytes == 0
+        finally:
+            comp.close_spill()
+        for sched, blob in blobs.items():
+            assert budget_blob == blob, f"diverges from {sched} schedule"
+
+    def test_batch_compress_streams_path(self):
+        """The one-shot ``compress_streams`` budget path: every rank
+        folds right after its stream, and the merged bytes match each
+        unbudgeted schedule."""
+        w = WORKLOADS["fig11"]
+        compiled, streams = _capture(w.source, 4, w.defines(4, 0.3))
+        blobs = _schedule_blobs(compiled.cst, streams, 4)
+        comp = compress_streams(
+            compiled.cst, streams,
+            config=CypressConfig(memory_budget_bytes=1), nranks=4,
+        )
+        try:
+            budget_blob = serialize.dumps(comp.merged(nranks=4))
+            assert comp.budget_counters.folds == 4
+            assert not comp._states
+        finally:
+            comp.close_spill()
+        for sched, blob in blobs.items():
+            assert budget_blob == blob, f"diverges from {sched} schedule"
+
+    def test_metrics_exact_after_fold_and_spill(self):
+        """intra.* counters must not drift when states are archived:
+        folded/spilled ranks keep contributing their event/record
+        totals."""
+        w = WORKLOADS["cg"]
+        compiled, streams = _capture(w.source, 4, w.defines(4, 0.3))
+        ref = compress_streams(compiled.cst, streams)
+        comp = _interleaved_budget_compress(compiled.cst, streams, 4)
+        try:
+            comp.merged(nranks=4)
+            got = comp.metrics_counters()
+            want = ref.metrics_counters()
+            for key in ("intra.events", "intra.records", "intra.ranks"):
+                assert got[key] == want[key], key
+        finally:
+            comp.close_spill()
+
+
+class TestSpillReloadRoundTrip:
+    """Explicit spill → evict → reload cycles are byte-exact."""
+
+    @pytest.mark.parametrize("name", SHAPES)
+    def test_mid_stream_spill_reload(self, name):
+        w = WORKLOADS[name]
+        nprocs = 4 if 4 in w.valid_procs else min(w.valid_procs)
+        compiled, streams = _capture(
+            w.source, nprocs, w.defines(nprocs, 0.3)
+        )
+        ref = compress_streams(compiled.cst, streams)
+        comp = IntraProcessCompressor(
+            compiled.cst, config=CypressConfig(memory_budget_bytes=1)
+        )
+        spilled = 0
+        try:
+            for rank in sorted(streams):
+                s = streams[rank]
+                comp.ingest_stream(rank, s[: len(s) // 2])
+                spilled += comp._spill_rank(rank)  # may refuse (pending)
+                # The reload happens implicitly on the next batch.
+                comp.ingest_stream(rank, s[len(s) // 2:])
+            for rank in sorted(streams):
+                # The container codec wants a merged tree; a single-rank
+                # merge is a faithful byte-level fingerprint of the CTT.
+                got = serialize.dumps(
+                    merge_all([comp.ctt(rank)], nranks=nprocs))
+                want = serialize.dumps(
+                    merge_all([ref.ctt(rank)], nranks=nprocs))
+                assert got == want, \
+                    f"rank {rank} diverged after spill/reload"
+        finally:
+            comp.close_spill()
+        assert spilled > 0  # the cycle was actually exercised
+
+    def test_state_access_reloads_spilled_rank(self):
+        w = WORKLOADS["fig11"]
+        compiled, streams = _capture(w.source, 4, w.defines(4, 0.3))
+        comp = IntraProcessCompressor(
+            compiled.cst, config=CypressConfig(memory_budget_bytes=1)
+        )
+        try:
+            comp.ingest_stream(0, streams[0])
+            assert comp._spill_rank(0)
+            assert 0 not in comp._states
+            assert comp.budget_counters.spills == 1
+            comp.state(0)  # touch → reload
+            assert 0 in comp._states
+            assert comp.budget_counters.reloads == 1
+        finally:
+            comp.close_spill()
+
+
+class TestBudgetProperty:
+    """Random programs: budgeted interleaved ingest ==
+    {fold, tree, parallel} merge of the unbudgeted pipeline."""
+
+    @settings(**SETTINGS)
+    @given(program(allow_functions=True), st.sampled_from([2, 4]),
+           st.sampled_from([8, 24, 64]))
+    def test_random_programs_byte_identical(self, source, nprocs, chunk):
+        compiled, streams = _capture(source, nprocs)
+        assume(streams)  # a program with no MPI events has no trace
+        blobs = _schedule_blobs(compiled.cst, streams, nprocs)
+        comp = _interleaved_budget_compress(
+            compiled.cst, streams, nprocs, chunk=chunk
+        )
+        try:
+            budget_blob = serialize.dumps(comp.merged(nranks=nprocs))
+        finally:
+            comp.close_spill()
+        for sched, blob in blobs.items():
+            assert budget_blob == blob, f"diverges from {sched} schedule"
+
+
+class TestFoldSemantics:
+    def test_folded_rank_state_is_gone(self):
+        w = WORKLOADS["fig11"]
+        compiled, streams = _capture(w.source, 4, w.defines(4, 0.3))
+        comp = _interleaved_budget_compress(compiled.cst, streams, 4)
+        try:
+            with pytest.raises(StreamMismatchError, match="folded"):
+                comp.state(0)
+            comp.merged(nranks=4)
+        finally:
+            comp.close_spill()
+
+    def test_merged_cannot_exclude_folded_rank(self):
+        w = WORKLOADS["fig11"]
+        compiled, streams = _capture(w.source, 4, w.defines(4, 0.3))
+        comp = _interleaved_budget_compress(compiled.cst, streams, 4)
+        try:
+            with pytest.raises(MergeError, match="cannot be undone"):
+                comp.merged(nranks=4, ranks=[1, 2, 3])  # 0 already folded
+        finally:
+            comp.close_spill()
+
+
+class TestSpillStore:
+    def test_torn_container_fails_loudly(self, tmp_path):
+        store = SpillStore(str(tmp_path))
+        store.spill(0, b"payload-bytes-here")
+        path = store.path(0)
+        data = open(path, "rb").read()
+        with open(path, "wb") as fh:
+            fh.write(data[: len(data) - 3])  # tear the tail
+        with pytest.raises(SpillFormatError):
+            store.load(0)
+        store.close()
+
+    def test_roundtrip_and_discard(self, tmp_path):
+        store = SpillStore(str(tmp_path))
+        store.spill(7, b"\x01\x02\x03")
+        assert 7 in store and store.load(7) == b"\x01\x02\x03"
+        store.discard(7)
+        assert 7 not in store
+        store.close()
+
+    def test_pending_wildcards_are_unevictable(self):
+        st_obj = types.SimpleNamespace(rank=3, pending={11: object()})
+        with pytest.raises(ValueError, match="unevictable"):
+            encode_rank_state(st_obj)
+
+    def test_counters_metric_names(self):
+        bc = BudgetCounters(spills=2, reloads=1, folds=4, live_bytes=10,
+                            peak_live_bytes=99)
+        m = bc.as_metrics()
+        assert m["budget.spills"] == 2
+        assert m["budget.peak_live_bytes"] == 99
+        assert set(m) == {
+            "budget.spills", "budget.spill_bytes", "budget.reloads",
+            "budget.reload_bytes", "budget.folds", "budget.live_bytes",
+            "budget.peak_live_bytes",
+        }
+
+
+class TestLiveBytesEstimator:
+    """Satellite: ``approx_bytes`` measured *serialized* size but was
+    used as the live-memory trigger.  The split must keep the old
+    serialized estimate stable and make the live estimate strictly
+    larger (boxed objects, caches, index dicts)."""
+
+    def test_live_exceeds_serialized(self):
+        w = WORKLOADS["cg"]
+        compiled, streams = _capture(w.source, 4, w.defines(4, 0.3))
+        comp = compress_streams(compiled.cst, streams)
+        for rank in range(4):
+            ctt = comp.ctt(rank)
+            assert ctt.live_bytes() > ctt.serialized_bytes()
+            # The alias keeps the historical name meaning "serialized".
+            assert ctt.approx_bytes() == ctt.serialized_bytes()
+            assert comp.live_bytes(rank) > comp.serialized_bytes(rank)
+            assert comp.approx_bytes(rank) == comp.serialized_bytes(rank)
+
+    def test_serialized_estimate_tracks_container(self):
+        """The serialized estimate should be within an order of
+        magnitude of the actual container size (it is an estimate, not
+        an invoice)."""
+        w = WORKLOADS["fig11"]
+        compiled, streams = _capture(w.source, 4, w.defines(4, 0.3))
+        comp = compress_streams(compiled.cst, streams)
+        actual = len(serialize.dumps(
+            merge_all([comp.ctt(0)], nranks=4)))
+        est = comp.serialized_bytes(0)
+        assert actual // 10 <= est <= actual * 10
+
+
+class TestWarmSessionConfigKey:
+    """Satellite regression: the warm-session cache key must include the
+    config, so alternating configs on one CST never close and re-fork
+    the shm pool."""
+
+    def test_alternating_configs_reuse_sessions(self, monkeypatch):
+        from repro.core import intra
+        from repro.core.respool import fork_available
+
+        if not fork_available():
+            pytest.skip("fork start method unavailable")
+        w = WORKLOADS["fig11"]
+        compiled, streams = _capture(w.source, 4, w.defines(4, 0.3))
+        intra.close_shared_sessions()
+        creations = []
+        orig_init = intra.ShmCompressSession.__init__
+
+        def counting_init(self, *args, **kwargs):
+            creations.append(kwargs.get("config") or (args[1] if len(args) > 1 else None))
+            return orig_init(self, *args, **kwargs)
+
+        monkeypatch.setattr(intra.ShmCompressSession, "__init__",
+                            counting_init)
+        cfg_a = CypressConfig()
+        cfg_b = CypressConfig(window=64)
+        blobs = {cfg_a: [], cfg_b: []}
+        try:
+            for cfg in (cfg_a, cfg_b, cfg_a, cfg_b, cfg_a, cfg_b):
+                with warnings.catch_warnings():
+                    # A silent fallback to pickle would vacuously pass.
+                    warnings.simplefilter("error")
+                    comp = compress_streams(
+                        compiled.cst, streams, config=cfg, workers=2,
+                        parallel_threshold=2, transport="shm",
+                    )
+                blobs[cfg].append(serialize.dumps(merge_all(
+                    [comp.ctt(r) for r in range(4)], nranks=4)))
+            # One pool per distinct config — zero re-forks across the
+            # four alternations after the first pair.
+            assert len(creations) == 2
+            assert len(intra._shared_sessions) == 2
+            sess_a = intra.shared_compress_session(compiled.cst, cfg_a)
+            sess_b = intra.shared_compress_session(compiled.cst, cfg_b)
+            assert sess_a is not sess_b
+            assert len(creations) == 2  # lookups hit the cache too
+            for per_cfg in blobs.values():
+                assert all(b == per_cfg[0] for b in per_cfg)
+        finally:
+            intra.close_shared_sessions()

@@ -35,7 +35,7 @@ class TestDifferentialCheck:
         assert report.ok, [d.format() for d in report.divergences]
         assert report.events > 0
         assert sorted(report.variants) == [
-            "fastpath", "inline", "packed", "packed_runs",
+            "budgeted", "fastpath", "inline", "packed", "packed_runs",
             "packed_runs_live", "parallel", "parallel_shm", "reference",
         ]
         assert report.schedules == ["fold", "tree", "parallel"]
